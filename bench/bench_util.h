@@ -1,0 +1,50 @@
+#ifndef JARVIS_BENCH_BENCH_UTIL_H_
+#define JARVIS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "baselines/strategies.h"
+#include "sim/cluster.h"
+
+namespace jarvis::bench {
+
+/// Strategy factory by paper name; `model` supplies oracle knowledge for the
+/// baselines that assume it (Best-OP, LB-DP, Filter-Src).
+inline sim::StrategyFactory StrategyByName(const std::string& name,
+                                           const sim::QueryModel& model) {
+  const size_t n = model.num_ops();
+  if (name == "All-SP") {
+    return [n] { return baselines::MakeAllSp(n); };
+  }
+  if (name == "All-Src") {
+    return [n] { return baselines::MakeAllSrc(n); };
+  }
+  if (name == "Filter-Src") {
+    return [model] { return baselines::MakeFilterSrc(model); };
+  }
+  if (name == "Best-OP") {
+    return [model] { return std::make_unique<baselines::BestOpStrategy>(model); };
+  }
+  if (name == "LB-DP") {
+    return [model] { return std::make_unique<baselines::LbDpStrategy>(model); };
+  }
+  if (name == "LP-only") {
+    return [n] { return baselines::MakeLpOnly(n); };
+  }
+  if (name == "w/o-LP-init") {
+    return [n] { return baselines::MakeNoLpInit(n); };
+  }
+  return [n] { return baselines::MakeJarvis(n); };
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace jarvis::bench
+
+#endif  // JARVIS_BENCH_BENCH_UTIL_H_

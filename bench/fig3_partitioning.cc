@@ -1,0 +1,88 @@
+// Reproduces Figure 3: coarse-grained operator-level vs fine-grained
+// data-level partitioning of the S2SProbe query on a data source with an
+// 80% CPU budget, where G+R needs 80% of a core to process all of the
+// filter's output. Prints the per-operator CPU and network traffic the
+// figure annotates, plus the plan Jarvis actually converges to.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/cost_profiles.h"
+
+namespace jarvis {
+namespace {
+
+using sim::ClusterOptions;
+using sim::ClusterSim;
+using sim::QueryModel;
+
+void PrintPlan(const char* label, const QueryModel& m,
+               const std::vector<double>& lfs) {
+  std::printf("\n%s (load factors:", label);
+  for (double lf : lfs) std::printf(" %.2f", lf);
+  std::printf(")\n");
+  std::printf("  %-22s %10s %12s %12s\n", "operator", "CPU(%)",
+              "in (Mbps)", "drain (Mbps)");
+  double arriving_rec = m.input_records_per_sec;
+  double cpu_total = 0.0, net_total = 0.0;
+  for (size_t i = 0; i < m.num_ops(); ++i) {
+    const double fwd = arriving_rec * lfs[i];
+    const double drained = arriving_rec - fwd;
+    const double cpu = fwd * m.ops[i].cost_per_record * 100.0;
+    const double in_mbps = arriving_rec * m.BytesAt(i) * 8 / 1e6;
+    const double drain_mbps = drained * m.BytesAt(i) * 8 / 1e6;
+    std::printf("  %-22s %10.1f %12.2f %12.2f\n", m.ops[i].name.c_str(), cpu,
+                in_mbps, drain_mbps);
+    cpu_total += cpu;
+    net_total += drain_mbps;
+    arriving_rec = fwd * m.ops[i].relay_records;
+  }
+  const double out_mbps = arriving_rec * m.final_record_bytes * 8 / 1e6;
+  net_total += out_mbps;
+  std::printf("  %-22s %10s %12s %12.2f\n", "final output", "-", "-",
+              out_mbps);
+  std::printf("  total CPU %.1f%%   total network %.2f Mbps\n", cpu_total,
+              net_total);
+}
+
+}  // namespace
+}  // namespace jarvis
+
+int main() {
+  using namespace jarvis;
+  bench::PrintHeader(
+      "Figure 3: operator-level vs data-level partitioning\n"
+      "S2SProbe @ 26.2 Mbps, CPU budget 80% of one 2.4 GHz core\n"
+      "(G+R calibrated to need 80% of a core on the filter's output)");
+
+  QueryModel m = workloads::MakeS2SModel(1.0, /*gr_cpu_fraction=*/0.80);
+
+  // (a) Operator-level partitioning (Best-OP at 80%): W+F fit, G+R does not.
+  baselines::BestOpStrategy best_op(m);
+  core::EpochObservation obs;
+  obs.cpu_budget_seconds = 0.80;
+  obs.epoch_seconds = 1.0;
+  auto d = best_op.OnEpochEnd(obs);
+  PrintPlan("(a) operator-level partitioning (Best-OP)", m, d.load_factors);
+
+  // The paper's illustrative data-level plan: G+R processes 83-84% of its
+  // input within the remaining budget.
+  PrintPlan("(b) data-level partitioning (paper's plan)", m,
+            {1.0, 1.0, (0.80 - 0.15) / 0.80});
+
+  // What Jarvis converges to (LP init + fine-tuning, same budget).
+  ClusterOptions opts;
+  opts.num_sources = 1;
+  opts.cpu_budget_fraction = 0.80;
+  opts.per_source_bandwidth_mbps = constants::kPerQueryBandwidthMbps10x;
+  ClusterSim cluster(m, opts, bench::StrategyByName("Jarvis", m));
+  sim::ClusterSim::EpochMetrics last;
+  for (int e = 0; e < 40; ++e) last = cluster.RunEpoch();
+  PrintPlan("(b') data-level partitioning (Jarvis, converged)", m,
+            last.lfs0);
+
+  std::printf(
+      "\nPaper reference: operator-level 22.5 Mbps vs data-level 9.4 Mbps "
+      "(2.4x lower).\n");
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Reproduces Figure 8: convergence of Jarvis vs the pure model-based
+// ("LP only") and pure model-agnostic ("w/o LP-init") variants under
+// resource-condition changes. Prints a per-epoch trace of the runtime phase
+// and query state for each variant, and the convergence epoch counts.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "workloads/cost_profiles.h"
+
+namespace {
+
+using jarvis::core::Phase;
+using jarvis::core::QueryState;
+using jarvis::sim::ClusterOptions;
+using jarvis::sim::ClusterSim;
+using jarvis::sim::QueryModel;
+
+struct BudgetChange {
+  int epoch;
+  double budget;
+  double join_table = 0;  // when > 0, also grow the join table to this size
+};
+
+char StateChar(const ClusterSim::EpochMetrics& m) {
+  if (m.phase0 == Phase::kProfile) return 'P';
+  switch (m.state0) {
+    case QueryState::kIdle:
+      return 'I';
+    case QueryState::kCongested:
+      return 'C';
+    case QueryState::kStable:
+      return 'S';
+  }
+  return '?';
+}
+
+void RunTrace(const char* title, const QueryModel& model, bool is_t2t,
+              const std::vector<BudgetChange>& schedule, int total_epochs) {
+  std::printf("\n%s\n", title);
+  std::printf("  trace legend: S stable, I idle, C congested, P profiling\n");
+  for (const char* variant : {"Jarvis", "LP-only", "w/o-LP-init"}) {
+    ClusterOptions opts;
+    opts.num_sources = 1;
+    opts.cpu_budget_fraction = schedule.front().budget;
+    opts.sp_cores = 64;
+    ClusterSim cluster(model, opts,
+                       jarvis::bench::StrategyByName(variant, model));
+    std::string trace;
+    std::vector<int> convergences;
+    size_t change_idx = 1;
+    int last_adaptations = 0;
+    for (int e = 0; e < total_epochs; ++e) {
+      if (change_idx < schedule.size() &&
+          e == schedule[change_idx].epoch) {
+        cluster.source(0).SetCpuBudget(schedule[change_idx].budget);
+        if (is_t2t && schedule[change_idx].join_table > 0) {
+          const double factor = jarvis::workloads::JoinCostFactor(
+              static_cast<int64_t>(schedule[change_idx].join_table));
+          QueryModel fresh = jarvis::workloads::MakeT2TModel(1.0, 500);
+          // Joins are ops 2 and 3; rescale their cost by the table factor
+          // relative to the size-500 calibration.
+          cluster.source(0).SetOpCost(2, fresh.ops[2].cost_per_record * factor);
+          cluster.source(0).SetOpCost(3, fresh.ops[3].cost_per_record * factor);
+        }
+        ++change_idx;
+        trace += '|';
+      }
+      auto m = cluster.RunEpoch();
+      trace += StateChar(m);
+      const int conv = cluster.strategy(0).last_convergence_epochs();
+      if (conv != last_adaptations && m.phase0 == Phase::kProbe) {
+        convergences.push_back(conv);
+        last_adaptations = conv;
+      }
+    }
+    std::printf("  %-12s %s  (adaptations:", variant, trace.c_str());
+    for (int c : convergences) std::printf(" %d", c);
+    if (convergences.empty()) std::printf(" none completed");
+    std::printf(" epochs)\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Figure 8: convergence analysis (per-epoch state traces)\n"
+      "'|' marks a resource-condition change; detection takes 3 epochs");
+
+  {
+    QueryModel m = jarvis::workloads::MakeS2SModel();
+    RunTrace("(a) S2SProbe: CPU 10% -> 90% @3 -> 60% @18", m, false,
+             {{0, 0.10}, {3, 0.90}, {18, 0.60}}, 33);
+  }
+  {
+    QueryModel m = jarvis::workloads::MakeT2TModel(1.0, 50);
+    RunTrace(
+        "(b) T2TProbe: CPU 10% (table 50) -> 100% @3 -> table x10 @18",
+        m, true, {{0, 0.10}, {3, 1.00}, {18, 1.00, 500}}, 33);
+  }
+  {
+    QueryModel m = jarvis::workloads::MakeLogAnalyticsModel();
+    RunTrace("(c) LogAnalytics: CPU 5% -> 31% @3 -> 15% @18", m, false,
+             {{0, 0.05}, {3, 0.31}, {18, 0.15}}, 33);
+  }
+  std::printf(
+      "\nPaper reference: Jarvis converges within 1-7 epochs of a change\n"
+      "(w/o LP-init needs up to 11; LP-only oscillates and may never\n"
+      "stabilize when profiling is inaccurate).\n");
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces Figure 9: comparison against the window-based sampling
+// protocol (WSP) data synopsis on Scenario 1 (Pingmesh alerting).
+//  (a) CDF of per-pair probe-latency estimation error at sampling rates
+//      {0.2, 0.4, 0.6, 0.8} — plus the alert recall the paper discusses
+//      (alerts = pairs whose max rtt exceeds the 5 ms threshold).
+//  (b) Average network transfer per data source vs sampling rate, against
+//      Jarvis at 100% and 20% CPU budgets (which transfers less or the same
+//      without losing accuracy).
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "synopsis/wsp.h"
+#include "workloads/cost_profiles.h"
+#include "workloads/pingmesh.h"
+
+namespace {
+
+using jarvis::Micros;
+using jarvis::Seconds;
+using jarvis::stream::RecordBatch;
+using jarvis::synopsis::AggregateByKey;
+using jarvis::synopsis::RangeEstimate;
+using jarvis::synopsis::WindowSampler;
+using jarvis::workloads::PingmeshGenerator;
+
+constexpr double kAlertThresholdUs = 5000.0;  // 5 ms
+constexpr Micros kWindow = Seconds(10);
+
+struct RateResult {
+  double frac_err_le_1ms = 0;
+  double frac_err_le_5ms = 0;
+  double p50_err_ms = 0, p90_err_ms = 0;
+  double network_mbps = 0;
+  double alert_recall = 0;
+};
+
+RateResult EvaluateRate(PingmeshGenerator& gen, double rate, int windows) {
+  std::vector<double> errors_ms;
+  int true_alerts = 0, caught_alerts = 0;
+  double sampled_bytes = 0;
+  double seconds = 0;
+  for (int w = 0; w < windows; ++w) {
+    const Micros start = w * kWindow;
+    RecordBatch window = gen.Generate(start, start + kWindow);
+    WindowSampler sampler(rate, 1234 + w);
+    RecordBatch sample = sampler.Sample(start, window);
+    for (const auto& rec : sample) {
+      sampled_bytes += jarvis::stream::WireSize(rec);
+    }
+    seconds += 10.0;
+
+    auto exact = AggregateByKey(window, PingmeshGenerator::kDstIp,
+                                PingmeshGenerator::kRttUs);
+    auto est = AggregateByKey(sample, PingmeshGenerator::kDstIp,
+                              PingmeshGenerator::kRttUs);
+    for (const auto& [key, ex] : exact) {
+      auto it = est.find(key);
+      // A pair absent from the sample has its full range missed.
+      const double est_max = it == est.end() ? 0.0 : it->second.max;
+      errors_ms.push_back((ex.max - est_max) / 1000.0);
+      if (ex.max > kAlertThresholdUs) {
+        ++true_alerts;
+        if (est_max > kAlertThresholdUs) ++caught_alerts;
+      }
+    }
+  }
+  std::sort(errors_ms.begin(), errors_ms.end());
+  RateResult r;
+  const double n = static_cast<double>(errors_ms.size());
+  r.frac_err_le_1ms =
+      std::count_if(errors_ms.begin(), errors_ms.end(),
+                    [](double e) { return e <= 1.0; }) / n;
+  r.frac_err_le_5ms =
+      std::count_if(errors_ms.begin(), errors_ms.end(),
+                    [](double e) { return e <= 5.0; }) / n;
+  r.p50_err_ms = errors_ms[errors_ms.size() / 2];
+  r.p90_err_ms = errors_ms[static_cast<size_t>(errors_ms.size() * 0.9)];
+  r.network_mbps = sampled_bytes * 8 / 1e6 / seconds;
+  r.alert_recall = true_alerts == 0 ? 1.0
+                                    : static_cast<double>(caught_alerts) /
+                                          true_alerts;
+  return r;
+}
+
+double JarvisNetworkMbps(double budget) {
+  jarvis::sim::QueryModel m = jarvis::workloads::MakeS2SModel();
+  jarvis::sim::ClusterOptions opts;
+  opts.num_sources = 1;
+  opts.cpu_budget_fraction = budget;
+  opts.per_source_bandwidth_mbps =
+      jarvis::constants::kPerQueryBandwidthMbps10x;
+  jarvis::sim::ClusterSim cluster(m, opts,
+                                  jarvis::bench::StrategyByName("Jarvis", m));
+  return cluster.Run(40, 60).avg_network_mbps;
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Figure 9: WSP sampling vs Jarvis on Pingmesh alerting (Scenario 1)");
+
+  jarvis::workloads::PingmeshConfig cfg;
+  cfg.num_pairs = 20000;
+  cfg.probe_interval = Seconds(5);
+  cfg.anomaly_pair_fraction = 0.02;
+  cfg.episode_period = Seconds(60);
+  cfg.episode_duration = Seconds(50);
+  PingmeshGenerator gen(cfg);
+  const double input_mbps = jarvis::constants::kPingmeshRateMbps10x / 10.0;
+
+  std::printf("\n(a) per-pair max-rtt estimation error and alert recall\n");
+  std::printf("%-14s %10s %10s %10s %10s %12s %10s\n", "sampling rate",
+              "<=1ms", "<=5ms", "p50(ms)", "p90(ms)", "net (Mbps)",
+              "recall");
+  for (double rate : {0.2, 0.4, 0.6, 0.8}) {
+    RateResult r = EvaluateRate(gen, rate, /*windows=*/6);
+    std::printf("%-14.1f %9.1f%% %9.1f%% %10.2f %10.2f %12.3f %9.1f%%\n",
+                rate, 100 * r.frac_err_le_1ms, 100 * r.frac_err_le_5ms,
+                r.p50_err_ms, r.p90_err_ms, r.network_mbps,
+                100 * r.alert_recall);
+  }
+  std::printf("   (input rate per source: %.3f Mbps at 1x scaling)\n",
+              input_mbps);
+
+  std::printf("\n(b) average network transfer per data source (10x scale)\n");
+  std::printf("%-28s %12s\n", "configuration", "net (Mbps)");
+  for (double rate : {0.2, 0.4, 0.6, 0.8}) {
+    std::printf("%-28s %12.2f\n",
+                ("WSP sampling @" + std::to_string(rate).substr(0, 3)).c_str(),
+                rate * jarvis::constants::kPingmeshRateMbps10x);
+  }
+  std::printf("%-28s %12.2f\n", "input data rate",
+              jarvis::constants::kPingmeshRateMbps10x);
+  std::printf("%-28s %12.2f\n", "Jarvis (100% CPU)", JarvisNetworkMbps(1.0));
+  std::printf("%-28s %12.2f\n", "Jarvis (20% CPU)", JarvisNetworkMbps(0.2));
+
+  std::printf(
+      "\nPaper reference: 85-90%% of errors within 1 ms at rates 0.6-0.8 but\n"
+      "little network savings; at rates 0.2-0.4, 20-40%% of errors exceed\n"
+      "1 ms and WSP misses 10-38%% of alerts. Jarvis reduces transfers to\n"
+      "11.4-90%% of the input rate with zero accuracy loss.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces the Section VI-E latency observations: epoch processing
+// latency of Jarvis vs Best-OP at 5x scaling. When both policies keep up
+// (40 sources), Jarvis improves median latency ~3.4x and max latency from
+// ~5 s to ~2 s; when Best-OP is network-bottlenecked (60 sources), its
+// latency grows past 60 s while Jarvis stays within the 5 s bound.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "workloads/cost_profiles.h"
+
+namespace {
+
+using jarvis::sim::ClusterOptions;
+using jarvis::sim::ClusterSim;
+using jarvis::sim::QueryModel;
+
+void RunCase(const char* title, int nodes, double queue_bound_seconds) {
+  QueryModel model = jarvis::workloads::MakeS2SModel(0.5);
+  std::printf("\n%s\n", title);
+  std::printf("%-10s %14s %14s %14s\n", "policy", "median lat(s)",
+              "max lat(s)", "tput (Mbps)");
+  for (const char* strategy : {"Jarvis", "Best-OP"}) {
+    ClusterOptions opts;
+    opts.num_sources = static_cast<size_t>(nodes);
+    opts.cpu_budget_fraction = 0.30;
+    opts.shared_bandwidth_mbps = jarvis::constants::kQueryLinkMbps;
+    opts.sp_cores = 64;
+    opts.latency_bound_seconds = queue_bound_seconds;
+    ClusterSim cluster(model, opts,
+                       jarvis::bench::StrategyByName(strategy, model));
+    auto summary = cluster.Run(40, 90);
+    std::printf("%-10s %14.2f %14.2f %14.1f\n", strategy,
+                summary.median_latency_seconds, summary.max_latency_seconds,
+                summary.avg_goodput_mbps);
+  }
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Section VI-E: epoch processing latency, Jarvis vs Best-OP (5x rate)");
+  RunCase("(1) both keep up: 40 sources, bounded queues (5 s)", 40, 5.0);
+  RunCase("(2) Best-OP network-bound: 60 sources, deep queues (120 s)", 60,
+          120.0);
+  std::printf(
+      "\nPaper reference: at 40 sources Jarvis improves median latency 3.4x\n"
+      "(1800 ms -> 500 ms) and max from 5 s to 2 s; at 60 sources Best-OP's\n"
+      "max latency exceeds 60 s while Jarvis stays within 5 s.\n");
+  return 0;
+}

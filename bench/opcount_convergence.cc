@@ -1,0 +1,111 @@
+// Reproduces the Section VI-C operator-count analysis: an exhaustive sweep
+// over synthetic query configurations (operator costs, relay ratios, compute
+// budgets) measuring worst-case convergence of the model-agnostic variant
+// ("w/o LP-init") as the number of operators grows — the argument for why
+// the LP initialization is a valuable part of the design. The paper reports
+// worst cases up to 21 epochs at four operators.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "baselines/strategies.h"
+#include "bench/bench_util.h"
+#include "sim/source_node.h"
+
+namespace {
+
+using jarvis::core::PartitioningStrategy;
+using jarvis::core::Phase;
+using jarvis::sim::OpModel;
+using jarvis::sim::QueryModel;
+using jarvis::sim::SourceNodeSim;
+
+/// Runs one configuration to convergence; returns epochs spent from the
+/// adaptation trigger to stability (excluding the 3 detection epochs, as the
+/// paper's simulator does), or -1 when it fails to converge.
+int EpochsToConverge(const QueryModel& model, double budget,
+                     std::unique_ptr<PartitioningStrategy> strategy) {
+  SourceNodeSim::Options opts;
+  opts.cpu_budget_fraction = budget;
+  opts.profile_error_magnitude = 0.0;  // the paper's simulator is noise-free
+  SourceNodeSim node(model, opts);
+  bool profile = false;
+  int epochs_since_trigger = -1;
+  for (int e = 0; e < 120; ++e) {
+    auto r = node.RunEpoch(profile);
+    auto d = strategy->OnEpochEnd(r.observation);
+    node.SetLoadFactors(d.load_factors);
+    profile = d.request_profile;
+    if (strategy->phase() == Phase::kProfile && epochs_since_trigger < 0) {
+      epochs_since_trigger = 0;
+    }
+    if (epochs_since_trigger >= 0) ++epochs_since_trigger;
+    if (epochs_since_trigger > 0 && strategy->phase() == Phase::kProbe) {
+      return strategy->last_convergence_epochs();
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Section VI-C: worst-case convergence vs number of operators\n"
+      "(exhaustive sweep of synthetic cost/relay/budget configurations,\n"
+      " model-agnostic 'w/o LP-init' vs Jarvis)");
+
+  const std::vector<double> kCosts = {0.05, 0.2, 0.5};
+  const std::vector<double> kRelays = {0.3, 0.7, 1.0};
+  const std::vector<double> kBudgets = {0.2, 0.4, 0.6, 0.8};
+
+  std::printf("%-10s %14s %14s %14s %14s %8s\n", "operators",
+              "worst (agn.)", "avg (agn.)", "worst (Jarvis)", "avg (Jarvis)",
+              "configs");
+  for (int m = 2; m <= 4; ++m) {
+    int worst_agnostic = 0, worst_jarvis = 0;
+    double sum_agnostic = 0, sum_jarvis = 0;
+    int configs = 0;
+    // Enumerate cost/relay assignments per operator via mixed-radix count.
+    const size_t radix = kCosts.size() * kRelays.size();
+    size_t total = 1;
+    for (int i = 0; i < m; ++i) total *= radix;
+    for (size_t code = 0; code < total; ++code) {
+      QueryModel model;
+      model.input_records_per_sec = 1000;
+      size_t c = code;
+      for (int i = 0; i < m; ++i) {
+        OpModel op;
+        op.name = "op" + std::to_string(i);
+        op.cost_per_record = kCosts[c % kCosts.size()] / 1000.0;
+        c /= kCosts.size();
+        op.relay_records = kRelays[c % kRelays.size()];
+        c /= kRelays.size();
+        op.record_bytes_in = 100;
+        model.ops.push_back(op);
+      }
+      model.final_record_bytes = 40;
+      for (double budget : kBudgets) {
+        const int agnostic = EpochsToConverge(
+            model, budget, jarvis::baselines::MakeNoLpInit(m));
+        const int with_lp =
+            EpochsToConverge(model, budget, jarvis::baselines::MakeJarvis(m));
+        if (agnostic < 0 || with_lp < 0) continue;
+        worst_agnostic = std::max(worst_agnostic, agnostic);
+        worst_jarvis = std::max(worst_jarvis, with_lp);
+        sum_agnostic += agnostic;
+        sum_jarvis += with_lp;
+        ++configs;
+      }
+    }
+    std::printf("%-10d %14d %14.1f %14d %14.1f %8d\n", m, worst_agnostic,
+                configs ? sum_agnostic / configs : 0.0, worst_jarvis,
+                configs ? sum_jarvis / configs : 0.0, configs);
+  }
+  std::printf(
+      "\nPaper reference: worst-case convergence grows to 21 epochs at four\n"
+      "operators for the model-agnostic search; the LP initialization keeps\n"
+      "it within a few epochs.\n");
+  return 0;
+}

@@ -1,0 +1,107 @@
+// Measures the control-plane overhead the paper quotes in Section VI-B:
+// Jarvis consumes "less than 1% of a single core" during Profile and Adapt.
+// Microbenchmarks (google-benchmark) of the per-epoch runtime decision, the
+// Eq. (3) LP solve, control-proxy routing, and record serialization.
+
+#include <benchmark/benchmark.h>
+
+#include "core/control_proxy.h"
+#include "core/runtime.h"
+#include "lp/partition_lp.h"
+#include "stream/record.h"
+#include "workloads/cost_profiles.h"
+
+namespace {
+
+using namespace jarvis;
+
+core::EpochObservation MakeObservation(size_t num_ops, bool with_profiles) {
+  core::EpochObservation obs;
+  obs.proxies.resize(num_ops);
+  for (size_t i = 0; i < num_ops; ++i) {
+    obs.proxies[i].arrived = 38081;
+    obs.proxies[i].forwarded = 38081;
+    obs.proxies[i].load_factor = 0.5;
+  }
+  obs.cpu_budget_seconds = 0.6;
+  obs.cpu_spent_seconds = 0.58;
+  obs.input_records = 38081;
+  if (with_profiles) {
+    obs.profiles_valid = true;
+    obs.profiles.resize(num_ops);
+    for (size_t i = 0; i < num_ops; ++i) {
+      obs.profiles[i] = {1e-5 * (i + 1), 0.8, 0.7, 1000};
+    }
+  }
+  return obs;
+}
+
+void BM_RuntimeDecisionPerEpoch(benchmark::State& state) {
+  const size_t num_ops = static_cast<size_t>(state.range(0));
+  core::JarvisRuntime runtime(num_ops, core::RuntimeConfig{});
+  core::EpochObservation obs = MakeObservation(num_ops, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.OnEpochEnd(obs));
+  }
+  // One decision per one-second epoch: the reported ns/op divided by 1e9 is
+  // the core fraction Jarvis' control plane consumes (<< 1%, Section VI-B).
+}
+BENCHMARK(BM_RuntimeDecisionPerEpoch)->Arg(3)->Arg(6)->Arg(8);
+
+void BM_PartitionLpSolve(benchmark::State& state) {
+  const size_t m = static_cast<size_t>(state.range(0));
+  lp::PartitionProblem problem;
+  for (size_t i = 0; i < m; ++i) {
+    problem.ops.push_back({1e-5 * (i + 1), 0.8, 0.6});
+  }
+  problem.input_records_per_epoch = 38081;
+  problem.cpu_budget_seconds = 0.5;
+  for (auto _ : state) {
+    auto sol = lp::SolvePartitionLp(problem);
+    benchmark::DoNotOptimize(sol);
+  }
+}
+BENCHMARK(BM_PartitionLpSolve)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_ControlProxyRoute(benchmark::State& state) {
+  core::ControlProxy proxy(0);
+  proxy.set_load_factor(0.63);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(proxy.Route());
+  }
+}
+BENCHMARK(BM_ControlProxyRoute);
+
+void BM_RecordSerialize(benchmark::State& state) {
+  stream::Record rec;
+  rec.event_time = 123456789;
+  rec.window_start = 123450000;
+  rec.fields = {stream::Value(int64_t{42}), stream::Value(int64_t{7}),
+                stream::Value(int64_t{99}), stream::Value(int64_t{3}),
+                stream::Value(305.5), stream::Value(int64_t{0})};
+  for (auto _ : state) {
+    ser::BufferWriter w;
+    stream::SerializeRecord(rec, &w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_RecordSerialize);
+
+void BM_RecordRoundTrip(benchmark::State& state) {
+  stream::Record rec;
+  rec.event_time = 123456789;
+  rec.fields = {stream::Value(int64_t{42}), stream::Value(305.5),
+                stream::Value(std::string("tenant name=t42"))};
+  ser::BufferWriter w;
+  stream::SerializeRecord(rec, &w);
+  for (auto _ : state) {
+    ser::BufferReader r(w.data());
+    stream::Record out;
+    benchmark::DoNotOptimize(stream::DeserializeRecord(&r, &out));
+  }
+}
+BENCHMARK(BM_RecordRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,92 @@
+#include "baselines/strategies.h"
+
+#include <algorithm>
+
+#include "stream/operator.h"
+
+namespace jarvis::baselines {
+
+std::unique_ptr<core::PartitioningStrategy> MakeAllSp(size_t num_ops) {
+  return std::make_unique<StaticStrategy>("All-SP",
+                                          std::vector<double>(num_ops, 0.0));
+}
+
+std::unique_ptr<core::PartitioningStrategy> MakeAllSrc(size_t num_ops) {
+  return std::make_unique<StaticStrategy>("All-Src",
+                                          std::vector<double>(num_ops, 1.0));
+}
+
+std::unique_ptr<core::PartitioningStrategy> MakeFilterSrc(
+    const sim::QueryModel& model) {
+  std::vector<double> lfs(model.num_ops(), 0.0);
+  for (size_t i = 0; i < model.num_ops(); ++i) {
+    lfs[i] = 1.0;
+    // Heuristic boundary: everything through the first operator that
+    // meaningfully reduces data (the filter); name-based tagging keeps the
+    // model purely analytic.
+    if (model.ops[i].name.find("filter") != std::string::npos ||
+        model.ops[i].name.find("Filter") != std::string::npos) {
+      break;
+    }
+  }
+  return std::make_unique<StaticStrategy>("Filter-Src", std::move(lfs));
+}
+
+size_t BestOpStrategy::BoundaryFor(double cpu_budget_seconds,
+                                   double epoch_seconds) const {
+  const std::vector<double> relay = model_.CumulativeRelayRecords();
+  const double records = model_.input_records_per_sec * epoch_seconds;
+  double cost = 0.0;
+  size_t boundary = 0;
+  for (size_t i = 0; i < model_.num_ops(); ++i) {
+    cost += relay[i] * model_.ops[i].cost_per_record * records;
+    if (cost > cpu_budget_seconds) break;
+    boundary = i + 1;
+  }
+  return boundary;
+}
+
+core::JarvisRuntime::Decision BestOpStrategy::OnEpochEnd(
+    const core::EpochObservation& obs) {
+  const size_t boundary =
+      BoundaryFor(obs.cpu_budget_seconds, obs.epoch_seconds);
+  core::JarvisRuntime::Decision d;
+  d.load_factors.assign(model_.num_ops(), 0.0);
+  for (size_t i = 0; i < boundary; ++i) d.load_factors[i] = 1.0;
+  return d;
+}
+
+core::JarvisRuntime::Decision LbDpStrategy::OnEpochEnd(
+    const core::EpochObservation& obs) {
+  const double full_cost_per_sec = model_.FullCpuFraction();
+  const double budget_per_sec =
+      obs.epoch_seconds <= 0 ? 0.0
+                             : obs.cpu_budget_seconds / obs.epoch_seconds;
+  const double share =
+      full_cost_per_sec <= 0
+          ? 1.0
+          : std::clamp(budget_per_sec / full_cost_per_sec, 0.0, 1.0);
+  core::JarvisRuntime::Decision d;
+  d.load_factors.assign(model_.num_ops(), 1.0);
+  if (!d.load_factors.empty()) d.load_factors[0] = share;
+  return d;
+}
+
+std::unique_ptr<core::PartitioningStrategy> MakeJarvis(
+    size_t num_ops, core::RuntimeConfig config) {
+  return std::make_unique<JarvisStrategy>(num_ops, config);
+}
+
+std::unique_ptr<core::PartitioningStrategy> MakeLpOnly(size_t num_ops) {
+  core::RuntimeConfig config;
+  config.use_fine_tune = false;
+  return std::make_unique<JarvisStrategy>(num_ops, config);
+}
+
+std::unique_ptr<core::PartitioningStrategy> MakeNoLpInit(size_t num_ops) {
+  core::RuntimeConfig config;
+  config.use_lp_init = false;
+  return std::make_unique<JarvisStrategy>(num_ops, config);
+}
+
+}  // namespace jarvis::baselines

@@ -1,0 +1,114 @@
+#ifndef JARVIS_BASELINES_STRATEGIES_H_
+#define JARVIS_BASELINES_STRATEGIES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/strategy.h"
+#include "sim/query_model.h"
+
+namespace jarvis::baselines {
+
+/// Fixed load factors; used directly for All-Src / All-SP and for the
+/// fixed-plan multi-query experiment (Fig. 11).
+class StaticStrategy : public core::PartitioningStrategy {
+ public:
+  StaticStrategy(std::string name, std::vector<double> lfs)
+      : name_(std::move(name)), lfs_(std::move(lfs)) {}
+
+  std::string_view name() const override { return name_; }
+
+  core::JarvisRuntime::Decision OnEpochEnd(
+      const core::EpochObservation&) override {
+    core::JarvisRuntime::Decision d;
+    d.load_factors = lfs_;
+    return d;
+  }
+
+ private:
+  std::string name_;
+  std::vector<double> lfs_;
+};
+
+/// All-SP (Gigascope): the query runs entirely on the stream processor.
+std::unique_ptr<core::PartitioningStrategy> MakeAllSp(size_t num_ops);
+
+/// All-Src: the query runs entirely on the data source regardless of budget.
+std::unique_ptr<core::PartitioningStrategy> MakeAllSrc(size_t num_ops);
+
+/// Filter-Src (Everflow): static operator-level partitioning that runs
+/// operators up to and including the first filter on the data source.
+std::unique_ptr<core::PartitioningStrategy> MakeFilterSrc(
+    const sim::QueryModel& model);
+
+/// Best-OP (Sonata): dynamic *operator-level* partitioning. Every epoch it
+/// chooses the longest operator prefix whose full-rate cost fits the budget
+/// (all-or-nothing per operator), using oracle cost knowledge — the
+/// strongest version of the baseline.
+class BestOpStrategy : public core::PartitioningStrategy {
+ public:
+  explicit BestOpStrategy(sim::QueryModel model) : model_(std::move(model)) {}
+
+  std::string_view name() const override { return "Best-OP"; }
+
+  core::JarvisRuntime::Decision OnEpochEnd(
+      const core::EpochObservation& obs) override;
+
+  /// Also usable standalone (tests): boundary for a given budget.
+  size_t BoundaryFor(double cpu_budget_seconds, double epoch_seconds) const;
+
+ private:
+  sim::QueryModel model_;
+};
+
+/// LB-DP (M3-style): query-level data partitioning. The input stream is
+/// split so the data source takes the share of records its budget can run
+/// through the *whole* chain; the rest drains at the entry proxy.
+class LbDpStrategy : public core::PartitioningStrategy {
+ public:
+  explicit LbDpStrategy(sim::QueryModel model) : model_(std::move(model)) {}
+
+  std::string_view name() const override { return "LB-DP"; }
+
+  core::JarvisRuntime::Decision OnEpochEnd(
+      const core::EpochObservation& obs) override;
+
+ private:
+  sim::QueryModel model_;
+};
+
+/// Jarvis (and its Section VI-C ablations, selected via RuntimeConfig):
+/// wraps the decentralized per-query runtime.
+class JarvisStrategy : public core::PartitioningStrategy {
+ public:
+  JarvisStrategy(size_t num_ops, core::RuntimeConfig config)
+      : runtime_(num_ops, config) {}
+
+  std::string_view name() const override { return "Jarvis"; }
+
+  core::JarvisRuntime::Decision OnEpochEnd(
+      const core::EpochObservation& obs) override {
+    return runtime_.OnEpochEnd(obs);
+  }
+
+  core::Phase phase() const override { return runtime_.phase(); }
+  int last_convergence_epochs() const override {
+    return runtime_.last_convergence_epochs();
+  }
+  const core::JarvisRuntime& runtime() const { return runtime_; }
+
+ private:
+  core::JarvisRuntime runtime_;
+};
+
+/// Convenience factories for the three Section VI-C variants.
+std::unique_ptr<core::PartitioningStrategy> MakeJarvis(
+    size_t num_ops, core::RuntimeConfig config = core::RuntimeConfig());
+std::unique_ptr<core::PartitioningStrategy> MakeLpOnly(size_t num_ops);
+std::unique_ptr<core::PartitioningStrategy> MakeNoLpInit(size_t num_ops);
+
+}  // namespace jarvis::baselines
+
+#endif  // JARVIS_BASELINES_STRATEGIES_H_

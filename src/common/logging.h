@@ -1,0 +1,72 @@
+#ifndef JARVIS_COMMON_LOGGING_H_
+#define JARVIS_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace jarvis {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn so
+/// tests and benches stay quiet unless something is wrong.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace jarvis
+
+#define JARVIS_LOG(level)                                             \
+  (static_cast<int>(::jarvis::LogLevel::k##level) <                   \
+   static_cast<int>(::jarvis::GetLogLevel()))                         \
+      ? (void)0                                                       \
+      : (void)(::jarvis::internal::LogMessage(                        \
+            ::jarvis::LogLevel::k##level, __FILE__, __LINE__))
+
+/// Streaming log macro: JARVIS_LOGS(Info) << "x=" << x;
+#define JARVIS_LOGS(level)                                            \
+  ::jarvis::internal::LogMessage(::jarvis::LogLevel::k##level,        \
+                                 __FILE__, __LINE__)
+
+/// Unconditional check that aborts with a message; used for programmer errors
+/// (invariant violations), never for data-dependent failures.
+#define JARVIS_CHECK(cond)                                            \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                  \
+      std::abort();                                                   \
+    }                                                                 \
+  } while (0)
+
+#define JARVIS_DCHECK(cond) JARVIS_CHECK(cond)
+
+#endif  // JARVIS_COMMON_LOGGING_H_

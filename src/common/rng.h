@@ -1,0 +1,51 @@
+#ifndef JARVIS_COMMON_RNG_H_
+#define JARVIS_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace jarvis {
+
+/// Deterministic, fast pseudo-random generator (splitmix64 seeding into
+/// xoshiro256**). All randomized components of the library take an explicit
+/// seed so tests and benchmarks are reproducible bit-for-bit across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator. The same seed always yields the same sequence.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Standard normal via Box-Muller (deterministic, allocation-free).
+  double NextGaussian();
+
+  /// Exponentially distributed value with the given mean.
+  double NextExponential(double mean);
+
+  /// Returns true with probability `p` (clamped to [0,1]).
+  bool NextBernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// splitmix64 step; exposed for deterministic per-key hashing in tests and
+/// the profiling-noise model.
+uint64_t SplitMix64(uint64_t x);
+
+}  // namespace jarvis
+
+#endif  // JARVIS_COMMON_RNG_H_

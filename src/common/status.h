@@ -1,0 +1,135 @@
+#ifndef JARVIS_COMMON_STATUS_H_
+#define JARVIS_COMMON_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace jarvis {
+
+/// Error categories used across the library. Mirrors the Arrow/RocksDB idiom:
+/// operations that can fail return a Status (or Result<T>) instead of throwing.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kFailedPrecondition,
+  kUnimplemented,
+  kInternal,
+  kSerializationError,
+  kInfeasible,  // LP / partitioning problems with an empty feasible region.
+};
+
+/// Human-readable name for a status code (e.g., "InvalidArgument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error value. The OK state carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status SerializationError(std::string msg) {
+    return Status(StatusCode::kSerializationError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error wrapper. Access to the value when !ok() is a programming
+/// error and aborts in debug builds (undefined in release).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` from Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: allows `return Status::...;`.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+  /// Returns the value or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace jarvis
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define JARVIS_RETURN_IF_ERROR(expr)                 \
+  do {                                               \
+    ::jarvis::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                       \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error returns the Status, otherwise
+/// assigns the value to `lhs`.
+#define JARVIS_ASSIGN_OR_RETURN(lhs, expr)           \
+  auto JARVIS_CONCAT_(_res_, __LINE__) = (expr);     \
+  if (!JARVIS_CONCAT_(_res_, __LINE__).ok())         \
+    return JARVIS_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(JARVIS_CONCAT_(_res_, __LINE__)).value()
+
+#define JARVIS_CONCAT_IMPL_(a, b) a##b
+#define JARVIS_CONCAT_(a, b) JARVIS_CONCAT_IMPL_(a, b)
+
+#endif  // JARVIS_COMMON_STATUS_H_

@@ -1,0 +1,58 @@
+#ifndef JARVIS_COMMON_UNITS_H_
+#define JARVIS_COMMON_UNITS_H_
+
+#include <cstdint>
+
+namespace jarvis {
+
+/// Event/processing time is expressed in microseconds throughout the library,
+/// matching the Pingmesh trace resolution.
+using Micros = int64_t;
+
+constexpr Micros kMicrosPerMilli = 1000;
+constexpr Micros kMicrosPerSecond = 1000 * 1000;
+
+constexpr Micros Seconds(double s) {
+  return static_cast<Micros>(s * kMicrosPerSecond);
+}
+constexpr Micros Millis(double ms) {
+  return static_cast<Micros>(ms * kMicrosPerMilli);
+}
+
+/// Converts a byte count over a duration into megabits per second, the
+/// throughput unit used in every figure of the paper.
+constexpr double BytesToMbps(double bytes, double seconds) {
+  return seconds <= 0 ? 0.0 : (bytes * 8.0) / 1e6 / seconds;
+}
+
+/// Converts a rate in Mbps into bytes per second.
+constexpr double MbpsToBytesPerSec(double mbps) { return mbps * 1e6 / 8.0; }
+
+/// Paper constants (Section II-B / VI-A), kept in one place so benches and
+/// tests share the exact calibration.
+namespace constants {
+
+/// A Pingmesh probe record is 86 bytes on the wire.
+constexpr double kPingmeshRecordBytes = 86.0;
+
+/// Per-source Pingmesh rate after the paper's 10x scaling.
+constexpr double kPingmeshRateMbps10x = 26.2;
+
+/// Per-source LogAnalytics rate after the paper's 10x scaling.
+constexpr double kLogAnalyticsRateMbps10x = 49.6;
+
+/// Effective per-query per-source bandwidth after 10x scaling:
+/// 10 Gbps / 250 nodes / 20 queries * 10.
+constexpr double kPerQueryBandwidthMbps10x = 20.48;
+
+/// Aggregate per-query bandwidth at the stream processor for multi-source
+/// experiments (~0.8 * 2.048 Mbps * 250).
+constexpr double kQueryLinkMbps = 410.0;
+
+/// Query latency bound used when reporting throughput (Section VI-A).
+constexpr double kLatencyBoundSeconds = 5.0;
+
+}  // namespace constants
+}  // namespace jarvis
+
+#endif  // JARVIS_COMMON_UNITS_H_

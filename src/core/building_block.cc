@@ -1,0 +1,93 @@
+#include "core/building_block.h"
+
+#include <limits>
+
+namespace jarvis::core {
+
+BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
+                             std::vector<SourceSpec> specs,
+                             RuntimeConfig runtime_config) {
+  sp_ = std::make_unique<SpExecutor>(query, specs.size());
+  if (!sp_->Init().ok()) {
+    init_status_ = sp_->Init();
+    return;
+  }
+  for (SourceSpec& spec : specs) {
+    auto executor = std::make_unique<SourceExecutor>(
+        query, std::move(spec.cost_model), spec.options);
+    if (!executor->Init().ok()) {
+      init_status_ = executor->Init();
+      return;
+    }
+    epoch_length_ = Seconds(spec.options.epoch_seconds);
+    sources_.push_back(std::move(executor));
+    runtimes_.push_back(std::make_unique<JarvisRuntime>(
+        query.num_source_ops(), runtime_config));
+    PerSource ps;
+    ps.generate = std::move(spec.generate);
+    state_.push_back(std::move(ps));
+  }
+}
+
+Status BuildingBlock::RunEpoch(stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  const Micros from = now_;
+  const Micros to = now_ + epoch_length_;
+  now_ = to;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (!state_[s].alive) continue;
+    sources_[s]->Ingest(state_[s].generate(from, to));
+    JARVIS_ASSIGN_OR_RETURN(
+        SourceEpochOutput out,
+        sources_[s]->RunEpoch(to, state_[s].profile_next));
+    const EpochObservation obs = out.observation;
+    JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
+    JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(obs);
+    sources_[s]->SetLoadFactors(d.load_factors);
+    if (d.flush_pending) sources_[s]->RequestFlush();
+    state_[s].profile_next = d.request_profile;
+  }
+  return sp_->EndEpoch(results);
+}
+
+Result<size_t> BuildingBlock::CheckpointSource(size_t source_id,
+                                               stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= sources_.size()) {
+    return Status::OutOfRange("unknown source");
+  }
+  JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
+                          sources_[source_id]->Checkpoint(now_));
+  const size_t shipped = out.to_sp.size();
+  JARVIS_RETURN_IF_ERROR(sp_->Consume(source_id, std::move(out), results));
+  return shipped;
+}
+
+Status BuildingBlock::FailSource(size_t source_id) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= sources_.size()) {
+    return Status::OutOfRange("unknown source");
+  }
+  state_[source_id].alive = false;
+  // Release the failed source's watermark so surviving sources' windows
+  // are not held open forever.
+  SourceEpochOutput release;
+  release.watermark = std::numeric_limits<Micros>::max() / 2;
+  stream::RecordBatch scratch;
+  return sp_->Consume(source_id, std::move(release), &scratch);
+}
+
+Status BuildingBlock::Finish(stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  const Micros far = now_ + Seconds(3600);
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (!state_[s].alive) continue;
+    JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
+                            sources_[s]->RunEpoch(far, false));
+    JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
+  }
+  JARVIS_RETURN_IF_ERROR(sp_->EndEpoch(results));
+  return sp_->Flush(results);
+}
+
+}  // namespace jarvis::core

@@ -1,0 +1,78 @@
+#ifndef JARVIS_CORE_BUILDING_BLOCK_H_
+#define JARVIS_CORE_BUILDING_BLOCK_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/source_executor.h"
+#include "core/sp_executor.h"
+#include "query/compile.h"
+
+namespace jarvis::core {
+
+/// One *core building block* of the monitoring pipeline (Figure 4b): N data
+/// sources, each with its own executor and fully decentralized Jarvis
+/// runtime, feeding one parent stream processor. This is the deployment
+/// object the query manager creates per query; examples and tests use it to
+/// avoid hand-wiring the epoch loop.
+class BuildingBlock {
+ public:
+  struct SourceSpec {
+    std::shared_ptr<const CostModel> cost_model;
+    SourceExecutorOptions options;
+    /// Produces this source's records for event-time interval [from, to).
+    std::function<stream::RecordBatch(Micros, Micros)> generate;
+  };
+
+  BuildingBlock(const query::CompiledQuery& query,
+                std::vector<SourceSpec> sources,
+                RuntimeConfig runtime_config = RuntimeConfig());
+
+  Status Init() const { return init_status_; }
+
+  /// Runs one epoch across all sources and the stream processor; closed
+  /// windows' results are appended to `results`.
+  Status RunEpoch(stream::RecordBatch* results);
+
+  /// Checkpoints one source (Section IV-E fault tolerance): its accumulated
+  /// operator state and pending records travel the drain path to the stream
+  /// processor, which can then finalize current windows even if the source
+  /// subsequently fails. Returns the number of records shipped.
+  Result<size_t> CheckpointSource(size_t source_id,
+                                  stream::RecordBatch* results);
+
+  /// Simulates a data-source failure: the source stops contributing records
+  /// and its watermark is released so the stream processor can keep making
+  /// progress for the surviving sources.
+  Status FailSource(size_t source_id);
+
+  /// End-of-run flush of all remaining state.
+  Status Finish(stream::RecordBatch* results);
+
+  size_t num_sources() const { return sources_.size(); }
+  SourceExecutor& source(size_t i) { return *sources_[i]; }
+  JarvisRuntime& runtime(size_t i) { return *runtimes_[i]; }
+  SpExecutor& stream_processor() { return *sp_; }
+  Micros now() const { return now_; }
+
+ private:
+  struct PerSource {
+    std::function<stream::RecordBatch(Micros, Micros)> generate;
+    bool profile_next = false;
+    bool alive = true;
+  };
+
+  std::vector<std::unique_ptr<SourceExecutor>> sources_;
+  std::vector<std::unique_ptr<JarvisRuntime>> runtimes_;
+  std::vector<PerSource> state_;
+  std::unique_ptr<SpExecutor> sp_;
+  Micros now_ = 0;
+  Micros epoch_length_ = Seconds(1);
+  Status init_status_;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_BUILDING_BLOCK_H_

@@ -1,0 +1,42 @@
+#ifndef JARVIS_CORE_COST_MODEL_H_
+#define JARVIS_CORE_COST_MODEL_H_
+
+#include <vector>
+
+#include "common/logging.h"
+
+namespace jarvis::core {
+
+/// CPU cost model: cpu-seconds consumed per record by each operator on a
+/// data source node. The repository uses calibrated costs (DESIGN.md §6)
+/// instead of wall-clock measurement so every experiment is deterministic;
+/// the calibration reproduces the operating points published in the paper
+/// (e.g., the S2SProbe filter costs 13% of one 2.4 GHz core at 26.2 Mbps).
+class CostModel {
+ public:
+  virtual ~CostModel() = default;
+
+  /// cpu-seconds to process one record at operator `op_index`.
+  virtual double CostPerRecord(size_t op_index) const = 0;
+};
+
+/// Fixed per-operator costs.
+class FixedCostModel : public CostModel {
+ public:
+  explicit FixedCostModel(std::vector<double> costs)
+      : costs_(std::move(costs)) {}
+
+  double CostPerRecord(size_t op_index) const override {
+    JARVIS_CHECK(op_index < costs_.size());
+    return costs_[op_index];
+  }
+
+  size_t num_ops() const { return costs_.size(); }
+
+ private:
+  std::vector<double> costs_;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_COST_MODEL_H_

@@ -1,0 +1,140 @@
+#include "core/runtime.h"
+
+#include "common/logging.h"
+
+namespace jarvis::core {
+
+std::string_view PhaseToString(Phase p) {
+  switch (p) {
+    case Phase::kStartup:
+      return "Startup";
+    case Phase::kProbe:
+      return "Probe";
+    case Phase::kProfile:
+      return "Profile";
+    case Phase::kAdapt:
+      return "Adapt";
+  }
+  return "?";
+}
+
+JarvisRuntime::JarvisRuntime(size_t num_proxied_ops, RuntimeConfig config)
+    : config_(config),
+      num_ops_(num_proxied_ops),
+      adapter_(config.stepwise),
+      load_factors_(num_proxied_ops, 0.0) {}
+
+JarvisRuntime::Decision JarvisRuntime::MakeDecision(
+    bool request_profile) const {
+  Decision d;
+  d.load_factors = load_factors_;
+  d.request_profile = request_profile;
+  return d;
+}
+
+void JarvisRuntime::EnterProfile() {
+  phase_ = Phase::kProfile;
+  nonstable_streak_ = 0;
+  converge_counter_ = 0;
+}
+
+JarvisRuntime::Decision JarvisRuntime::OnEpochEnd(
+    const EpochObservation& obs) {
+  last_state_ = ClassifyQueryState(obs, config_.stepwise);
+
+  switch (phase_) {
+    case Phase::kStartup: {
+      // All load factors start at zero: everything is processed by the
+      // stream processor until the first adaptation.
+      phase_ = Phase::kProbe;
+      nonstable_streak_ = 1;  // startup with lf=0 is trivially non-stable
+      return MakeDecision(false);
+    }
+
+    case Phase::kProbe: {
+      if (last_state_ == QueryState::kStable) {
+        nonstable_streak_ = 0;
+        return MakeDecision(false);
+      }
+      ++nonstable_streak_;
+      if (nonstable_streak_ >= config_.detect_epochs) {
+        EnterProfile();
+        return MakeDecision(true);  // next epoch runs in profiling mode
+      }
+      return MakeDecision(false);
+    }
+
+    case Phase::kProfile: {
+      ++converge_counter_;
+      if (obs.profiles_valid) {
+        profiles_ = obs.profiles;
+      } else {
+        JARVIS_LOGS(Warn) << "profile epoch produced no profiles";
+        profiles_.assign(num_ops_, OperatorProfile{});
+      }
+      std::vector<double> init(num_ops_, 0.0);
+      if (config_.use_lp_init) {
+        // Solve for the middle of the stable band rather than the full
+        // budget: a plan sitting exactly at the budget teeters between
+        // stable and congested on any profiling error, re-triggering
+        // adaptation indefinitely.
+        const double headroom =
+            1.0 - 2.0 * config_.stepwise.idle_thres / 3.0;
+        auto lp = adapter_.ComputeLpInit(
+            profiles_, obs.cpu_budget_seconds * headroom,
+            obs.input_records);
+        if (lp.ok()) {
+          init = lp.value();
+        } else {
+          JARVIS_LOGS(Warn) << "LP init failed: " << lp.status().ToString();
+        }
+      }
+      adapter_.Begin(init, profiles_);
+      load_factors_ = init;
+      phase_ = Phase::kAdapt;
+      adapt_epochs_ = 0;
+      stable_streak_ = 0;
+      Decision d = MakeDecision(false);
+      // Ship the backlog accumulated under the old plan to the stream
+      // processor so the new plan is evaluated on fresh arrivals only.
+      d.flush_pending = true;
+      return d;
+    }
+
+    case Phase::kAdapt: {
+      ++converge_counter_;
+      ++adapt_epochs_;
+      if (last_state_ == QueryState::kStable) {
+        if (++stable_streak_ >= config_.stable_confirm_epochs) {
+          phase_ = Phase::kProbe;
+          // Confirmation epochs are not part of the convergence cost.
+          last_convergence_epochs_ =
+              converge_counter_ - (config_.stable_confirm_epochs - 1);
+          ++adaptations_completed_;
+        }
+        return MakeDecision(false);
+      }
+      stable_streak_ = 0;
+      if (!config_.use_fine_tune) {
+        // "LP only": the model-based plan did not stabilize the query; all
+        // it can do is profile and solve again.
+        EnterProfile();
+        return MakeDecision(true);
+      }
+      if (adapt_epochs_ > config_.max_adapt_epochs ||
+          !adapter_.Step(last_state_, obs, &load_factors_)) {
+        EnterProfile();
+        return MakeDecision(true);
+      }
+      // Every reconfiguration ships the backlog of the superseded plan to
+      // the stream processor, so the next observation reflects the new plan
+      // on fresh arrivals only.
+      Decision d = MakeDecision(false);
+      d.flush_pending = true;
+      return d;
+    }
+  }
+  return MakeDecision(false);
+}
+
+}  // namespace jarvis::core

@@ -1,0 +1,99 @@
+#ifndef JARVIS_CORE_RUNTIME_H_
+#define JARVIS_CORE_RUNTIME_H_
+
+#include <vector>
+
+#include "core/stepwise_adapt.h"
+#include "core/types.h"
+
+namespace jarvis::core {
+
+/// Runtime knobs (Figure 6 / Section IV-C).
+struct RuntimeConfig {
+  StepwiseConfig stepwise;
+
+  /// Consecutive non-stable epochs required before triggering adaptation
+  /// (filters scheduling noise; the paper uses three).
+  int detect_epochs = 3;
+
+  /// Consecutive stable epochs required before Adapt declares convergence:
+  /// right after a reconfiguration flush, a slightly over-subscribed plan
+  /// can look stable for an epoch or two before its backlog creeps past the
+  /// DrainedThres tolerance.
+  int stable_confirm_epochs = 3;
+
+  /// Ablation switches used in Section VI-C:
+  ///   use_lp_init=false  => "w/o LP-init" (pure model-agnostic),
+  ///   use_fine_tune=false => "LP only" (pure model-based).
+  bool use_lp_init = true;
+  bool use_fine_tune = true;
+
+  /// Safety valve: re-profile if fine-tuning has not stabilized after this
+  /// many epochs.
+  int max_adapt_epochs = 64;
+};
+
+/// Operational phases of the per-query runtime (Figure 6).
+enum class Phase { kStartup, kProbe, kProfile, kAdapt };
+
+std::string_view PhaseToString(Phase p);
+
+/// The fully decentralized per-query control loop running on each data
+/// source. Fed one EpochObservation per epoch, it walks the
+/// Startup -> Probe -> Profile -> Adapt state machine and produces the load
+/// factors to apply in the next epoch.
+class JarvisRuntime {
+ public:
+  JarvisRuntime(size_t num_proxied_ops, RuntimeConfig config);
+
+  struct Decision {
+    /// Load factors for each control proxy, to apply next epoch.
+    std::vector<double> load_factors;
+    /// True when the next epoch should run in profiling mode (operators
+    /// executed one at a time to estimate costs and relay ratios).
+    bool request_profile = false;
+    /// True when pending proxy queues should be drained to the stream
+    /// processor before the next epoch: a new plan is being installed and
+    /// the backlog accumulated under the old one is shipped out rather than
+    /// kept (Section IV-A: sources send results "along with any pending
+    /// data that needs to be processed" to the parent).
+    bool flush_pending = false;
+  };
+
+  /// Consumes the epoch that just finished and decides the next epoch's
+  /// configuration.
+  Decision OnEpochEnd(const EpochObservation& obs);
+
+  Phase phase() const { return phase_; }
+  QueryState last_state() const { return last_state_; }
+  const std::vector<double>& load_factors() const { return load_factors_; }
+
+  /// Epochs spent from adaptation trigger (entering Profile) to returning to
+  /// Probe; 0 while adapting. Used by the convergence benchmarks.
+  int last_convergence_epochs() const { return last_convergence_epochs_; }
+
+  /// Total number of adaptations completed.
+  int adaptations_completed() const { return adaptations_completed_; }
+
+ private:
+  Decision MakeDecision(bool request_profile) const;
+  void EnterProfile();
+
+  RuntimeConfig config_;
+  size_t num_ops_;
+  Phase phase_ = Phase::kStartup;
+  QueryState last_state_ = QueryState::kStable;
+  StepwiseAdapt adapter_;
+  std::vector<double> load_factors_;
+  std::vector<OperatorProfile> profiles_;
+  int nonstable_streak_ = 0;
+  int stable_streak_ = 0;
+  int adapt_epochs_ = 0;
+  int converge_counter_ = 0;
+  int last_convergence_epochs_ = 0;
+  int adaptations_completed_ = 0;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_RUNTIME_H_

@@ -1,0 +1,209 @@
+#include "core/source_executor.h"
+
+#include <algorithm>
+
+namespace jarvis::core {
+
+SourceExecutor::SourceExecutor(const query::CompiledQuery& query,
+                               std::shared_ptr<const CostModel> cost_model,
+                               SourceExecutorOptions options)
+    : cost_model_(std::move(cost_model)),
+      options_(options),
+      total_ops_(query.num_total_ops()) {
+  auto pipeline = query.MakeSourcePipeline();
+  if (!pipeline.ok()) {
+    init_status_ = pipeline.status();
+    return;
+  }
+  pipeline_ = std::move(pipeline).value();
+  proxies_.reserve(pipeline_->size());
+  for (size_t i = 0; i < pipeline_->size(); ++i) {
+    proxies_.emplace_back(i);
+  }
+}
+
+void SourceExecutor::Ingest(stream::RecordBatch batch) {
+  for (stream::Record& r : batch) {
+    input_buffer_.push_back(std::move(r));
+  }
+}
+
+void SourceExecutor::SetLoadFactors(const std::vector<double>& lfs) {
+  for (size_t i = 0; i < proxies_.size() && i < lfs.size(); ++i) {
+    proxies_[i].set_load_factor(lfs[i]);
+  }
+}
+
+void SourceExecutor::Drain(size_t entry_op, stream::Record&& rec,
+                           SourceEpochOutput* out) {
+  out->drained_bytes += stream::WireSize(rec);
+  out->to_sp.push_back(DrainRecord{entry_op, std::move(rec)});
+}
+
+void SourceExecutor::RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
+                                  SourceEpochOutput* out) {
+  for (stream::Record& rec : batch) {
+    const size_t next = emitter + 1;
+    if (next < proxies_.size()) {
+      if (proxies_[next].Route()) {
+        proxies_[next].queue().push_back(std::move(rec));
+      } else {
+        Drain(next, std::move(rec), out);
+      }
+    } else {
+      // Output of the last source operator. Partial-state records re-enter
+      // the stream processor *at* the replicated emitting operator (state
+      // merge); data records continue at the next operator.
+      const size_t entry = rec.kind == stream::RecordKind::kPartial
+                               ? emitter
+                               : std::min(next, total_ops_);
+      Drain(entry, std::move(rec), out);
+    }
+  }
+}
+
+Status SourceExecutor::ProcessStage(size_t i, double* budget_left,
+                                    double* spent, SourceEpochOutput* out) {
+  const double cost = cost_model_->CostPerRecord(i);
+  ControlProxy& proxy = proxies_[i];
+  stream::RecordBatch emitted;
+  while (!proxy.queue().empty() && *budget_left >= cost) {
+    stream::Record rec = std::move(proxy.queue().front());
+    proxy.queue().pop_front();
+    emitted.clear();
+    JARVIS_RETURN_IF_ERROR(pipeline_->op(i).Process(std::move(rec), &emitted));
+    proxy.CountProcessed(1);
+    *budget_left -= cost;
+    *spent += cost;
+    RouteOutputs(i, std::move(emitted), out);
+  }
+  return Status::OK();
+}
+
+Result<SourceEpochOutput> SourceExecutor::Checkpoint(Micros watermark) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  SourceEpochOutput out;
+  out.watermark = watermark;
+  // Pending (unprocessed) records resume at their own operator.
+  for (ControlProxy& p : proxies_) {
+    while (!p.queue().empty()) {
+      stream::Record rec = std::move(p.queue().front());
+      p.queue().pop_front();
+      Drain(p.op_index(), std::move(rec), &out);
+    }
+  }
+  // Accumulated operator state merges into the replicated operator.
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    stream::RecordBatch state;
+    JARVIS_RETURN_IF_ERROR(pipeline_->op(i).ExportPartialState(&state));
+    for (stream::Record& rec : state) {
+      Drain(i, std::move(rec), &out);
+    }
+  }
+  return out;
+}
+
+Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
+                                                   bool profile_mode) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  SourceEpochOutput out;
+  out.watermark = watermark;
+
+  for (ControlProxy& p : proxies_) p.BeginEpoch();
+  pipeline_->ResetStats();
+
+  if (flush_pending_) {
+    // Reconfiguration: ship backlog accumulated under the old plan to the
+    // stream processor (resumed at each record's tagged operator).
+    for (ControlProxy& p : proxies_) {
+      while (!p.queue().empty()) {
+        stream::Record rec = std::move(p.queue().front());
+        p.queue().pop_front();
+        Drain(p.op_index(), std::move(rec), &out);
+      }
+    }
+    flush_pending_ = false;
+  }
+
+  const uint64_t input_records = input_buffer_.size();
+
+  // Route the epoch's input through the first proxy.
+  while (!input_buffer_.empty()) {
+    stream::Record rec = std::move(input_buffer_.front());
+    input_buffer_.pop_front();
+    if (proxies_.empty()) {
+      Drain(0, std::move(rec), &out);
+      continue;
+    }
+    if (proxies_[0].Route()) {
+      proxies_[0].queue().push_back(std::move(rec));
+    } else {
+      Drain(0, std::move(rec), &out);
+    }
+  }
+
+  const double budget =
+      options_.cpu_budget_fraction * options_.epoch_seconds;
+  double spent = 0.0;
+
+  if (profile_mode && !proxies_.empty()) {
+    // Profile phase: execute one operator at a time on an equal slice of
+    // the budget; relay ratios are measured, costs are estimated with
+    // coverage-dependent error.
+    const double slice = budget / static_cast<double>(proxies_.size());
+    for (size_t i = 0; i < proxies_.size(); ++i) {
+      double slice_left = slice;
+      JARVIS_RETURN_IF_ERROR(ProcessStage(i, &slice_left, &spent, &out));
+    }
+  } else {
+    double budget_left = budget;
+    for (size_t i = 0; i < proxies_.size(); ++i) {
+      JARVIS_RETURN_IF_ERROR(ProcessStage(i, &budget_left, &spent, &out));
+    }
+  }
+
+  // Advance event time: window closures cascade through downstream
+  // operators. Emission volume is a handful of aggregate rows per window, so
+  // their processing cost is not accounted against the budget.
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    stream::RecordBatch emitted;
+    JARVIS_RETURN_IF_ERROR(pipeline_->op(i).OnWatermark(watermark, &emitted));
+    RouteOutputs(i, std::move(emitted), &out);
+  }
+
+  // Control-plane observation.
+  EpochObservation& obs = out.observation;
+  obs.proxies.reserve(proxies_.size());
+  for (const ControlProxy& p : proxies_) {
+    obs.proxies.push_back(p.Observe());
+  }
+  obs.cpu_budget_seconds = budget;
+  obs.cpu_spent_seconds = spent;
+  obs.input_records = input_records;
+  obs.epoch_seconds = options_.epoch_seconds;
+
+  if (profile_mode) {
+    obs.profiles_valid = true;
+    obs.profiles.resize(proxies_.size());
+    for (size_t i = 0; i < proxies_.size(); ++i) {
+      const stream::OperatorStats& st = pipeline_->op(i).stats();
+      OperatorProfile& prof = obs.profiles[i];
+      prof.relay_records = st.RelayRatioRecords();
+      prof.relay_bytes = st.RelayRatioBytes();
+      prof.sampled = st.records_in;
+      const uint64_t available = st.records_in + obs.proxies[i].pending;
+      const double coverage =
+          available == 0 ? 1.0
+                         : static_cast<double>(st.records_in) /
+                               static_cast<double>(available);
+      // Under-sampled operators are underestimated (optimistic), which is
+      // the failure mode that makes a pure model-based plan over-subscribe.
+      prof.cost_per_record = cost_model_->CostPerRecord(i) *
+                             (1.0 - options_.profile_error_magnitude *
+                                        (1.0 - coverage));
+    }
+  }
+  return out;
+}
+
+}  // namespace jarvis::core

@@ -1,0 +1,110 @@
+#ifndef JARVIS_CORE_SOURCE_EXECUTOR_H_
+#define JARVIS_CORE_SOURCE_EXECUTOR_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "core/control_proxy.h"
+#include "core/cost_model.h"
+#include "core/types.h"
+#include "query/compile.h"
+#include "stream/pipeline.h"
+
+namespace jarvis::core {
+
+/// Executor options. The CPU budget is the fraction of one core the
+/// monitoring query may use (the compute budget of Section II); epochs are
+/// the refinement granularity (one second in the paper).
+struct SourceExecutorOptions {
+  double cpu_budget_fraction = 1.0;
+  double epoch_seconds = 1.0;
+  /// Maximum relative error injected into a profiled operator cost when the
+  /// profiling epoch could not process all available records (estimates
+  /// degrade as coverage drops; Section VI-C attributes the extra Jarvis
+  /// convergence epochs and the LP-only oscillation to exactly this).
+  double profile_error_magnitude = 0.0;
+};
+
+/// Everything a data source ships to its parent stream processor for one
+/// epoch, plus the control-plane observation.
+struct SourceEpochOutput {
+  std::vector<DrainRecord> to_sp;
+  uint64_t drained_bytes = 0;
+  Micros watermark = -1;
+  EpochObservation observation;
+};
+
+/// The data-source side of the deployed query (Figure 5): the
+/// source-placeable operator prefix, each operator fronted by a control
+/// proxy, executed under a CPU budget with cost accounting. Records that a
+/// proxy drains — and final outputs — are tagged with the stream-processor
+/// operator that must continue their processing.
+class SourceExecutor {
+ public:
+  SourceExecutor(const query::CompiledQuery& query,
+                 std::shared_ptr<const CostModel> cost_model,
+                 SourceExecutorOptions options);
+
+  SourceExecutor(const SourceExecutor&) = delete;
+  SourceExecutor& operator=(const SourceExecutor&) = delete;
+
+  /// True when construction succeeded; check before first use.
+  Status Init() const { return init_status_; }
+
+  /// Buffers input records for the next epoch.
+  void Ingest(stream::RecordBatch batch);
+
+  /// Runs one epoch: routes buffered input through the proxies, processes
+  /// queued records within the CPU budget (profiling mode executes operators
+  /// one at a time on equal budget slices), advances the watermark, and
+  /// reports drained records plus the epoch observation.
+  Result<SourceEpochOutput> RunEpoch(Micros watermark, bool profile_mode);
+
+  /// Applies a new data-level partitioning plan (one factor per operator).
+  void SetLoadFactors(const std::vector<double>& lfs);
+
+  /// Requests that pending proxy queues be drained to the stream processor
+  /// at the start of the next epoch (plan reconfiguration flush).
+  void RequestFlush() { flush_pending_ = true; }
+
+  /// Section IV-E checkpoint: immediately exports all pending records *and*
+  /// all accumulated operator state (as mergeable kPartial records) over the
+  /// drain path. After a subsequent source failure the stream processor can
+  /// still finalize the current windows. State ownership transfers: local
+  /// accumulators restart empty, which is correct because partial-state
+  /// merging is additive.
+  Result<SourceEpochOutput> Checkpoint(Micros watermark);
+
+  /// Changes the compute budget (models foreground-service demand shifts).
+  void SetCpuBudget(double fraction) {
+    options_.cpu_budget_fraction = fraction;
+  }
+
+  size_t num_ops() const { return proxies_.size(); }
+  const ControlProxy& proxy(size_t i) const { return proxies_[i]; }
+  double cpu_budget_fraction() const { return options_.cpu_budget_fraction; }
+
+ private:
+  /// Routes a batch emitted by operator `emitter` onwards: through proxy
+  /// `emitter+1` when one exists, otherwise to the stream processor.
+  void RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
+                    SourceEpochOutput* out);
+  void Drain(size_t entry_op, stream::Record&& rec, SourceEpochOutput* out);
+  /// Processes proxy `i`'s queue within the remaining budget.
+  Status ProcessStage(size_t i, double* budget_left, double* spent,
+                      SourceEpochOutput* out);
+
+  std::unique_ptr<stream::Pipeline> pipeline_;
+  std::vector<ControlProxy> proxies_;
+  std::shared_ptr<const CostModel> cost_model_;
+  SourceExecutorOptions options_;
+  size_t total_ops_ = 0;  // full chain length (stream-processor side)
+  std::deque<stream::Record> input_buffer_;
+  bool flush_pending_ = false;
+  Status init_status_;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_SOURCE_EXECUTOR_H_

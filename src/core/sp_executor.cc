@@ -1,0 +1,52 @@
+#include "core/sp_executor.h"
+
+namespace jarvis::core {
+
+SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
+    : merger_(num_sources) {
+  auto pipeline = query.MakeSpPipeline();
+  if (!pipeline.ok()) {
+    init_status_ = pipeline.status();
+    return;
+  }
+  pipeline_ = std::move(pipeline).value();
+}
+
+Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
+                           stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= merger_.num_inputs()) {
+    return Status::OutOfRange("unknown source id");
+  }
+  for (DrainRecord& dr : out.to_sp) {
+    if (dr.sp_entry_op > pipeline_->size()) {
+      return Status::OutOfRange("drain entry operator out of range");
+    }
+    JARVIS_RETURN_IF_ERROR(
+        pipeline_->PushFrom(dr.sp_entry_op, std::move(dr.record), results));
+  }
+  // The control proxy replicates the source watermark onto the drain path;
+  // one update covers both paths of this source.
+  if (out.watermark >= 0) {
+    merger_.Update(source_id, out.watermark);
+  }
+  return Status::OK();
+}
+
+Status SpExecutor::EndEpoch(stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  const Micros merged = merger_.Merged();
+  if (merged == stream::WatermarkMerger::kUninitialized ||
+      merged <= applied_watermark_) {
+    return Status::OK();
+  }
+  applied_watermark_ = merged;
+  return pipeline_->OnWatermark(merged, results);
+}
+
+Status SpExecutor::Flush(stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  return pipeline_->Flush(results);
+}
+
+}  // namespace jarvis::core

@@ -1,0 +1,47 @@
+#ifndef JARVIS_CORE_SP_EXECUTOR_H_
+#define JARVIS_CORE_SP_EXECUTOR_H_
+
+#include <memory>
+
+#include "core/source_executor.h"
+#include "query/compile.h"
+#include "stream/pipeline.h"
+#include "stream/watermark.h"
+
+namespace jarvis::core {
+
+/// The stream-processor side of one core building block (Figure 4b): runs
+/// the full operator chain in finalize mode, resumes drained records at the
+/// operator the control proxy tagged, merges partial aggregation state from
+/// data sources, and advances event time by the *minimum* watermark across
+/// sources (Section V).
+class SpExecutor {
+ public:
+  SpExecutor(const query::CompiledQuery& query, size_t num_sources);
+
+  Status Init() const { return init_status_; }
+
+  /// Ingests one data source's epoch output. Final query results (closed
+  /// windows, completed records) are appended to `results`.
+  Status Consume(size_t source_id, SourceEpochOutput&& out,
+                 stream::RecordBatch* results);
+
+  /// Call after all sources delivered their epoch: advances the merged
+  /// watermark, flushing windows that are closed across *all* sources.
+  Status EndEpoch(stream::RecordBatch* results);
+
+  /// End-of-run flush of any remaining operator state.
+  Status Flush(stream::RecordBatch* results);
+
+  Micros merged_watermark() const { return merger_.Merged(); }
+
+ private:
+  std::unique_ptr<stream::Pipeline> pipeline_;
+  stream::WatermarkMerger merger_;
+  Micros applied_watermark_ = -1;
+  Status init_status_;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_SP_EXECUTOR_H_

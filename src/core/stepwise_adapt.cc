@@ -1,0 +1,182 @@
+#include "core/stepwise_adapt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace jarvis::core {
+
+std::string_view QueryStateToString(QueryState s) {
+  switch (s) {
+    case QueryState::kIdle:
+      return "Idle";
+    case QueryState::kStable:
+      return "Stable";
+    case QueryState::kCongested:
+      return "Congested";
+  }
+  return "?";
+}
+
+QueryState ClassifyQueryState(const EpochObservation& obs,
+                              const StepwiseConfig& config) {
+  if (obs.proxies.empty()) return QueryState::kStable;
+
+  // Congested: any proxy retains more pending records than DrainedThres
+  // tolerates relative to this epoch's arrivals.
+  for (const ProxyObservation& p : obs.proxies) {
+    const uint64_t tolerated = static_cast<uint64_t>(
+        config.drained_thres *
+        static_cast<double>(std::max<uint64_t>(p.arrived, 1)));
+    if (p.pending > std::max<uint64_t>(tolerated, 4)) {
+      return QueryState::kCongested;
+    }
+  }
+
+  // Idle: budget measurably under-used while some proxy that actually sees
+  // traffic still withholds records.
+  bool can_grow = false;
+  for (const ProxyObservation& p : obs.proxies) {
+    if (p.load_factor < 1.0 - 1e-9) {
+      can_grow = true;
+      break;
+    }
+  }
+  if (can_grow && obs.input_records > 0 &&
+      obs.cpu_spent_seconds <
+          (1.0 - config.idle_thres) * obs.cpu_budget_seconds) {
+    return QueryState::kIdle;
+  }
+  return QueryState::kStable;
+}
+
+int StepwiseAdapt::Quantize(double p) const {
+  return std::clamp(static_cast<int>(std::lround(p * config_.grid)), 0,
+                    config_.grid);
+}
+
+Result<std::vector<double>> StepwiseAdapt::ComputeLpInit(
+    const std::vector<OperatorProfile>& profiles, double cpu_budget_seconds,
+    uint64_t input_records) const {
+  lp::PartitionProblem problem;
+  problem.ops.reserve(profiles.size());
+  for (const OperatorProfile& p : profiles) {
+    lp::OperatorModel m;
+    m.cost_per_record = p.cost_per_record;
+    m.relay_records = std::clamp(p.relay_records, 0.0, 1.0);
+    m.relay_bytes = std::clamp(p.relay_bytes, 0.0, 1.0);
+    problem.ops.push_back(m);
+  }
+  problem.input_records_per_epoch = static_cast<double>(input_records);
+  problem.cpu_budget_seconds = cpu_budget_seconds;
+  JARVIS_ASSIGN_OR_RETURN(lp::PartitionSolution sol,
+                          lp::SolvePartitionLp(problem));
+  // Snap to the grid so fine-tuning and the LP agree on representable plans.
+  std::vector<double> lfs(sol.load_factors.size());
+  for (size_t i = 0; i < lfs.size(); ++i) {
+    lfs[i] = FromGrid(Quantize(sol.load_factors[i]));
+  }
+  return lfs;
+}
+
+void StepwiseAdapt::Begin(const std::vector<double>& init,
+                          const std::vector<OperatorProfile>& profiles) {
+  const size_t m = init.size();
+  profile_costs_.assign(m, 0.0);
+  for (size_t i = 0; i < m && i < profiles.size(); ++i) {
+    profile_costs_[i] = profiles[i].cost_per_record;
+  }
+  search_.assign(m, OpSearch{});
+  for (size_t i = 0; i < m; ++i) {
+    search_[i].lo = 0;
+    search_[i].hi = config_.grid;
+    search_[i].cur = Quantize(init[i]);
+  }
+  // Priority: operators with lower byte relay ratio reduce more data and are
+  // grown first / shrunk last (the FFD-inspired ordering of Section IV-D).
+  priority_order_.resize(m);
+  std::iota(priority_order_.begin(), priority_order_.end(), size_t{0});
+  std::stable_sort(priority_order_.begin(), priority_order_.end(),
+                   [&](size_t a, size_t b) {
+                     const double ra =
+                         a < profiles.size() ? profiles[a].relay_bytes : 1.0;
+                     const double rb =
+                         b < profiles.size() ? profiles[b].relay_bytes : 1.0;
+                     return ra < rb;
+                   });
+}
+
+bool StepwiseAdapt::Step(QueryState state, const EpochObservation& obs,
+                         std::vector<double>* load_factors) {
+  if (search_.empty() || state == QueryState::kStable) return false;
+  JARVIS_CHECK(load_factors->size() == search_.size());
+  const double spent = obs.cpu_spent_seconds;
+  const double target = TargetSpend(obs);
+
+  if (state == QueryState::kIdle) {
+    // Grow the highest-priority operator that still has headroom.
+    for (size_t rank = 0; rank < priority_order_.size(); ++rank) {
+      const size_t i = priority_order_[rank];
+      OpSearch& s = search_[i];
+      if (s.cur >= s.hi) continue;
+      int next;
+      if (spent <= 1e-12 || s.cur == 0) {
+        // Nothing to extrapolate from: jump to the upper bound; the binary
+        // interval shrinks back if this overshoots.
+        next = s.hi;
+      } else {
+        const double guess = FromGrid(s.cur) * (target / spent);
+        next = std::min(s.hi, Quantize(guess));
+        next = std::max(next, s.cur + 1);  // always make progress
+      }
+      s.lo = s.cur;
+      s.cur = next;
+      (*load_factors)[i] = FromGrid(s.cur);
+      return true;
+    }
+    return false;
+  }
+
+  // Congested: shrink the lowest-priority operator that is still above its
+  // floor. The measured spend is capped at the budget, so the true demand
+  // of the current plan is reconstructed from the pending backlog using the
+  // profiled per-record costs.
+  double demand = spent;
+  for (size_t i = 0; i < obs.proxies.size() && i < profile_costs_.size();
+       ++i) {
+    demand += static_cast<double>(obs.proxies[i].pending) *
+              profile_costs_[i] / std::max(obs.epoch_seconds, 1e-9);
+  }
+  for (size_t rank = priority_order_.size(); rank-- > 0;) {
+    const size_t i = priority_order_[rank];
+    OpSearch& s = search_[i];
+    if (s.cur <= s.lo) continue;
+    int next;
+    if (demand > 1e-12 && demand > obs.cpu_budget_seconds) {
+      const double guess = FromGrid(s.cur) * (target / demand);
+      next = std::max(s.lo, Quantize(guess));
+      next = std::min(next, s.cur - 1);  // always make progress
+    } else {
+      next = (s.lo + s.cur) / 2;
+    }
+    s.hi = s.cur;
+    s.cur = next;
+    (*load_factors)[i] = FromGrid(s.cur);
+    return true;
+  }
+  // Every operator is at its lower bound: relax the floors so congestion
+  // from a genuine budget drop (not an overshoot) can still shrink the plan.
+  bool relaxed = false;
+  for (OpSearch& s : search_) {
+    if (s.lo > 0) {
+      s.lo = 0;
+      relaxed = true;
+    }
+  }
+  if (!relaxed) return false;
+  return Step(state, obs, load_factors);
+}
+
+}  // namespace jarvis::core

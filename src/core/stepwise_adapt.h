@@ -1,0 +1,90 @@
+#ifndef JARVIS_CORE_STEPWISE_ADAPT_H_
+#define JARVIS_CORE_STEPWISE_ADAPT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "lp/partition_lp.h"
+
+namespace jarvis::core {
+
+/// Tunables of the StepWise-Adapt algorithm (Section IV-D).
+struct StepwiseConfig {
+  /// Load factors live on a grid of `grid`+1 values {0, 1/grid, ..., 1}; the
+  /// search over discretized values terminates when an operator's interval
+  /// collapses to one grid cell.
+  int grid = 20;
+  /// Fraction of an epoch's arrivals that may stay pending without the
+  /// proxy signaling Congested (DrainedThres in the paper).
+  double drained_thres = 0.10;
+  /// Tolerated idle fraction of the compute budget before signaling Idle
+  /// (IdleThres): the query is idle when it spends less than
+  /// (1 - idle_thres) * budget while some proxy still withholds records.
+  double idle_thres = 0.15;
+};
+
+/// Classifies the query state from an epoch observation: Congested when any
+/// proxy holds more pending records than DrainedThres tolerates; Idle when
+/// budget is measurably under-used and some load factor can still grow;
+/// Stable otherwise.
+QueryState ClassifyQueryState(const EpochObservation& obs,
+                              const StepwiseConfig& config);
+
+/// The hybrid refinement algorithm at the heart of Jarvis: a model-based LP
+/// initialization (Eq. 3) followed by model-agnostic fine-tuning. Fine-tuning
+/// prioritizes operators by data-reduction power (lower relay ratio first
+/// when growing, last when shrinking — the FFD-inspired ordering) and
+/// adjusts one operator per epoch using the observed budget utilisation as a
+/// proportional first guess, refined by binary search over the discretized
+/// load-factor grid.
+class StepwiseAdapt {
+ public:
+  explicit StepwiseAdapt(StepwiseConfig config) : config_(config) {}
+
+  /// Model-based step: builds Eq. (3) from the profiles and solves the LP.
+  /// Returns one load factor per proxied operator.
+  Result<std::vector<double>> ComputeLpInit(
+      const std::vector<OperatorProfile>& profiles, double cpu_budget_seconds,
+      uint64_t input_records) const;
+
+  /// Starts a fine-tuning session from `init`, with operator priorities
+  /// derived from the profiles (lower byte relay ratio => higher priority).
+  void Begin(const std::vector<double>& init,
+             const std::vector<OperatorProfile>& profiles);
+
+  /// One fine-tuning step: Idle grows the highest-priority operator with
+  /// headroom; Congested shrinks the lowest-priority operator above its
+  /// floor. Returns false when no adjustment is possible.
+  bool Step(QueryState state, const EpochObservation& obs,
+            std::vector<double>* load_factors);
+
+  const StepwiseConfig& config() const { return config_; }
+
+ private:
+  /// Per-operator search interval over grid indices.
+  struct OpSearch {
+    int lo = 0;   // lower bound (grid index)
+    int hi = 0;   // upper bound (grid index, inclusive)
+    int cur = 0;  // current grid index
+  };
+
+  int Quantize(double p) const;
+  double FromGrid(int idx) const {
+    return static_cast<double>(idx) / config_.grid;
+  }
+  /// Spend the fine-tuner steers toward: comfortably inside the stable band
+  /// between the idle and congestion thresholds.
+  double TargetSpend(const EpochObservation& obs) const {
+    return obs.cpu_budget_seconds * (1.0 - config_.idle_thres / 2.0);
+  }
+
+  StepwiseConfig config_;
+  std::vector<OpSearch> search_;
+  std::vector<size_t> priority_order_;  // op indices, highest priority first
+  std::vector<double> profile_costs_;   // c_j estimates for demand recovery
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_STEPWISE_ADAPT_H_

@@ -1,0 +1,35 @@
+#ifndef JARVIS_CORE_STRATEGY_H_
+#define JARVIS_CORE_STRATEGY_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/runtime.h"
+#include "core/types.h"
+
+namespace jarvis::core {
+
+/// A query partitioning policy: fed one EpochObservation per epoch, it
+/// returns the load factors to apply next epoch (and whether the next epoch
+/// should run in profiling mode). JarvisRuntime is one implementation; the
+/// baselines of Section VI-A (All-SP, All-Src, Filter-Src, Best-OP, LB-DP)
+/// are the others.
+class PartitioningStrategy {
+ public:
+  virtual ~PartitioningStrategy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  virtual JarvisRuntime::Decision OnEpochEnd(const EpochObservation& obs) = 0;
+
+  /// Operational phase, meaningful for runtime-backed strategies; static
+  /// policies report Probe.
+  virtual Phase phase() const { return Phase::kProbe; }
+
+  /// Epochs the last adaptation took to converge (0 for static policies).
+  virtual int last_convergence_epochs() const { return 0; }
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_STRATEGY_H_

@@ -1,0 +1,66 @@
+#ifndef JARVIS_CORE_TYPES_H_
+#define JARVIS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "stream/record.h"
+
+namespace jarvis::core {
+
+/// Per-proxy counters for one epoch. The Jarvis runtime classifies the query
+/// state from these (Section IV-C).
+struct ProxyObservation {
+  uint64_t arrived = 0;    // records that reached this proxy
+  uint64_t forwarded = 0;  // routed to the local downstream operator
+  uint64_t drained = 0;    // routed to the stream processor
+  uint64_t processed = 0;  // actually consumed by the local operator
+  uint64_t pending = 0;    // still queued locally at epoch end
+  double load_factor = 0.0;
+};
+
+/// Per-operator estimates produced by the Profile phase: compute cost per
+/// record (c_j), and relay ratios (r_j) in record and byte terms. `sampled`
+/// is the number of records the estimate is based on; estimates based on too
+/// few records are noisy, which is exactly what breaks pure model-based
+/// refinement (Section VI-C).
+struct OperatorProfile {
+  double cost_per_record = 0.0;
+  double relay_records = 1.0;
+  double relay_bytes = 1.0;
+  uint64_t sampled = 0;
+};
+
+/// Everything the control plane learns from one epoch of execution. Produced
+/// identically by the real executor (core::SourceExecutor) and the cluster
+/// simulator (sim::SourceNodeSim), so StepWise-Adapt is oblivious to which
+/// data plane is running.
+struct EpochObservation {
+  std::vector<ProxyObservation> proxies;
+  std::vector<OperatorProfile> profiles;
+  bool profiles_valid = false;
+  double cpu_budget_seconds = 0.0;
+  double cpu_spent_seconds = 0.0;
+  uint64_t input_records = 0;
+  double epoch_seconds = 1.0;
+};
+
+/// Query-level state (Figure 6): non-stable states trigger adaptation.
+enum class QueryState { kIdle, kStable, kCongested };
+
+std::string_view QueryStateToString(QueryState s);
+
+/// A record drained by a control proxy, tagged with the operator index on
+/// the stream processor that must resume its processing (Section V,
+/// "Accurate query processing"). kPartial records enter *at* the emitting
+/// operator (state merge); kData records enter at the next operator.
+struct DrainRecord {
+  size_t sp_entry_op = 0;
+  stream::Record record;
+};
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_TYPES_H_

@@ -1,0 +1,130 @@
+#include "lp/partition_lp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jarvis::lp {
+
+namespace {
+
+/// Cumulative relay products: R[0] = 1, R[i] = prod_{j<i} ratio_j.
+std::vector<double> CumulativeRelay(const std::vector<OperatorModel>& ops,
+                                    bool bytes) {
+  std::vector<double> r(ops.size() + 1, 1.0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    r[i + 1] = r[i] * (bytes ? ops[i].relay_bytes : ops[i].relay_records);
+  }
+  return r;
+}
+
+}  // namespace
+
+double DrainedFraction(const std::vector<OperatorModel>& ops,
+                       const std::vector<double>& load_factors) {
+  const std::vector<double> rb = CumulativeRelay(ops, /*bytes=*/true);
+  double drained = 0.0;
+  double e_prev = 1.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const double e_i = e_prev * load_factors[i];
+    drained += rb[i] * (e_prev - e_i);
+    e_prev = e_i;
+  }
+  return drained;
+}
+
+double PlanCpuSeconds(const std::vector<OperatorModel>& ops,
+                      const std::vector<double>& load_factors,
+                      double input_records_per_epoch) {
+  const std::vector<double> rr = CumulativeRelay(ops, /*bytes=*/false);
+  double cpu = 0.0;
+  double e = 1.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    e *= load_factors[i];
+    cpu += rr[i] * e * ops[i].cost_per_record * input_records_per_epoch;
+  }
+  return cpu;
+}
+
+Result<PartitionSolution> SolvePartitionLp(const PartitionProblem& problem) {
+  const size_t m = problem.ops.size();
+  if (m == 0) {
+    return Status::InvalidArgument("partition LP needs at least one operator");
+  }
+  if (problem.input_records_per_epoch <= 0.0) {
+    // No load: everything can run locally.
+    PartitionSolution sol;
+    sol.load_factors.assign(m, 1.0);
+    sol.effective.assign(m, 1.0);
+    sol.drained_fraction = 0.0;
+    return sol;
+  }
+  for (const OperatorModel& op : problem.ops) {
+    if (op.cost_per_record < 0 || op.relay_records < 0 ||
+        op.relay_bytes < 0) {
+      return Status::InvalidArgument("negative operator model parameter");
+    }
+  }
+
+  const std::vector<double> rb = CumulativeRelay(problem.ops, true);
+  const std::vector<double> rr = CumulativeRelay(problem.ops, false);
+
+  // Variables e_1..e_M. Objective: sum_i RB_i (e_{i-1} - e_i) with e_0 = 1,
+  // i.e., constant RB_1 plus sum over i of coefficient
+  //   (RB_{i+1} - RB_i) for i < M and -RB_M for i = M.
+  Problem p;
+  p.num_vars = m;
+  p.objective.resize(m);
+  for (size_t i = 0; i + 1 < m; ++i) p.objective[i] = rb[i + 1] - rb[i];
+  p.objective[m - 1] = -rb[m - 1];
+
+  // Budget constraint: sum_i RR_i c_i e_i <= C / N_r.
+  Constraint budget;
+  budget.coeffs.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    budget.coeffs[i] = rr[i] * problem.ops[i].cost_per_record;
+  }
+  budget.sense = Sense::kLe;
+  budget.rhs =
+      problem.cpu_budget_seconds / problem.input_records_per_epoch;
+  p.constraints.push_back(std::move(budget));
+
+  // Chain constraints: e_1 <= 1; e_i - e_{i-1} <= 0.
+  {
+    Constraint c0;
+    c0.coeffs.assign(m, 0.0);
+    c0.coeffs[0] = 1.0;
+    c0.sense = Sense::kLe;
+    c0.rhs = 1.0;
+    p.constraints.push_back(std::move(c0));
+  }
+  for (size_t i = 1; i < m; ++i) {
+    Constraint c;
+    c.coeffs.assign(m, 0.0);
+    c.coeffs[i] = 1.0;
+    c.coeffs[i - 1] = -1.0;
+    c.sense = Sense::kLe;
+    c.rhs = 0.0;
+    p.constraints.push_back(std::move(c));
+  }
+
+  JARVIS_ASSIGN_OR_RETURN(Solution lp_sol, Solve(p));
+
+  PartitionSolution sol;
+  sol.effective = lp_sol.x;
+  for (double& e : sol.effective) e = std::clamp(e, 0.0, 1.0);
+  // Enforce the chain numerically (simplex output can violate by eps).
+  for (size_t i = 1; i < m; ++i) {
+    sol.effective[i] = std::min(sol.effective[i], sol.effective[i - 1]);
+  }
+  sol.load_factors.resize(m);
+  double e_prev = 1.0;
+  for (size_t i = 0; i < m; ++i) {
+    sol.load_factors[i] =
+        e_prev <= 1e-12 ? 0.0 : std::clamp(sol.effective[i] / e_prev, 0.0, 1.0);
+    e_prev = sol.effective[i];
+  }
+  sol.drained_fraction = DrainedFraction(problem.ops, sol.load_factors);
+  return sol;
+}
+
+}  // namespace jarvis::lp

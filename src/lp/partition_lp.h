@@ -1,0 +1,57 @@
+#ifndef JARVIS_LP_PARTITION_LP_H_
+#define JARVIS_LP_PARTITION_LP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "lp/simplex.h"
+
+namespace jarvis::lp {
+
+/// Per-operator inputs to the data-level partitioning LP (Table II of the
+/// paper): c_j (compute cost per record), and relay ratios r_j in record and
+/// byte terms. The byte ratio drives the network objective; the record ratio
+/// drives the compute constraint.
+struct OperatorModel {
+  double cost_per_record = 0.0;  // cpu-seconds per record on the data source
+  double relay_records = 1.0;    // output records / input records
+  double relay_bytes = 1.0;      // output bytes / input bytes
+};
+
+struct PartitionProblem {
+  std::vector<OperatorModel> ops;
+  double input_records_per_epoch = 0.0;  // N_r
+  double cpu_budget_seconds = 0.0;       // C (cpu-seconds per epoch)
+};
+
+struct PartitionSolution {
+  /// Per-proxy load factors p_j in [0,1].
+  std::vector<double> load_factors;
+  /// Effective load factors e_j = prod_{i<=j} p_i (the LP variables).
+  std::vector<double> effective;
+  /// Objective value: drained bytes per input byte (lower is better).
+  double drained_fraction = 0.0;
+};
+
+/// Solves the linearized Eq.(3) data-level partitioning LP:
+///   min sum_i RB_i (e_{i-1} - e_i)
+///   s.t. sum_i RR_i c_i e_i <= C / N_r,  0 <= e_i <= e_{i-1},  e_0 = 1,
+/// where RB_i / RR_i are cumulative byte/record relay products of operators
+/// 1..i-1. Recovers p_i = e_i / e_{i-1} (p_i := 0 when e_{i-1} = 0, since no
+/// records reach that proxy locally).
+Result<PartitionSolution> SolvePartitionLp(const PartitionProblem& problem);
+
+/// Analytic objective evaluation for arbitrary load factors (used by tests
+/// and the fine-tuning heuristic to rank candidate plans): returns drained
+/// bytes per input byte.
+double DrainedFraction(const std::vector<OperatorModel>& ops,
+                       const std::vector<double>& load_factors);
+
+/// CPU seconds per epoch consumed by the given plan.
+double PlanCpuSeconds(const std::vector<OperatorModel>& ops,
+                      const std::vector<double>& load_factors,
+                      double input_records_per_epoch);
+
+}  // namespace jarvis::lp
+
+#endif  // JARVIS_LP_PARTITION_LP_H_

@@ -1,0 +1,235 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace jarvis::lp {
+
+namespace {
+
+/// Dense simplex tableau operating on the standard form produced below.
+/// Rows: one per constraint plus the objective row (last). Columns: one per
+/// variable (structural + slack/surplus + artificial) plus the RHS (last).
+class Tableau {
+ public:
+  Tableau(size_t rows, size_t cols) : rows_(rows), cols_(cols),
+                                      data_(rows * cols, 0.0) {}
+
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+
+  /// Gauss-Jordan pivot on (pr, pc).
+  void Pivot(size_t pr, size_t pc) {
+    const double pivot = At(pr, pc);
+    for (size_t c = 0; c < cols_; ++c) At(pr, c) /= pivot;
+    for (size_t r = 0; r < rows_; ++r) {
+      if (r == pr) continue;
+      const double factor = At(r, pc);
+      if (factor == 0.0) continue;
+      for (size_t c = 0; c < cols_; ++c) {
+        At(r, c) -= factor * At(pr, c);
+      }
+    }
+  }
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+struct StandardForm {
+  // Column layout: [structural vars | slack/surplus | artificial], then RHS.
+  size_t num_structural = 0;
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+  size_t total_cols() const {
+    return num_structural + num_slack + num_artificial + 1;
+  }
+};
+
+/// Runs primal simplex on the given objective row (already stored in the last
+/// row of `t`), with `basis[r]` holding the basic column of row r. Uses
+/// Bland's rule. Returns false when unbounded.
+Status RunSimplex(Tableau* t, std::vector<size_t>* basis, size_t num_cols,
+                  const SolverOptions& opts, size_t* iterations) {
+  const size_t obj_row = t->rows() - 1;
+  const size_t rhs_col = t->cols() - 1;
+  while (true) {
+    if (++*iterations > opts.max_iterations) {
+      return Status::Internal("simplex iteration limit exceeded");
+    }
+    // Bland: entering column = smallest index with negative reduced cost.
+    size_t enter = num_cols;
+    for (size_t c = 0; c < num_cols; ++c) {
+      if (t->At(obj_row, c) < -opts.eps) {
+        enter = c;
+        break;
+      }
+    }
+    if (enter == num_cols) return Status::OK();  // optimal
+    // Ratio test; Bland tie-break on smallest basis variable index.
+    size_t leave = obj_row;
+    double best_ratio = std::numeric_limits<double>::infinity();
+    for (size_t r = 0; r + 1 < t->rows(); ++r) {
+      const double a = t->At(r, enter);
+      if (a > opts.eps) {
+        const double ratio = t->At(r, rhs_col) / a;
+        if (ratio < best_ratio - opts.eps ||
+            (std::abs(ratio - best_ratio) <= opts.eps && leave != obj_row &&
+             (*basis)[r] < (*basis)[leave])) {
+          best_ratio = ratio;
+          leave = r;
+        }
+      }
+    }
+    if (leave == obj_row) {
+      return Status::OutOfRange("objective is unbounded");
+    }
+    t->Pivot(leave, enter);
+    (*basis)[leave] = enter;
+  }
+}
+
+}  // namespace
+
+Result<Solution> Solve(const Problem& problem, const SolverOptions& opts) {
+  const size_t n = problem.num_vars;
+  if (problem.objective.size() != n) {
+    return Status::InvalidArgument("objective size != num_vars");
+  }
+  for (const Constraint& c : problem.constraints) {
+    if (c.coeffs.size() != n) {
+      return Status::InvalidArgument("constraint arity != num_vars");
+    }
+  }
+  const size_t m = problem.constraints.size();
+
+  // Normalize rows so RHS >= 0, then add slack/surplus and artificial
+  // variables. A <= row with nonnegative RHS gets a slack that can start
+  // basic; every other row gets an artificial.
+  StandardForm form;
+  form.num_structural = n;
+  std::vector<double> rhs(m);
+  std::vector<Sense> sense(m);
+  std::vector<std::vector<double>> rows(m);
+  for (size_t r = 0; r < m; ++r) {
+    rows[r] = problem.constraints[r].coeffs;
+    rhs[r] = problem.constraints[r].rhs;
+    sense[r] = problem.constraints[r].sense;
+    if (rhs[r] < 0) {
+      for (double& v : rows[r]) v = -v;
+      rhs[r] = -rhs[r];
+      if (sense[r] == Sense::kLe) {
+        sense[r] = Sense::kGe;
+      } else if (sense[r] == Sense::kGe) {
+        sense[r] = Sense::kLe;
+      }
+    }
+  }
+  // Count extra columns.
+  size_t num_slack = 0;
+  size_t num_artificial = 0;
+  for (size_t r = 0; r < m; ++r) {
+    if (sense[r] != Sense::kEq) ++num_slack;
+    if (sense[r] != Sense::kLe) ++num_artificial;
+  }
+  form.num_slack = num_slack;
+  form.num_artificial = num_artificial;
+
+  const size_t cols = form.total_cols();
+  const size_t num_cols = cols - 1;
+  Tableau t(m + 1, cols);
+  std::vector<size_t> basis(m, 0);
+
+  size_t slack_at = n;
+  size_t art_at = n + num_slack;
+  const size_t rhs_col = cols - 1;
+  for (size_t r = 0; r < m; ++r) {
+    for (size_t c = 0; c < n; ++c) t.At(r, c) = rows[r][c];
+    t.At(r, rhs_col) = rhs[r];
+    if (sense[r] == Sense::kLe) {
+      t.At(r, slack_at) = 1.0;
+      basis[r] = slack_at++;
+    } else if (sense[r] == Sense::kGe) {
+      t.At(r, slack_at) = -1.0;  // surplus
+      ++slack_at;
+      t.At(r, art_at) = 1.0;
+      basis[r] = art_at++;
+    } else {  // kEq
+      t.At(r, art_at) = 1.0;
+      basis[r] = art_at++;
+    }
+  }
+
+  Solution sol;
+  sol.x.assign(n, 0.0);
+  size_t iterations = 0;
+
+  // Phase 1: minimize the sum of artificial variables.
+  if (num_artificial > 0) {
+    const size_t obj_row = m;
+    for (size_t c = n + num_slack; c < num_cols; ++c) t.At(obj_row, c) = 1.0;
+    // Make the phase-1 objective row consistent with the starting basis
+    // (reduced costs of basic artificials must be zero).
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        for (size_t c = 0; c < cols; ++c) {
+          t.At(obj_row, c) -= t.At(r, c);
+        }
+      }
+    }
+    JARVIS_RETURN_IF_ERROR(RunSimplex(&t, &basis, num_cols, opts,
+                                      &iterations));
+    const double phase1 = -t.At(obj_row, rhs_col);
+    if (phase1 > 1e-6) {
+      return Status::Infeasible("no feasible point");
+    }
+    // Drive any artificial variables that remain basic (at zero level) out
+    // of the basis when possible.
+    for (size_t r = 0; r < m; ++r) {
+      if (basis[r] >= n + num_slack) {
+        for (size_t c = 0; c < n + num_slack; ++c) {
+          if (std::abs(t.At(r, c)) > opts.eps) {
+            t.Pivot(r, c);
+            basis[r] = c;
+            break;
+          }
+        }
+      }
+    }
+    // Clear the objective row for phase 2.
+    for (size_t c = 0; c < cols; ++c) t.At(m, c) = 0.0;
+  }
+
+  // Phase 2: minimize the real objective. Artificial columns are excluded
+  // from pricing by limiting the entering-column scan.
+  const size_t phase2_cols = n + num_slack;
+  for (size_t c = 0; c < n; ++c) t.At(m, c) = problem.objective[c];
+  for (size_t r = 0; r < m; ++r) {
+    const size_t b = basis[r];
+    if (b < n && problem.objective[b] != 0.0) {
+      const double coef = problem.objective[b];
+      for (size_t c = 0; c < cols; ++c) {
+        t.At(m, c) -= coef * t.At(r, c);
+      }
+    }
+  }
+  JARVIS_RETURN_IF_ERROR(RunSimplex(&t, &basis, phase2_cols, opts,
+                                    &iterations));
+
+  for (size_t r = 0; r < m; ++r) {
+    if (basis[r] < n) sol.x[basis[r]] = t.At(r, rhs_col);
+  }
+  double obj = 0.0;
+  for (size_t c = 0; c < n; ++c) obj += problem.objective[c] * sol.x[c];
+  sol.objective = obj;
+  sol.iterations = iterations;
+  return sol;
+}
+
+}  // namespace jarvis::lp

@@ -1,0 +1,54 @@
+#ifndef JARVIS_LP_SIMPLEX_H_
+#define JARVIS_LP_SIMPLEX_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jarvis::lp {
+
+/// Constraint direction.
+enum class Sense { kLe, kGe, kEq };
+
+/// A single linear constraint: coeffs . x  (sense)  rhs.
+struct Constraint {
+  std::vector<double> coeffs;
+  Sense sense = Sense::kLe;
+  double rhs = 0.0;
+};
+
+/// A linear program in the form
+///   minimize objective . x
+///   subject to constraints, x >= 0.
+/// Maximization is expressed by negating the objective.
+struct Problem {
+  size_t num_vars = 0;
+  std::vector<double> objective;
+  std::vector<Constraint> constraints;
+};
+
+struct Solution {
+  std::vector<double> x;
+  double objective = 0.0;
+  size_t iterations = 0;
+};
+
+struct SolverOptions {
+  size_t max_iterations = 10000;
+  double eps = 1e-9;
+};
+
+/// Dense two-phase primal simplex with Bland's anti-cycling rule. Exact and
+/// fast for the small LPs Jarvis solves online (M <= ~16 variables, M+1
+/// constraints for the Eq.(3) partitioning LP). Returns:
+///  - kInfeasible when the feasible region is empty,
+///  - kOutOfRange ("unbounded") when the objective is unbounded below,
+///  - kInvalidArgument on malformed input.
+Result<Solution> Solve(const Problem& problem,
+                       const SolverOptions& options = SolverOptions());
+
+}  // namespace jarvis::lp
+
+#endif  // JARVIS_LP_SIMPLEX_H_

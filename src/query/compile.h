@@ -1,0 +1,47 @@
+#ifndef JARVIS_QUERY_COMPILE_H_
+#define JARVIS_QUERY_COMPILE_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "query/optimizer.h"
+#include "stream/pipeline.h"
+
+namespace jarvis::query {
+
+/// The deployable form of a query (Figure 5): the data source runs the
+/// source-placeable prefix with stateful operators in partial-emission mode;
+/// the stream processor runs the full chain in finalize mode and accepts
+/// drained records at any operator index.
+class CompiledQuery {
+ public:
+  explicit CompiledQuery(OptimizedPlan plan) : plan_(std::move(plan)) {}
+
+  const OptimizedPlan& plan() const { return plan_; }
+  size_t num_source_ops() const { return plan_.source_placeable_ops; }
+  size_t num_total_ops() const { return plan_.plan.ops.size(); }
+
+  /// Instantiates the data-source pipeline: operators
+  /// [0, source_placeable_ops), stateful operators emit partial state so the
+  /// stream processor can merge losslessly.
+  Result<std::unique_ptr<stream::Pipeline>> MakeSourcePipeline() const;
+
+  /// Instantiates the full stream-processor pipeline in finalize mode.
+  Result<std::unique_ptr<stream::Pipeline>> MakeSpPipeline() const;
+
+ private:
+  OptimizedPlan plan_;
+};
+
+/// Instantiates a single operator from its logical description.
+/// `emit_partials` selects partial-emission mode for stateful operators.
+Result<stream::OperatorPtr> MakeOperator(const LogicalOp& op,
+                                         bool emit_partials);
+
+/// End-to-end convenience: optimize + wrap.
+Result<CompiledQuery> Compile(LogicalPlan plan,
+                              const PlacementRules& rules = PlacementRules());
+
+}  // namespace jarvis::query
+
+#endif  // JARVIS_QUERY_COMPILE_H_

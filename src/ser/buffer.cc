@@ -1,0 +1,107 @@
+#include "ser/buffer.h"
+
+namespace jarvis::ser {
+
+void BufferWriter::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BufferWriter::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+}
+
+void BufferWriter::PutVarU64(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void BufferWriter::PutVarI64(int64_t v) { PutVarU64(ZigZagEncode(v)); }
+
+void BufferWriter::PutDouble(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(bits);
+}
+
+void BufferWriter::PutString(std::string_view s) {
+  PutVarU64(s.size());
+  PutBytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+}
+
+void BufferWriter::PutBytes(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Status BufferReader::Require(size_t n) {
+  if (pos_ + n > size_) {
+    return Status::SerializationError("truncated buffer");
+  }
+  return Status::OK();
+}
+
+Status BufferReader::GetU8(uint8_t* out) {
+  JARVIS_RETURN_IF_ERROR(Require(1));
+  *out = data_[pos_++];
+  return Status::OK();
+}
+
+Status BufferReader::GetU32(uint32_t* out) {
+  JARVIS_RETURN_IF_ERROR(Require(4));
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  *out = v;
+  return Status::OK();
+}
+
+Status BufferReader::GetU64(uint64_t* out) {
+  JARVIS_RETURN_IF_ERROR(Require(8));
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  *out = v;
+  return Status::OK();
+}
+
+Status BufferReader::GetVarU64(uint64_t* out) {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (shift > 63) return Status::SerializationError("varint too long");
+    uint8_t b;
+    JARVIS_RETURN_IF_ERROR(GetU8(&b));
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if (!(b & 0x80)) break;
+    shift += 7;
+  }
+  *out = v;
+  return Status::OK();
+}
+
+Status BufferReader::GetVarI64(int64_t* out) {
+  uint64_t raw;
+  JARVIS_RETURN_IF_ERROR(GetVarU64(&raw));
+  *out = ZigZagDecode(raw);
+  return Status::OK();
+}
+
+Status BufferReader::GetDouble(double* out) {
+  uint64_t bits;
+  JARVIS_RETURN_IF_ERROR(GetU64(&bits));
+  std::memcpy(out, &bits, sizeof(*out));
+  return Status::OK();
+}
+
+Status BufferReader::GetString(std::string* out) {
+  uint64_t len;
+  JARVIS_RETURN_IF_ERROR(GetVarU64(&len));
+  JARVIS_RETURN_IF_ERROR(Require(len));
+  out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace jarvis::ser

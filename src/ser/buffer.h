@@ -1,0 +1,81 @@
+#ifndef JARVIS_SER_BUFFER_H_
+#define JARVIS_SER_BUFFER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jarvis::ser {
+
+/// Append-only binary encoder with LEB128 varints and zigzag for signed
+/// integers. This is the wire format used on the drain path between a data
+/// source and its parent stream processor (the paper uses Kryo; we implement
+/// an equivalent compact binary format so network byte counts are realistic).
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// Unsigned LEB128.
+  void PutVarU64(uint64_t v);
+  /// Zigzag-encoded signed LEB128.
+  void PutVarI64(int64_t v);
+  void PutDouble(double v);
+  /// Length-prefixed string.
+  void PutString(std::string_view s);
+  void PutBytes(const uint8_t* data, size_t len);
+
+  const std::vector<uint8_t>& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential decoder over a byte span; all getters fail with
+/// SerializationError on truncated input instead of reading out of bounds.
+class BufferReader {
+ public:
+  BufferReader(const uint8_t* data, size_t size)
+      : data_(data), size_(size), pos_(0) {}
+  explicit BufferReader(const std::vector<uint8_t>& buf)
+      : BufferReader(buf.data(), buf.size()) {}
+
+  Status GetU8(uint8_t* out);
+  Status GetU32(uint32_t* out);
+  Status GetU64(uint64_t* out);
+  Status GetVarU64(uint64_t* out);
+  Status GetVarI64(int64_t* out);
+  Status GetDouble(double* out);
+  Status GetString(std::string* out);
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ >= size_; }
+
+ private:
+  Status Require(size_t n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_;
+};
+
+/// Zigzag transform helpers (exposed for testing).
+constexpr uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+constexpr int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+}  // namespace jarvis::ser
+
+#endif  // JARVIS_SER_BUFFER_H_

@@ -1,0 +1,170 @@
+#include "sim/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "core/stepwise_adapt.h"
+
+namespace jarvis::sim {
+
+namespace {
+
+std::vector<double> CategoryBytes(const QueryModel& model) {
+  std::vector<double> bytes(model.num_ops() + 1);
+  for (size_t i = 0; i <= model.num_ops(); ++i) bytes[i] = model.BytesAt(i);
+  return bytes;
+}
+
+}  // namespace
+
+ClusterSim::ClusterSim(QueryModel model, ClusterOptions options,
+                       const StrategyFactory& make_strategy)
+    : model_(std::move(model)),
+      options_(options),
+      sp_(model_, options.sp_cores, options.latency_bound_seconds) {
+  SourceNodeSim::Options src_opts;
+  src_opts.cpu_budget_fraction = options_.cpu_budget_fraction;
+  src_opts.epoch_seconds = options_.epoch_seconds;
+  src_opts.profile_error_magnitude = options_.profile_error_magnitude;
+  src_opts.queue_bound_seconds = options_.latency_bound_seconds;
+
+  const std::vector<double> cat_bytes = CategoryBytes(model_);
+  for (size_t s = 0; s < options_.num_sources; ++s) {
+    sources_.emplace_back(model_, src_opts);
+    strategies_.push_back(make_strategy());
+    profile_next_.push_back(false);
+    if (options_.per_source_bandwidth_mbps > 0) {
+      per_source_links_.emplace_back(
+          MbpsToBytesPerSec(options_.per_source_bandwidth_mbps), cat_bytes,
+          options_.latency_bound_seconds);
+    }
+  }
+  if (options_.shared_bandwidth_mbps > 0) {
+    shared_link_.emplace(MbpsToBytesPerSec(options_.shared_bandwidth_mbps),
+                         cat_bytes, options_.latency_bound_seconds);
+  }
+}
+
+ClusterSim::EpochMetrics ClusterSim::RunEpoch() {
+  const double epoch = options_.epoch_seconds;
+  EpochMetrics metrics;
+
+  std::vector<double> sp_arrivals(model_.num_ops() + 1, 0.0);
+  std::vector<double> shared_offer(model_.num_ops() + 1, 0.0);
+  double worst_local = 0.0;
+  double worst_net = 0.0;
+  double net_bytes = 0.0;
+
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    SourceNodeSim::EpochResult r = sources_[s].RunEpoch(profile_next_[s]);
+    worst_local = std::max(worst_local, r.local_backlog_seconds);
+
+    if (!per_source_links_.empty()) {
+      LinkSim::Delivered d =
+          per_source_links_[s].Transfer(r.drained_records, epoch);
+      for (size_t i = 0; i < sp_arrivals.size(); ++i) {
+        sp_arrivals[i] += d.records[i];
+      }
+      net_bytes += d.bytes;
+      worst_net = std::max(worst_net, per_source_links_[s].DelaySeconds());
+    } else if (shared_link_.has_value()) {
+      for (size_t i = 0; i < shared_offer.size(); ++i) {
+        shared_offer[i] += r.drained_records[i];
+      }
+    } else {
+      for (size_t i = 0; i < sp_arrivals.size(); ++i) {
+        sp_arrivals[i] += r.drained_records[i];
+      }
+      net_bytes += r.drained_bytes;
+    }
+
+    if (s == 0) {
+      metrics.state0 = core::ClassifyQueryState(r.observation,
+                                                core::StepwiseConfig{});
+      metrics.phase0 = strategies_[0]->phase();
+      metrics.lfs0 = sources_[0].load_factors();
+    }
+
+    core::JarvisRuntime::Decision d = strategies_[s]->OnEpochEnd(
+        r.observation);
+    sources_[s].SetLoadFactors(d.load_factors);
+    profile_next_[s] = d.request_profile;
+    if (d.flush_pending) sources_[s].RequestFlush();
+  }
+
+  if (shared_link_.has_value()) {
+    LinkSim::Delivered d = shared_link_->Transfer(shared_offer, epoch);
+    for (size_t i = 0; i < sp_arrivals.size(); ++i) {
+      sp_arrivals[i] += d.records[i];
+    }
+    net_bytes += d.bytes;
+    worst_net = shared_link_->DelaySeconds();
+  }
+
+  SpSim::EpochResult spr = sp_.RunEpoch(sp_arrivals, epoch);
+
+  metrics.goodput_mbps = BytesToMbps(
+      spr.completed_input_equiv * model_.BytesAt(0), epoch);
+  metrics.network_mbps = BytesToMbps(net_bytes, epoch);
+  // Half an epoch of batching delay (a record waits on average half an
+  // epoch before its epoch is processed) plus the worst backlog delays.
+  metrics.latency_seconds =
+      0.5 * epoch + worst_local + worst_net + spr.backlog_seconds;
+  return metrics;
+}
+
+ClusterSim::Summary ClusterSim::Run(int warmup_epochs, int measure_epochs) {
+  for (int e = 0; e < warmup_epochs; ++e) RunEpoch();
+  Summary summary;
+  std::vector<double> latencies;
+  latencies.reserve(measure_epochs);
+  double goodput = 0.0;
+  double network = 0.0;
+  for (int e = 0; e < measure_epochs; ++e) {
+    EpochMetrics m = RunEpoch();
+    goodput += m.goodput_mbps;
+    network += m.network_mbps;
+    latencies.push_back(m.latency_seconds);
+    summary.max_latency_seconds =
+        std::max(summary.max_latency_seconds, m.latency_seconds);
+  }
+  if (measure_epochs > 0) {
+    summary.avg_goodput_mbps = goodput / measure_epochs;
+    summary.avg_network_mbps = network / measure_epochs;
+    std::sort(latencies.begin(), latencies.end());
+    summary.median_latency_seconds = latencies[latencies.size() / 2];
+  }
+  return summary;
+}
+
+std::vector<double> MaxMinFairShare(const std::vector<double>& demands,
+                                    double capacity) {
+  std::vector<double> share(demands.size(), 0.0);
+  std::vector<size_t> open(demands.size());
+  for (size_t i = 0; i < demands.size(); ++i) open[i] = i;
+  double left = capacity;
+  while (!open.empty() && left > 1e-12) {
+    const double equal = left / static_cast<double>(open.size());
+    std::vector<size_t> still_open;
+    bool any_capped = false;
+    for (size_t i : open) {
+      if (demands[i] <= share[i] + equal + 1e-12) {
+        left -= demands[i] - share[i];
+        share[i] = demands[i];
+        any_capped = true;
+      } else {
+        still_open.push_back(i);
+      }
+    }
+    if (!any_capped) {
+      for (size_t i : still_open) share[i] += equal;
+      left = 0.0;
+      break;
+    }
+    open = std::move(still_open);
+  }
+  return share;
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,94 @@
+#ifndef JARVIS_SIM_CLUSTER_H_
+#define JARVIS_SIM_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/strategy.h"
+#include "sim/link.h"
+#include "sim/query_model.h"
+#include "sim/source_node.h"
+#include "sim/sp_sim.h"
+
+namespace jarvis::sim {
+
+/// One core building block (Figure 4b): N data sources running the same
+/// query under a partitioning strategy, bandwidth-limited links, and a
+/// shared stream processor.
+struct ClusterOptions {
+  size_t num_sources = 1;
+  double cpu_budget_fraction = 1.0;
+  double epoch_seconds = 1.0;
+  /// Per-source per-query bandwidth in Mbps (0 = unlimited). Used in the
+  /// single-source throughput experiments (Fig. 7).
+  double per_source_bandwidth_mbps = 0.0;
+  /// Aggregate per-query link at the stream processor in Mbps (0 =
+  /// unlimited). Used in the multi-source scalability experiments (Fig. 10).
+  double shared_bandwidth_mbps = 0.0;
+  double sp_cores = 64.0;
+  double profile_error_magnitude = 0.3;
+  /// Queue bound everywhere (backpressure); also the reporting latency
+  /// bound from Section VI-A.
+  double latency_bound_seconds = 5.0;
+};
+
+using StrategyFactory =
+    std::function<std::unique_ptr<core::PartitioningStrategy>()>;
+
+class ClusterSim {
+ public:
+  ClusterSim(QueryModel model, ClusterOptions options,
+             const StrategyFactory& make_strategy);
+
+  struct EpochMetrics {
+    /// End-to-end completed input data, Mbps.
+    double goodput_mbps = 0.0;
+    /// Sum of worst local, network, and SP backlog delays.
+    double latency_seconds = 0.0;
+    /// Bytes that crossed the network this epoch, Mbps.
+    double network_mbps = 0.0;
+    /// Query state of source 0 (classified with default thresholds).
+    core::QueryState state0 = core::QueryState::kStable;
+    /// Phase of source 0's strategy (meaningful for Jarvis variants).
+    core::Phase phase0 = core::Phase::kProbe;
+    std::vector<double> lfs0;
+  };
+
+  EpochMetrics RunEpoch();
+
+  struct Summary {
+    double avg_goodput_mbps = 0.0;
+    double median_latency_seconds = 0.0;
+    double max_latency_seconds = 0.0;
+    double avg_network_mbps = 0.0;
+  };
+
+  /// Runs warmup epochs (discarded) then measurement epochs (aggregated).
+  Summary Run(int warmup_epochs, int measure_epochs);
+
+  SourceNodeSim& source(size_t i) { return sources_[i]; }
+  core::PartitioningStrategy& strategy(size_t i) { return *strategies_[i]; }
+  size_t num_sources() const { return sources_.size(); }
+  const QueryModel& model() const { return model_; }
+
+ private:
+  QueryModel model_;
+  ClusterOptions options_;
+  std::vector<SourceNodeSim> sources_;
+  std::vector<std::unique_ptr<core::PartitioningStrategy>> strategies_;
+  std::vector<bool> profile_next_;
+  std::vector<LinkSim> per_source_links_;
+  std::optional<LinkSim> shared_link_;
+  SpSim sp_;
+};
+
+/// Max-min fair allocation of `capacity` across `demands` (the policy Jarvis
+/// adopts for multiple queries on one node, Section IV-E).
+std::vector<double> MaxMinFairShare(const std::vector<double>& demands,
+                                    double capacity);
+
+}  // namespace jarvis::sim
+
+#endif  // JARVIS_SIM_CLUSTER_H_

@@ -1,0 +1,41 @@
+#include "sim/query_model.h"
+
+namespace jarvis::sim {
+
+std::vector<double> QueryModel::CumulativeRelayRecords() const {
+  std::vector<double> r(ops.size() + 1, 1.0);
+  for (size_t i = 0; i < ops.size(); ++i) {
+    r[i + 1] = r[i] * ops[i].relay_records;
+  }
+  return r;
+}
+
+double QueryModel::FullCpuFraction() const {
+  const std::vector<double> r = CumulativeRelayRecords();
+  double cpu = 0.0;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    cpu += r[i] * ops[i].cost_per_record * input_records_per_sec;
+  }
+  return cpu;
+}
+
+std::vector<double> QueryModel::SpEntryCosts() const {
+  std::vector<double> entry(ops.size() + 1, 0.0);
+  for (size_t i = ops.size(); i-- > 0;) {
+    entry[i] = ops[i].cost_per_record + ops[i].relay_records * entry[i + 1];
+  }
+  return entry;
+}
+
+std::vector<core::OperatorProfile> QueryModel::TrueProfiles() const {
+  std::vector<core::OperatorProfile> profiles(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) {
+    profiles[i].cost_per_record = ops[i].cost_per_record;
+    profiles[i].relay_records = ops[i].relay_records;
+    profiles[i].relay_bytes = RelayBytes(i);
+    profiles[i].sampled = static_cast<uint64_t>(input_records_per_sec);
+  }
+  return profiles;
+}
+
+}  // namespace jarvis::sim

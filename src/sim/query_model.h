@@ -1,0 +1,67 @@
+#ifndef JARVIS_SIM_QUERY_MODEL_H_
+#define JARVIS_SIM_QUERY_MODEL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/types.h"
+
+namespace jarvis::sim {
+
+/// Analytic description of one operator for the cluster simulator: CPU cost
+/// per record on the data source, record-count relay ratio, and the wire
+/// size of its *input* records (drained records at this operator's proxy
+/// cross the network at this size).
+struct OpModel {
+  std::string name;
+  double cost_per_record = 0.0;  // cpu-seconds per record
+  double relay_records = 1.0;    // output records per input record
+  double record_bytes_in = 86.0;
+};
+
+/// Analytic description of one monitoring query instance on one data source.
+/// Calibrated instances for the paper's three workloads live in
+/// workloads/cost_profiles.h.
+struct QueryModel {
+  std::vector<OpModel> ops;
+  double final_record_bytes = 86.0;  // wire size after the last operator
+  double input_records_per_sec = 0.0;
+
+  size_t num_ops() const { return ops.size(); }
+
+  /// Wire size of records entering operator i; i == num_ops() gives the
+  /// final output record size.
+  double BytesAt(size_t i) const {
+    return i < ops.size() ? ops[i].record_bytes_in : final_record_bytes;
+  }
+
+  /// Byte relay ratio of operator i, derived from record relay and the
+  /// record-size change across the operator.
+  double RelayBytes(size_t i) const {
+    const double in = BytesAt(i);
+    return in <= 0 ? 0.0 : ops[i].relay_records * BytesAt(i + 1) / in;
+  }
+
+  /// Cumulative record relay products: R[0] = 1, R[i] = prod_{j<i} relay_j.
+  std::vector<double> CumulativeRelayRecords() const;
+
+  /// Input data rate in Mbps.
+  double InputMbps() const {
+    return input_records_per_sec * BytesAt(0) * 8.0 / 1e6;
+  }
+
+  /// CPU fraction of one core needed to run the whole chain on all records.
+  double FullCpuFraction() const;
+
+  /// CPU-seconds the stream processor spends per record entering the chain
+  /// at operator i (suffix cost); entry == num_ops() costs zero (finished
+  /// records and partial state merged in O(1)).
+  std::vector<double> SpEntryCosts() const;
+
+  /// Ground-truth operator profiles (used by oracle baselines and tests).
+  std::vector<core::OperatorProfile> TrueProfiles() const;
+};
+
+}  // namespace jarvis::sim
+
+#endif  // JARVIS_SIM_QUERY_MODEL_H_

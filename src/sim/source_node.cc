@@ -1,0 +1,151 @@
+#include "sim/source_node.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jarvis::sim {
+
+namespace {
+uint64_t Round(double v) {
+  return static_cast<uint64_t>(std::llround(std::max(0.0, v)));
+}
+}  // namespace
+
+SourceNodeSim::SourceNodeSim(QueryModel model, Options options)
+    : model_(std::move(model)),
+      options_(options),
+      lfs_(model_.num_ops(), 0.0),
+      queues_(model_.num_ops(), 0.0) {}
+
+void SourceNodeSim::SetLoadFactors(const std::vector<double>& lfs) {
+  for (size_t i = 0; i < lfs_.size() && i < lfs.size(); ++i) {
+    lfs_[i] = std::clamp(lfs[i], 0.0, 1.0);
+  }
+}
+
+SourceNodeSim::EpochResult SourceNodeSim::RunEpoch(bool profile_mode) {
+  const size_t m = model_.num_ops();
+  const double epoch = options_.epoch_seconds;
+  const double budget = options_.cpu_budget_fraction * epoch;
+  const double input = model_.input_records_per_sec * epoch;
+  const std::vector<double> cum_relay = model_.CumulativeRelayRecords();
+
+  EpochResult res;
+  res.drained_records.assign(m + 1, 0.0);
+  res.observation.proxies.resize(m);
+  res.observation.cpu_budget_seconds = budget;
+  res.observation.input_records = Round(input);
+  res.observation.epoch_seconds = epoch;
+  if (profile_mode) {
+    res.observation.profiles_valid = true;
+    res.observation.profiles.resize(m);
+  }
+
+  if (flush_pending_) {
+    // Reconfiguration: ship the backlog over the drain path (lossless; the
+    // stream processor resumes these records at their tagged operator).
+    for (size_t i = 0; i < m; ++i) {
+      res.drained_records[i] += queues_[i];
+      res.drained_bytes += queues_[i] * model_.BytesAt(i);
+      queues_[i] = 0.0;
+    }
+    flush_pending_ = false;
+  }
+
+  // Processing is a same-epoch cascade under *proportional rationing*: a
+  // fair scheduler gives every stage the same fraction f of the work it has
+  // available, with f chosen so the total spend meets the budget (f = 1 when
+  // everything fits). This yields proportional end-to-end slowdown under
+  // overload instead of starving the tail of the pipeline.
+  auto cascade = [&](double f, EpochResult* out) -> double {
+    double arriving = input;
+    double spend = 0.0;
+    for (size_t i = 0; i < m; ++i) {
+      const double fwd = lfs_[i] * arriving;
+      const double drained = arriving - fwd;
+      const double avail = queues_[i] + fwd;
+      const double cost = model_.ops[i].cost_per_record;
+      double done;
+      if (profile_mode) {
+        // Profile phase: one operator at a time on an equal budget slice.
+        const double slice = budget / static_cast<double>(m);
+        done = std::min(avail, cost <= 0 ? avail : slice / cost);
+      } else {
+        done = f * avail;
+      }
+      spend += done * cost;
+      if (out != nullptr) {
+        core::ProxyObservation& po = out->observation.proxies[i];
+        po.arrived = Round(arriving);
+        po.forwarded = Round(fwd);
+        po.drained = Round(drained);
+        po.processed = Round(done);
+        po.load_factor = lfs_[i];
+        out->drained_records[i] += drained;
+        out->drained_bytes += drained * model_.BytesAt(i);
+        double queue = avail - done;
+        // Bounded connections (MiNiFi-style backpressure): shed beyond the
+        // queue bound so overload costs throughput, not unbounded latency.
+        if (options_.queue_bound_seconds > 0 && cost > 0) {
+          const double cap = options_.queue_bound_seconds *
+                             options_.cpu_budget_fraction / cost;
+          if (queue > cap) {
+            out->shed_records += queue - cap;
+            queue = cap;
+          }
+        }
+        queues_[i] = queue;
+        po.pending = Round(queue);
+        if (profile_mode) {
+          core::OperatorProfile& prof = out->observation.profiles[i];
+          prof.relay_records = model_.ops[i].relay_records;
+          prof.relay_bytes = model_.RelayBytes(i);
+          prof.sampled = Round(done);
+          const double coverage = avail <= 0 ? 1.0 : done / avail;
+          prof.cost_per_record =
+              cost *
+              (1.0 - options_.profile_error_magnitude * (1.0 - coverage));
+        }
+      }
+      arriving = done * model_.ops[i].relay_records;
+    }
+    if (out != nullptr) {
+      out->drained_records[m] += arriving;
+      out->drained_bytes += arriving * model_.final_record_bytes;
+      out->completed_input_equiv =
+          cum_relay[m] <= 0 ? 0.0 : arriving / cum_relay[m];
+      out->observation.cpu_spent_seconds = spend;
+    }
+    return spend;
+  };
+
+  double f = 1.0;
+  if (!profile_mode && cascade(1.0, nullptr) > budget) {
+    double lo = 0.0, hi = 1.0;
+    for (int iter = 0; iter < 40; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (cascade(mid, nullptr) > budget) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    f = lo;
+  }
+  cascade(f, &res);
+
+  // Worst-case stage backlog drain time at the full budget rate.
+  double worst = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const double work = queues_[i] * model_.ops[i].cost_per_record;
+    if (options_.cpu_budget_fraction > 0) {
+      worst = std::max(worst, work / options_.cpu_budget_fraction);
+    } else if (work > 0) {
+      worst = std::max(worst, 3600.0);
+    }
+  }
+  res.local_backlog_seconds = worst;
+  return res;
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,52 @@
+#include "sim/sp_sim.h"
+
+#include <algorithm>
+
+namespace jarvis::sim {
+
+SpSim::SpSim(const QueryModel& model, double cores,
+             double backlog_bound_seconds)
+    : entry_cost_(model.SpEntryCosts()),
+      cores_(cores),
+      bound_seconds_(backlog_bound_seconds) {
+  const std::vector<double> cum = model.CumulativeRelayRecords();
+  entry_equiv_.resize(cum.size());
+  for (size_t i = 0; i < cum.size(); ++i) {
+    entry_equiv_[i] = cum[i] <= 0 ? 0.0 : 1.0 / cum[i];
+  }
+}
+
+SpSim::EpochResult SpSim::RunEpoch(const std::vector<double>& arrivals,
+                                   double epoch_seconds) {
+  EpochResult res;
+  double zero_cost_equiv = 0.0;
+  for (size_t i = 0; i < arrivals.size() && i < entry_cost_.size(); ++i) {
+    const double work = arrivals[i] * entry_cost_[i];
+    const double equiv = arrivals[i] * entry_equiv_[i];
+    if (work <= 0) {
+      zero_cost_equiv += equiv;  // finished records complete immediately
+    } else {
+      backlog_work_ += work;
+      backlog_equiv_ += equiv;
+    }
+  }
+  const double capacity = cores_ * epoch_seconds;
+  const double done = std::min(backlog_work_, capacity);
+  const double fraction = backlog_work_ <= 0 ? 0.0 : done / backlog_work_;
+  res.completed_input_equiv = zero_cost_equiv + backlog_equiv_ * fraction;
+  res.cpu_seconds_used = done;
+  backlog_equiv_ *= (1.0 - fraction);
+  backlog_work_ -= done;
+  if (bound_seconds_ > 0 && cores_ > 0) {
+    const double limit = bound_seconds_ * cores_;
+    if (backlog_work_ > limit) {
+      const double keep = limit / backlog_work_;
+      backlog_equiv_ *= keep;
+      backlog_work_ = limit;
+    }
+  }
+  res.backlog_seconds = cores_ <= 0 ? 0.0 : backlog_work_ / cores_;
+  return res;
+}
+
+}  // namespace jarvis::sim

@@ -1,0 +1,47 @@
+#ifndef JARVIS_SIM_SP_SIM_H_
+#define JARVIS_SIM_SP_SIM_H_
+
+#include <vector>
+
+#include "sim/query_model.h"
+
+namespace jarvis::sim {
+
+/// Fluid model of the stream-processor node for one query: records arrive
+/// bucketed by entry operator; each bucket has a precomputed suffix CPU cost
+/// and an input-equivalent weight (how much original input one such record
+/// represents). Work queues when the per-query core allocation is exceeded.
+class SpSim {
+ public:
+  /// `backlog_bound_seconds` caps queued work (bounded operator queues);
+  /// excess is shed. <= 0 means unbounded.
+  SpSim(const QueryModel& model, double cores,
+        double backlog_bound_seconds = 5.0);
+
+  struct EpochResult {
+    /// Input-equivalents fully processed this epoch.
+    double completed_input_equiv = 0.0;
+    /// Time to drain the remaining work backlog at full allocation.
+    double backlog_seconds = 0.0;
+    double cpu_seconds_used = 0.0;
+  };
+
+  /// `arrivals[i]`: records entering at operator i this epoch (size
+  /// num_ops()+1; the last bucket is finished output, zero cost).
+  EpochResult RunEpoch(const std::vector<double>& arrivals,
+                       double epoch_seconds);
+
+  double cores() const { return cores_; }
+
+ private:
+  std::vector<double> entry_cost_;   // cpu-seconds per record by entry op
+  std::vector<double> entry_equiv_;  // input-equivalents per record
+  double cores_;
+  double bound_seconds_;
+  double backlog_work_ = 0.0;   // cpu-seconds
+  double backlog_equiv_ = 0.0;  // input-equivalents attached to that work
+};
+
+}  // namespace jarvis::sim
+
+#endif  // JARVIS_SIM_SP_SIM_H_

@@ -1,0 +1,228 @@
+#include "stream/group_aggregate.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ser/buffer.h"
+
+namespace jarvis::stream {
+
+std::string_view AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kCount:
+      return "count";
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "?";
+}
+
+void GroupAggregateOp::Acc::AddValue(double v) {
+  if (count == 0) {
+    min = v;
+    max = v;
+  } else {
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  count += 1;
+  sum += v;
+}
+
+void GroupAggregateOp::Acc::Merge(const Acc& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  count += other.count;
+  sum += other.sum;
+}
+
+Value GroupAggregateOp::Acc::Finalize(AggKind kind) const {
+  switch (kind) {
+    case AggKind::kCount:
+      return Value(count);
+    case AggKind::kSum:
+      return Value(sum);
+    case AggKind::kAvg:
+      return Value(count == 0 ? 0.0 : sum / static_cast<double>(count));
+    case AggKind::kMin:
+      return Value(min);
+    case AggKind::kMax:
+      return Value(max);
+  }
+  return Value(int64_t{0});
+}
+
+Schema GroupAggregateOp::MakeOutputSchema(const Schema& input,
+                                          const std::vector<size_t>& keys,
+                                          const std::vector<AggSpec>& aggs) {
+  std::vector<Schema::Field> fields;
+  fields.reserve(keys.size() + aggs.size());
+  for (size_t k : keys) fields.push_back(input.field(k));
+  for (const AggSpec& a : aggs) {
+    ValueType t =
+        a.kind == AggKind::kCount ? ValueType::kInt64 : ValueType::kDouble;
+    fields.push_back({a.out_name, t});
+  }
+  return Schema(std::move(fields));
+}
+
+GroupAggregateOp::GroupAggregateOp(std::string name,
+                                   const Schema& input_schema,
+                                   std::vector<size_t> key_fields,
+                                   std::vector<AggSpec> aggs,
+                                   Micros window_width, bool emit_partials)
+    : Operator(std::move(name),
+               MakeOutputSchema(input_schema, key_fields, aggs)),
+      key_fields_(std::move(key_fields)),
+      aggs_(std::move(aggs)),
+      window_width_(window_width),
+      emit_partials_(emit_partials) {}
+
+std::string GroupAggregateOp::EncodeKey(
+    const std::vector<Value>& keys) const {
+  ser::BufferWriter w;
+  for (const Value& v : keys) {
+    w.PutU8(static_cast<uint8_t>(TypeOf(v)));
+    switch (TypeOf(v)) {
+      case ValueType::kInt64:
+        w.PutU64(static_cast<uint64_t>(std::get<int64_t>(v)));
+        break;
+      case ValueType::kDouble:
+        w.PutDouble(std::get<double>(v));
+        break;
+      case ValueType::kString:
+        w.PutString(std::get<std::string>(v));
+        break;
+    }
+  }
+  return std::string(reinterpret_cast<const char*>(w.data().data()),
+                     w.size());
+}
+
+Status GroupAggregateOp::UpdateFromData(const Record& rec) {
+  if (rec.window_start < 0) {
+    return Status::FailedPrecondition(
+        "GroupAggregate requires windowed input (no window_start)");
+  }
+  std::vector<Value> keys;
+  keys.reserve(key_fields_.size());
+  for (size_t k : key_fields_) {
+    if (k >= rec.fields.size()) {
+      return Status::OutOfRange("group key index out of range");
+    }
+    keys.push_back(rec.fields[k]);
+  }
+  GroupMap& groups = windows_[rec.window_start];
+  Group& g = groups[EncodeKey(keys)];
+  if (g.accs.empty()) {
+    g.keys = std::move(keys);
+    g.accs.resize(aggs_.size());
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    const AggSpec& a = aggs_[i];
+    if (a.kind == AggKind::kCount) {
+      g.accs[i].AddValue(0.0);
+    } else {
+      if (a.field >= rec.fields.size()) {
+        return Status::OutOfRange("aggregate field index out of range");
+      }
+      g.accs[i].AddValue(rec.AsDouble(a.field));
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupAggregateOp::MergeFromPartial(const Record& rec) {
+  // Partial layout: keys..., then per agg: count(i64), sum(f64), min(f64),
+  // max(f64).
+  const size_t nk = key_fields_.size();
+  const size_t expected = nk + 4 * aggs_.size();
+  if (rec.fields.size() != expected) {
+    return Status::SerializationError("partial record arity mismatch");
+  }
+  std::vector<Value> keys(rec.fields.begin(), rec.fields.begin() + nk);
+  GroupMap& groups = windows_[rec.window_start];
+  Group& g = groups[EncodeKey(keys)];
+  if (g.accs.empty()) {
+    g.keys = std::move(keys);
+    g.accs.resize(aggs_.size());
+  }
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    Acc other;
+    other.count = std::get<int64_t>(rec.fields[nk + 4 * i]);
+    other.sum = std::get<double>(rec.fields[nk + 4 * i + 1]);
+    other.min = std::get<double>(rec.fields[nk + 4 * i + 2]);
+    other.max = std::get<double>(rec.fields[nk + 4 * i + 3]);
+    g.accs[i].Merge(other);
+  }
+  return Status::OK();
+}
+
+Status GroupAggregateOp::DoProcess(Record&& rec, RecordBatch* out) {
+  (void)out;  // G+R emits on window close, not per record.
+  if (rec.kind == RecordKind::kPartial) return MergeFromPartial(rec);
+  return UpdateFromData(rec);
+}
+
+void GroupAggregateOp::EmitWindow(Micros window_start, GroupMap& groups,
+                                  RecordBatch* out) {
+  for (auto& [key, group] : groups) {
+    Record r;
+    r.event_time = window_start + window_width_;
+    r.window_start = window_start;
+    if (emit_partials_) {
+      r.kind = RecordKind::kPartial;
+      r.fields = group.keys;
+      for (const Acc& acc : group.accs) {
+        r.fields.emplace_back(acc.count);
+        r.fields.emplace_back(acc.sum);
+        r.fields.emplace_back(acc.min);
+        r.fields.emplace_back(acc.max);
+      }
+    } else {
+      r.kind = RecordKind::kData;
+      r.fields = group.keys;
+      for (size_t i = 0; i < aggs_.size(); ++i) {
+        r.fields.push_back(group.accs[i].Finalize(aggs_[i].kind));
+      }
+    }
+    out->push_back(std::move(r));
+  }
+}
+
+Status GroupAggregateOp::OnWatermark(Micros wm, RecordBatch* out) {
+  const size_t first = out->size();
+  auto it = windows_.begin();
+  while (it != windows_.end() && it->first + window_width_ <= wm) {
+    EmitWindow(it->first, it->second, out);
+    it = windows_.erase(it);
+  }
+  CountOutputs(*out, first);
+  return Status::OK();
+}
+
+Status GroupAggregateOp::ExportPartialState(RecordBatch* out) {
+  const size_t first = out->size();
+  const bool saved = emit_partials_;
+  emit_partials_ = true;
+  for (auto& [start, groups] : windows_) {
+    EmitWindow(start, groups, out);
+  }
+  emit_partials_ = saved;
+  windows_.clear();
+  CountOutputs(*out, first);
+  return Status::OK();
+}
+
+}  // namespace jarvis::stream

@@ -1,0 +1,96 @@
+#ifndef JARVIS_STREAM_GROUP_AGGREGATE_H_
+#define JARVIS_STREAM_GROUP_AGGREGATE_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace jarvis::stream {
+
+/// Incrementally updatable aggregations (rule R-1: only such aggregations may
+/// run on data sources; exact quantiles, for example, may not).
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+std::string_view AggKindToString(AggKind kind);
+
+/// One aggregation column: apply `kind` to input field `field`; emit it under
+/// `out_name`. kCount ignores `field`.
+struct AggSpec {
+  AggKind kind;
+  size_t field = 0;
+  std::string out_name;
+};
+
+/// The fused GroupApply+Aggregate (G+R) operator: groups records by key
+/// fields within each tumbling window and maintains mergeable accumulators.
+///
+/// Two output modes:
+///  - finalize mode (stream processor): closed windows emit one kData row per
+///    group with the finalized aggregate values;
+///  - partial mode (data source): closed windows emit kPartial rows carrying
+///    raw accumulators (count/sum/min/max per agg) that the stream-processor
+///    replica merges before finalizing. This is what makes data-level
+///    partitioning lossless.
+class GroupAggregateOp : public Operator {
+ public:
+  GroupAggregateOp(std::string name, const Schema& input_schema,
+                   std::vector<size_t> key_fields, std::vector<AggSpec> aggs,
+                   Micros window_width, bool emit_partials);
+
+  OpKind kind() const override { return OpKind::kGroupAggregate; }
+  bool IsStateful() const override { return true; }
+
+  Status OnWatermark(Micros wm, RecordBatch* out) override;
+  Status ExportPartialState(RecordBatch* out) override;
+
+  /// Output schema for the finalize mode (keys then aggregate columns).
+  static Schema MakeOutputSchema(const Schema& input,
+                                 const std::vector<size_t>& keys,
+                                 const std::vector<AggSpec>& aggs);
+
+  /// Number of open (not yet flushed) windows; exposed for tests.
+  size_t open_windows() const { return windows_.size(); }
+
+ protected:
+  Status DoProcess(Record&& rec, RecordBatch* out) override;
+
+ private:
+  /// Mergeable accumulator: enough to finalize any AggKind.
+  struct Acc {
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+
+    void AddValue(double v);
+    void Merge(const Acc& other);
+    Value Finalize(AggKind kind) const;
+  };
+
+  struct Group {
+    std::vector<Value> keys;
+    std::vector<Acc> accs;  // one per AggSpec
+  };
+
+  // window_start -> (encoded key -> group). std::map keeps window flush order
+  // deterministic; groups are emitted sorted by encoded key.
+  using GroupMap = std::map<std::string, Group>;
+
+  Status UpdateFromData(const Record& rec);
+  Status MergeFromPartial(const Record& rec);
+  void EmitWindow(Micros window_start, GroupMap& groups, RecordBatch* out);
+  std::string EncodeKey(const std::vector<Value>& keys) const;
+
+  std::vector<size_t> key_fields_;
+  std::vector<AggSpec> aggs_;
+  Micros window_width_;
+  bool emit_partials_;
+  std::map<Micros, GroupMap> windows_;
+};
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_GROUP_AGGREGATE_H_

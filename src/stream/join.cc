@@ -1,0 +1,30 @@
+#include "stream/join.h"
+
+namespace jarvis::stream {
+
+JoinOp::JoinOp(std::string name, const Schema& input_schema,
+               std::shared_ptr<const StaticTable> table,
+               size_t stream_key_field)
+    : Operator(std::move(name), input_schema.Append(table->value_field())),
+      table_(std::move(table)),
+      stream_key_field_(stream_key_field) {}
+
+Status JoinOp::DoProcess(Record&& rec, RecordBatch* out) {
+  if (rec.kind == RecordKind::kPartial) {
+    out->push_back(std::move(rec));
+    return Status::OK();
+  }
+  if (stream_key_field_ >= rec.fields.size()) {
+    return Status::OutOfRange("join key index out of range");
+  }
+  const Value* v = table_->Find(rec.i64(stream_key_field_));
+  if (v == nullptr) {
+    misses_ += 1;
+    return Status::OK();
+  }
+  rec.fields.push_back(*v);
+  out->push_back(std::move(rec));
+  return Status::OK();
+}
+
+}  // namespace jarvis::stream

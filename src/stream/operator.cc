@@ -1,0 +1,39 @@
+#include "stream/operator.h"
+
+namespace jarvis::stream {
+
+std::string_view OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kWindow:
+      return "Window";
+    case OpKind::kFilter:
+      return "Filter";
+    case OpKind::kMap:
+      return "Map";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kGroupAggregate:
+      return "GroupAggregate";
+    case OpKind::kProject:
+      return "Project";
+  }
+  return "Unknown";
+}
+
+Status Operator::Process(Record&& rec, RecordBatch* out) {
+  stats_.records_in += 1;
+  stats_.bytes_in += WireSize(rec);
+  const size_t first = out->size();
+  JARVIS_RETURN_IF_ERROR(DoProcess(std::move(rec), out));
+  CountOutputs(*out, first);
+  return Status::OK();
+}
+
+void Operator::CountOutputs(const RecordBatch& out, size_t first) {
+  for (size_t i = first; i < out.size(); ++i) {
+    stats_.records_out += 1;
+    stats_.bytes_out += WireSize(out[i]);
+  }
+}
+
+}  // namespace jarvis::stream

@@ -1,0 +1,112 @@
+#ifndef JARVIS_STREAM_OPERATOR_H_
+#define JARVIS_STREAM_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "stream/record.h"
+
+namespace jarvis::stream {
+
+/// Streaming primitive kinds (Section II-A). The kind drives both the query
+/// optimizer's placement rules and the calibrated cost model.
+enum class OpKind {
+  kWindow,
+  kFilter,
+  kMap,
+  kJoin,
+  kGroupAggregate,
+  kProject,
+};
+
+std::string_view OpKindToString(OpKind kind);
+
+/// Per-operator counters over a measurement interval (an epoch). The Jarvis
+/// profiler derives relay ratios (r_j) and per-record costs (c_j) from these.
+struct OperatorStats {
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+
+  void Reset() { *this = OperatorStats{}; }
+
+  /// Ratio of output to input data size (r_j in Table II); 1.0 when no input
+  /// has been observed yet.
+  double RelayRatioBytes() const {
+    return bytes_in == 0 ? 1.0
+                         : static_cast<double>(bytes_out) /
+                               static_cast<double>(bytes_in);
+  }
+  double RelayRatioRecords() const {
+    return records_in == 0 ? 1.0
+                           : static_cast<double>(records_out) /
+                                 static_cast<double>(records_in);
+  }
+};
+
+/// Base class for all stream operators. Operators process one record at a
+/// time (so control proxies can apportion records between the local copy and
+/// the replicated copy on the stream processor) and may react to watermarks.
+class Operator {
+ public:
+  Operator(std::string name, Schema output_schema)
+      : name_(std::move(name)), output_schema_(std::move(output_schema)) {}
+  virtual ~Operator() = default;
+
+  Operator(const Operator&) = delete;
+  Operator& operator=(const Operator&) = delete;
+
+  virtual OpKind kind() const = 0;
+
+  /// Processes one record, appending any outputs to `out`. Updates stats.
+  Status Process(Record&& rec, RecordBatch* out);
+
+  /// Advances event time. Stateful operators flush windows closed by `wm`.
+  virtual Status OnWatermark(Micros wm, RecordBatch* out) {
+    (void)wm;
+    (void)out;
+    return Status::OK();
+  }
+
+  /// Drains all accumulated state as kPartial records (used for
+  /// checkpointing and end-of-run flush); the stream-processor replica of
+  /// this operator can merge them losslessly.
+  virtual Status ExportPartialState(RecordBatch* out) {
+    (void)out;
+    return Status::OK();
+  }
+
+  /// True when this operator keeps cross-record state (grouping, joins with
+  /// accumulated build sides).
+  virtual bool IsStateful() const { return false; }
+
+  /// True when the operator's aggregation state can be updated incrementally
+  /// and merged across partial executions (rule R-1 in Section IV-B).
+  virtual bool IsIncremental() const { return true; }
+
+  const std::string& name() const { return name_; }
+  const Schema& output_schema() const { return output_schema_; }
+  const OperatorStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ protected:
+  virtual Status DoProcess(Record&& rec, RecordBatch* out) = 0;
+
+  /// Lets subclasses account records emitted from OnWatermark /
+  /// ExportPartialState in the output-side stats.
+  void CountOutputs(const RecordBatch& out, size_t first);
+
+  std::string name_;
+  Schema output_schema_;
+  OperatorStats stats_;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_OPERATOR_H_

@@ -1,0 +1,66 @@
+#include "stream/ops.h"
+
+namespace jarvis::stream {
+
+WindowOp::WindowOp(std::string name, Schema schema, Micros width)
+    : Operator(std::move(name), std::move(schema)), width_(width) {}
+
+Status WindowOp::DoProcess(Record&& rec, RecordBatch* out) {
+  if (width_ <= 0) {
+    return Status::InvalidArgument("window width must be positive");
+  }
+  if (rec.kind == RecordKind::kData) {
+    rec.window_start = rec.event_time - (rec.event_time % width_);
+  }
+  out->push_back(std::move(rec));
+  return Status::OK();
+}
+
+FilterOp::FilterOp(std::string name, Schema schema, Predicate pred)
+    : Operator(std::move(name), std::move(schema)), pred_(std::move(pred)) {}
+
+Status FilterOp::DoProcess(Record&& rec, RecordBatch* out) {
+  if (rec.kind == RecordKind::kPartial || pred_(rec)) {
+    out->push_back(std::move(rec));
+  }
+  return Status::OK();
+}
+
+MapOp::MapOp(std::string name, Schema output_schema, MapFn fn)
+    : Operator(std::move(name), std::move(output_schema)),
+      fn_(std::move(fn)) {}
+
+Status MapOp::DoProcess(Record&& rec, RecordBatch* out) {
+  if (rec.kind == RecordKind::kPartial) {
+    out->push_back(std::move(rec));
+    return Status::OK();
+  }
+  return fn_(std::move(rec), out);
+}
+
+ProjectOp::ProjectOp(std::string name, const Schema& input_schema,
+                     std::vector<size_t> keep)
+    : Operator(std::move(name), input_schema.Select(keep)),
+      keep_(std::move(keep)) {}
+
+Status ProjectOp::DoProcess(Record&& rec, RecordBatch* out) {
+  if (rec.kind == RecordKind::kPartial) {
+    out->push_back(std::move(rec));
+    return Status::OK();
+  }
+  Record projected;
+  projected.event_time = rec.event_time;
+  projected.window_start = rec.window_start;
+  projected.kind = rec.kind;
+  projected.fields.reserve(keep_.size());
+  for (size_t i : keep_) {
+    if (i >= rec.fields.size()) {
+      return Status::OutOfRange("project index out of range");
+    }
+    projected.fields.push_back(std::move(rec.fields[i]));
+  }
+  out->push_back(std::move(projected));
+  return Status::OK();
+}
+
+}  // namespace jarvis::stream

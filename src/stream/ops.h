@@ -1,0 +1,82 @@
+#ifndef JARVIS_STREAM_OPS_H_
+#define JARVIS_STREAM_OPS_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace jarvis::stream {
+
+/// Tumbling-window assigner: stamps each record with
+/// window_start = event_time - event_time % width and forwards it.
+/// Downstream stateful operators use the stamp to scope their state.
+class WindowOp : public Operator {
+ public:
+  WindowOp(std::string name, Schema schema, Micros width);
+
+  OpKind kind() const override { return OpKind::kWindow; }
+  Micros width() const { return width_; }
+
+ protected:
+  Status DoProcess(Record&& rec, RecordBatch* out) override;
+
+ private:
+  Micros width_;
+};
+
+/// Stateless predicate filter; drops records for which the predicate is
+/// false. Partial-state records pass through untouched (they carry already
+/// aggregated data owned by a downstream operator).
+class FilterOp : public Operator {
+ public:
+  using Predicate = std::function<bool(const Record&)>;
+
+  FilterOp(std::string name, Schema schema, Predicate pred);
+
+  OpKind kind() const override { return OpKind::kFilter; }
+
+ protected:
+  Status DoProcess(Record&& rec, RecordBatch* out) override;
+
+ private:
+  Predicate pred_;
+};
+
+/// Stateless 1->N transform (parsing, splitting, bucketizing...). The
+/// function may emit zero or more records into `out`.
+class MapOp : public Operator {
+ public:
+  using MapFn = std::function<Status(Record&&, RecordBatch*)>;
+
+  MapOp(std::string name, Schema output_schema, MapFn fn);
+
+  OpKind kind() const override { return OpKind::kMap; }
+
+ protected:
+  Status DoProcess(Record&& rec, RecordBatch* out) override;
+
+ private:
+  MapFn fn_;
+};
+
+/// Keeps only the given field indices (in the given order).
+class ProjectOp : public Operator {
+ public:
+  ProjectOp(std::string name, const Schema& input_schema,
+            std::vector<size_t> keep);
+
+  OpKind kind() const override { return OpKind::kProject; }
+
+ protected:
+  Status DoProcess(Record&& rec, RecordBatch* out) override;
+
+ private:
+  std::vector<size_t> keep_;
+};
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_OPS_H_

@@ -1,0 +1,60 @@
+#include "stream/pipeline.h"
+
+namespace jarvis::stream {
+
+Status Pipeline::Push(Record&& rec, RecordBatch* out) {
+  return PushFrom(0, std::move(rec), out);
+}
+
+Status Pipeline::PushFrom(size_t start, Record&& rec, RecordBatch* out) {
+  if (start >= ops_.size()) {
+    out->push_back(std::move(rec));
+    return Status::OK();
+  }
+  RecordBatch current;
+  JARVIS_RETURN_IF_ERROR(ops_[start]->Process(std::move(rec), &current));
+  for (size_t i = start + 1; i < ops_.size() && !current.empty(); ++i) {
+    RecordBatch next;
+    for (Record& r : current) {
+      JARVIS_RETURN_IF_ERROR(ops_[i]->Process(std::move(r), &next));
+    }
+    current = std::move(next);
+  }
+  for (Record& r : current) out->push_back(std::move(r));
+  return Status::OK();
+}
+
+Status Pipeline::OnWatermark(Micros wm, RecordBatch* out) {
+  RecordBatch carried;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    RecordBatch emitted;
+    // First process records emitted by upstream operators' window closures.
+    for (Record& r : carried) {
+      JARVIS_RETURN_IF_ERROR(ops_[i]->Process(std::move(r), &emitted));
+    }
+    JARVIS_RETURN_IF_ERROR(ops_[i]->OnWatermark(wm, &emitted));
+    carried = std::move(emitted);
+  }
+  for (Record& r : carried) out->push_back(std::move(r));
+  return Status::OK();
+}
+
+Status Pipeline::Flush(RecordBatch* out) {
+  RecordBatch carried;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    RecordBatch emitted;
+    for (Record& r : carried) {
+      JARVIS_RETURN_IF_ERROR(ops_[i]->Process(std::move(r), &emitted));
+    }
+    JARVIS_RETURN_IF_ERROR(ops_[i]->ExportPartialState(&emitted));
+    carried = std::move(emitted);
+  }
+  for (Record& r : carried) out->push_back(std::move(r));
+  return Status::OK();
+}
+
+void Pipeline::ResetStats() {
+  for (auto& op : ops_) op->ResetStats();
+}
+
+}  // namespace jarvis::stream

@@ -1,0 +1,56 @@
+#ifndef JARVIS_STREAM_PIPELINE_H_
+#define JARVIS_STREAM_PIPELINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "stream/operator.h"
+
+namespace jarvis::stream {
+
+/// A straight-line chain of operators (queries deployed on data sources are
+/// operator pipelines after the placement rules are applied, Section IV-B).
+/// Push() cascades a record through all operators; OnWatermark() advances
+/// event time and collects window emissions.
+class Pipeline {
+ public:
+  Pipeline() = default;
+
+  /// Appends an operator; the pipeline takes ownership.
+  void Add(OperatorPtr op) { ops_.push_back(std::move(op)); }
+
+  size_t size() const { return ops_.size(); }
+  Operator& op(size_t i) { return *ops_[i]; }
+  const Operator& op(size_t i) const { return *ops_[i]; }
+
+  /// Pushes one record through the whole chain; final outputs are appended
+  /// to `out`.
+  Status Push(Record&& rec, RecordBatch* out);
+
+  /// Pushes a record through the suffix of the chain starting at operator
+  /// `start` (used by the stream processor to resume drained records at the
+  /// right operator).
+  Status PushFrom(size_t start, Record&& rec, RecordBatch* out);
+
+  /// Advances the watermark through the chain; emissions from operator i are
+  /// processed by operators i+1..end before being appended to `out`.
+  Status OnWatermark(Micros wm, RecordBatch* out);
+
+  /// Flushes all accumulated state (end of run / checkpoint): each stateful
+  /// operator exports partial records which flow through the rest of the
+  /// chain.
+  Status Flush(RecordBatch* out);
+
+  /// Resets the per-operator stats counters (start of a profiling epoch).
+  void ResetStats();
+
+  /// Sum of output schema: the final operator's schema.
+  const Schema& output_schema() const { return ops_.back()->output_schema(); }
+
+ private:
+  std::vector<OperatorPtr> ops_;
+};
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_PIPELINE_H_

@@ -1,0 +1,182 @@
+#include "stream/record.h"
+
+#include <sstream>
+
+namespace jarvis::stream {
+
+ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << std::get<double>(v);
+      return os.str();
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "?";
+}
+
+double Record::AsDouble(size_t i) const {
+  const Value& v = fields[i];
+  if (TypeOf(v) == ValueType::kInt64) {
+    return static_cast<double>(std::get<int64_t>(v));
+  }
+  return std::get<double>(v);
+}
+
+Result<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return i;
+  }
+  return Status::NotFound(std::string("no field named ") + std::string(name));
+}
+
+Schema Schema::Append(Field extra) const {
+  std::vector<Field> f = fields_;
+  f.push_back(std::move(extra));
+  return Schema(std::move(f));
+}
+
+Schema Schema::Select(const std::vector<size_t>& indices) const {
+  std::vector<Field> f;
+  f.reserve(indices.size());
+  for (size_t i : indices) {
+    // Out-of-range indices are skipped here; operators validate them per
+    // record and report OutOfRange at runtime.
+    if (i < fields_.size()) f.push_back(fields_[i]);
+  }
+  return Schema(std::move(f));
+}
+
+std::string Schema::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i) out += ", ";
+    out += fields_[i].name;
+    switch (fields_[i].type) {
+      case ValueType::kInt64:
+        out += ":i64";
+        break;
+      case ValueType::kDouble:
+        out += ":f64";
+        break;
+      case ValueType::kString:
+        out += ":str";
+        break;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+size_t VarIntSize(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+size_t WireSize(const Record& rec) {
+  // kind (1) + event_time varint + window_start varint + field count varint.
+  size_t n = 1 + VarIntSize(ser::ZigZagEncode(rec.event_time)) +
+             VarIntSize(ser::ZigZagEncode(rec.window_start)) +
+             VarIntSize(rec.fields.size());
+  for (const Value& v : rec.fields) {
+    n += 1;  // type tag
+    switch (TypeOf(v)) {
+      case ValueType::kInt64:
+        n += VarIntSize(ser::ZigZagEncode(std::get<int64_t>(v)));
+        break;
+      case ValueType::kDouble:
+        n += 8;
+        break;
+      case ValueType::kString: {
+        const auto& s = std::get<std::string>(v);
+        n += VarIntSize(s.size()) + s.size();
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+void SerializeRecord(const Record& rec, ser::BufferWriter* out) {
+  out->PutU8(static_cast<uint8_t>(rec.kind));
+  out->PutVarI64(rec.event_time);
+  out->PutVarI64(rec.window_start);
+  out->PutVarU64(rec.fields.size());
+  for (const Value& v : rec.fields) {
+    out->PutU8(static_cast<uint8_t>(TypeOf(v)));
+    switch (TypeOf(v)) {
+      case ValueType::kInt64:
+        out->PutVarI64(std::get<int64_t>(v));
+        break;
+      case ValueType::kDouble:
+        out->PutDouble(std::get<double>(v));
+        break;
+      case ValueType::kString:
+        out->PutString(std::get<std::string>(v));
+        break;
+    }
+  }
+}
+
+Status DeserializeRecord(ser::BufferReader* in, Record* out) {
+  uint8_t kind;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&kind));
+  if (kind > static_cast<uint8_t>(RecordKind::kPartial)) {
+    return Status::SerializationError("bad record kind");
+  }
+  out->kind = static_cast<RecordKind>(kind);
+  JARVIS_RETURN_IF_ERROR(in->GetVarI64(&out->event_time));
+  JARVIS_RETURN_IF_ERROR(in->GetVarI64(&out->window_start));
+  uint64_t nfields;
+  JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nfields));
+  if (nfields > (1u << 20)) {
+    return Status::SerializationError("implausible field count");
+  }
+  out->fields.clear();
+  out->fields.reserve(nfields);
+  for (uint64_t i = 0; i < nfields; ++i) {
+    uint8_t tag;
+    JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+    switch (static_cast<ValueType>(tag)) {
+      case ValueType::kInt64: {
+        int64_t v;
+        JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
+        out->fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kDouble: {
+        double v;
+        JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
+        out->fields.emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        std::string v;
+        JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+        out->fields.emplace_back(std::move(v));
+        break;
+      }
+      default:
+        return Status::SerializationError("bad value tag");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jarvis::stream

@@ -1,0 +1,110 @@
+#ifndef JARVIS_STREAM_RECORD_H_
+#define JARVIS_STREAM_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "ser/buffer.h"
+
+namespace jarvis::stream {
+
+/// Field value: monitoring streams carry numeric metrics (Pingmesh) and
+/// unstructured text (LogAnalytics).
+using Value = std::variant<int64_t, double, std::string>;
+
+enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
+
+ValueType TypeOf(const Value& v);
+
+/// Renders a value for debugging and golden tests.
+std::string ValueToString(const Value& v);
+
+/// Record kinds on the wire. Stateful operators drain accumulated *partial
+/// state* (not raw records) so the stream processor can merge it losslessly
+/// (Section V, "Accurate query processing").
+enum class RecordKind : uint8_t { kData = 0, kPartial = 1 };
+
+/// A single stream element. `window_start` is assigned by the Window operator
+/// (-1 before assignment); `kind` distinguishes raw data from exported
+/// partial aggregation state.
+struct Record {
+  Micros event_time = 0;
+  Micros window_start = -1;
+  RecordKind kind = RecordKind::kData;
+  std::vector<Value> fields;
+
+  Record() = default;
+  Record(Micros t, std::vector<Value> f)
+      : event_time(t), fields(std::move(f)) {}
+
+  int64_t i64(size_t i) const { return std::get<int64_t>(fields[i]); }
+  double f64(size_t i) const { return std::get<double>(fields[i]); }
+  const std::string& str(size_t i) const {
+    return std::get<std::string>(fields[i]);
+  }
+
+  /// Numeric view of field i (int64 fields widen to double).
+  double AsDouble(size_t i) const;
+
+  bool operator==(const Record& other) const = default;
+};
+
+using RecordBatch = std::vector<Record>;
+
+/// Named, typed columns. Operators validate inputs against schemas at plan
+/// compile time, not per record.
+class Schema {
+ public:
+  struct Field {
+    std::string name;
+    ValueType type;
+    bool operator==(const Field&) const = default;
+  };
+
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  static Schema Of(std::initializer_list<Field> fields) {
+    return Schema(std::vector<Field>(fields));
+  }
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the named field or kNotFound status.
+  Result<size_t> IndexOf(std::string_view name) const;
+
+  /// Returns a schema with `extra` appended.
+  Schema Append(Field extra) const;
+
+  /// Returns a schema keeping only the given indices, in order.
+  Schema Select(const std::vector<size_t>& indices) const;
+
+  std::string ToString() const;
+
+  bool operator==(const Schema&) const = default;
+
+ private:
+  std::vector<Field> fields_;
+};
+
+/// Estimated wire size of a record in bytes without serializing it; used for
+/// network accounting on hot paths. Matches SerializeRecord output to within
+/// varint width.
+size_t WireSize(const Record& rec);
+
+/// Serializes a record to the drain-path wire format.
+void SerializeRecord(const Record& rec, ser::BufferWriter* out);
+
+/// Decodes a record previously written by SerializeRecord.
+Status DeserializeRecord(ser::BufferReader* in, Record* out);
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_RECORD_H_

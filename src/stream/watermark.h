@@ -1,0 +1,49 @@
+#ifndef JARVIS_STREAM_WATERMARK_H_
+#define JARVIS_STREAM_WATERMARK_H_
+
+#include <limits>
+#include <vector>
+
+#include "common/units.h"
+
+namespace jarvis::stream {
+
+/// Merges watermarks from multiple input streams: an operator's event time
+/// advances to the *minimum* of its inputs' watermarks (the Flink rule the
+/// paper adopts in Section V). On the stream processor, every data source
+/// contributes two inputs per proxied operator — the forwarded stream and the
+/// drain stream — and the control proxy replicates watermarks onto the drain
+/// path so time progresses even when one path is empty.
+class WatermarkMerger {
+ public:
+  explicit WatermarkMerger(size_t num_inputs)
+      : inputs_(num_inputs, kUninitialized) {}
+
+  /// Updates input `i`'s latest watermark. Watermarks are monotone per input;
+  /// stale (smaller) updates are ignored.
+  void Update(size_t i, Micros wm) {
+    if (wm > inputs_[i]) inputs_[i] = wm;
+  }
+
+  /// The merged watermark: min over inputs, or kUninitialized until every
+  /// input has reported at least once.
+  Micros Merged() const {
+    Micros m = std::numeric_limits<Micros>::max();
+    for (Micros wm : inputs_) {
+      if (wm == kUninitialized) return kUninitialized;
+      if (wm < m) m = wm;
+    }
+    return m;
+  }
+
+  size_t num_inputs() const { return inputs_.size(); }
+
+  static constexpr Micros kUninitialized = -1;
+
+ private:
+  std::vector<Micros> inputs_;
+};
+
+}  // namespace jarvis::stream
+
+#endif  // JARVIS_STREAM_WATERMARK_H_

@@ -1,0 +1,79 @@
+#include "synopsis/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jarvis::synopsis {
+
+GkQuantile::GkQuantile(double epsilon) : epsilon_(epsilon) {}
+
+void GkQuantile::Insert(double value) {
+  // Locate insertion point (first tuple with larger value).
+  auto it = std::upper_bound(
+      tuples_.begin(), tuples_.end(), value,
+      [](double v, const Tuple& t) { return v < t.value; });
+  Tuple t;
+  t.value = value;
+  t.g = 1;
+  if (it == tuples_.begin() || it == tuples_.end()) {
+    t.delta = 0;  // new minimum or maximum is exact
+  } else {
+    t.delta = static_cast<uint64_t>(
+        std::floor(2.0 * epsilon_ * static_cast<double>(count_)));
+  }
+  tuples_.insert(it, t);
+  ++count_;
+  // Periodic compression keeps the summary within O(1/eps * log(eps n)).
+  const uint64_t period =
+      std::max<uint64_t>(1, static_cast<uint64_t>(1.0 / (2.0 * epsilon_)));
+  if (count_ % period == 0) Compress();
+}
+
+void GkQuantile::Compress() {
+  if (tuples_.size() < 3) return;
+  const double threshold = 2.0 * epsilon_ * static_cast<double>(count_);
+  std::vector<Tuple> merged;
+  merged.reserve(tuples_.size());
+  merged.push_back(tuples_.front());
+  // Never merge into the first or out of the last tuple (min/max stay
+  // exact).
+  for (size_t i = 1; i + 1 < tuples_.size(); ++i) {
+    Tuple& prev = merged.back();
+    const Tuple& cur = tuples_[i];
+    if (merged.size() > 1 &&
+        static_cast<double>(prev.g + cur.g + cur.delta) <= threshold) {
+      // Merge prev into cur.
+      Tuple combined = cur;
+      combined.g += prev.g;
+      merged.back() = combined;
+    } else {
+      merged.push_back(cur);
+    }
+  }
+  merged.push_back(tuples_.back());
+  tuples_ = std::move(merged);
+}
+
+Result<double> GkQuantile::Query(double q) const {
+  if (tuples_.empty()) {
+    return Status::FailedPrecondition("empty quantile sketch");
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // The extremes are kept exact by construction (never merged away).
+  if (q <= 0.0) return tuples_.front().value;
+  if (q >= 1.0) return tuples_.back().value;
+  const double target = q * static_cast<double>(count_);
+  const double allowed = epsilon_ * static_cast<double>(count_);
+  uint64_t rank_min = 0;
+  for (const Tuple& t : tuples_) {
+    rank_min += t.g;
+    const double rank_max = static_cast<double>(rank_min + t.delta);
+    if (static_cast<double>(rank_min) >= target - allowed &&
+        rank_max <= target + allowed) {
+      return t.value;
+    }
+  }
+  return tuples_.back().value;
+}
+
+}  // namespace jarvis::synopsis

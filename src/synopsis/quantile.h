@@ -1,0 +1,47 @@
+#ifndef JARVIS_SYNOPSIS_QUANTILE_H_
+#define JARVIS_SYNOPSIS_QUANTILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace jarvis::synopsis {
+
+/// Greenwald-Khanna epsilon-approximate quantile sketch. Rule R-1 keeps
+/// *exact* quantiles off data sources because they are not incrementally
+/// updatable; approximate sketches like this one are, so queries using them
+/// can still benefit from Jarvis (Section IV-B cites approximate quantiles
+/// for datacenter telemetry).
+class GkQuantile {
+ public:
+  /// `epsilon` is the rank-error bound: Query(q) returns a value whose rank
+  /// is within epsilon * n of q * n.
+  explicit GkQuantile(double epsilon);
+
+  void Insert(double value);
+
+  /// Value at quantile q in [0, 1]. Errors with FailedPrecondition when
+  /// empty.
+  Result<double> Query(double q) const;
+
+  uint64_t count() const { return count_; }
+  size_t tuples() const { return tuples_.size(); }
+
+ private:
+  struct Tuple {
+    double value;
+    uint64_t g;      // rank gap to the previous tuple
+    uint64_t delta;  // rank uncertainty
+  };
+
+  void Compress();
+
+  double epsilon_;
+  uint64_t count_ = 0;
+  std::vector<Tuple> tuples_;  // sorted by value
+};
+
+}  // namespace jarvis::synopsis
+
+#endif  // JARVIS_SYNOPSIS_QUANTILE_H_

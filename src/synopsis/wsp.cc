@@ -1,0 +1,44 @@
+#include "synopsis/wsp.h"
+
+#include <algorithm>
+
+namespace jarvis::synopsis {
+
+stream::RecordBatch WindowSampler::Sample(
+    Micros window_start, const stream::RecordBatch& batch) const {
+  stream::RecordBatch out;
+  out.reserve(static_cast<size_t>(batch.size() * rate_ * 1.2) + 8);
+  uint64_t seq = 0;
+  for (const stream::Record& rec : batch) {
+    if (Keep(window_start, seq++)) out.push_back(rec);
+  }
+  return out;
+}
+
+std::string GroupKey(const stream::Record& rec, size_t key_field) {
+  return stream::ValueToString(rec.fields[key_field]);
+}
+
+std::map<std::string, RangeEstimate> AggregateByKey(
+    const stream::RecordBatch& batch, size_t key_field, size_t value_field) {
+  std::map<std::string, RangeEstimate> groups;
+  for (const stream::Record& rec : batch) {
+    RangeEstimate& g = groups[GroupKey(rec, key_field)];
+    const double v = rec.AsDouble(value_field);
+    if (g.count == 0) {
+      g.min = v;
+      g.max = v;
+    } else {
+      g.min = std::min(g.min, v);
+      g.max = std::max(g.max, v);
+    }
+    g.avg += v;  // finalized below
+    g.count += 1;
+  }
+  for (auto& [key, g] : groups) {
+    if (g.count > 0) g.avg /= static_cast<double>(g.count);
+  }
+  return groups;
+}
+
+}  // namespace jarvis::synopsis

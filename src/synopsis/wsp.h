@@ -1,0 +1,63 @@
+#ifndef JARVIS_SYNOPSIS_WSP_H_
+#define JARVIS_SYNOPSIS_WSP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "stream/record.h"
+
+namespace jarvis::synopsis {
+
+/// Window-based sampling protocol (WSP) after Cormode et al., the data
+/// synopsis baseline of Section VI-D: each data source forwards each record
+/// of a window with probability `sampling_rate`, giving the stream processor
+/// a continuous uniform sample of the distributed stream. The decision is a
+/// deterministic hash of (seed, window, sequence), so a sample is
+/// reproducible and consistent across re-runs.
+class WindowSampler {
+ public:
+  WindowSampler(double sampling_rate, uint64_t seed)
+      : rate_(sampling_rate), seed_(seed) {}
+
+  /// Returns true when the record with per-window sequence number `seq`
+  /// belongs to the sample of `window_start`.
+  bool Keep(Micros window_start, uint64_t seq) const {
+    uint64_t h = SplitMix64(seed_ ^ static_cast<uint64_t>(window_start));
+    h = SplitMix64(h ^ seq);
+    return static_cast<double>(h >> 11) * 0x1.0p-53 < rate_;
+  }
+
+  /// Filters a window's batch, preserving order.
+  stream::RecordBatch Sample(Micros window_start,
+                             const stream::RecordBatch& batch) const;
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  uint64_t seed_;
+};
+
+/// Per-group min/max/avg estimates computed from a sample, with exact
+/// counterparts for error evaluation (Fig. 9a).
+struct RangeEstimate {
+  double avg = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  uint64_t count = 0;
+};
+
+/// Groups `batch` by the given key field and aggregates `value_field`.
+std::map<std::string, RangeEstimate> AggregateByKey(
+    const stream::RecordBatch& batch, size_t key_field, size_t value_field);
+
+/// Key derivation shared by the exact and sampled aggregation paths.
+std::string GroupKey(const stream::Record& rec, size_t key_field);
+
+}  // namespace jarvis::synopsis
+
+#endif  // JARVIS_SYNOPSIS_WSP_H_

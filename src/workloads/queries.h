@@ -1,0 +1,36 @@
+#ifndef JARVIS_WORKLOADS_QUERIES_H_
+#define JARVIS_WORKLOADS_QUERIES_H_
+
+#include <memory>
+
+#include "common/status.h"
+#include "query/logical_plan.h"
+#include "stream/join.h"
+
+namespace jarvis::workloads {
+
+/// Listing 1: server-to-server latency probing, 10 s tumbling windows,
+/// healthy probes only, avg/max/min rtt per (srcIp, dstIp).
+Result<query::LogicalPlan> MakeS2SProbeQuery();
+
+/// The IP -> ToR switch mapping table used by Listing 2. Server IPs
+/// [first_ip, first_ip + num_servers) map `servers_per_tor` consecutive IPs
+/// to one ToR id, exposed under `value_name` after the join.
+std::shared_ptr<stream::StaticTable> MakeIpToTorTable(
+    int64_t first_ip, int64_t num_servers, int64_t servers_per_tor,
+    const std::string& value_name = "torId");
+
+/// Listing 2: ToR-to-ToR latency probing — two stream-table joins mapping
+/// src/dst IPs to ToR ids, projection to (srcToR, dstToR, rtt), then G+R.
+Result<query::LogicalPlan> MakeT2TProbeQuery(
+    std::shared_ptr<stream::StaticTable> ip_to_tor_src,
+    std::shared_ptr<stream::StaticTable> ip_to_tor_dst);
+
+/// Listing 3: text analytics — trim/lowercase, pattern filter, parse into
+/// (tenant, stat_name, stat) records, bucketize into a 10-bucket histogram,
+/// count per (tenant, stat_name, bucket).
+Result<query::LogicalPlan> MakeLogAnalyticsQuery();
+
+}  // namespace jarvis::workloads
+
+#endif  // JARVIS_WORKLOADS_QUERIES_H_

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "workloads/cost_profiles.h"
+
+namespace jarvis::baselines {
+namespace {
+
+core::EpochObservation Obs(double budget, size_t num_ops) {
+  core::EpochObservation obs;
+  obs.proxies.resize(num_ops);
+  obs.cpu_budget_seconds = budget;
+  obs.epoch_seconds = 1.0;
+  obs.input_records = 1000;
+  return obs;
+}
+
+TEST(StaticStrategyTest, AllSpAndAllSrc) {
+  auto all_sp = MakeAllSp(3);
+  auto d = all_sp->OnEpochEnd(Obs(1.0, 3));
+  EXPECT_EQ(d.load_factors, (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(all_sp->name(), "All-SP");
+
+  auto all_src = MakeAllSrc(3);
+  d = all_src->OnEpochEnd(Obs(0.1, 3));
+  EXPECT_EQ(d.load_factors, (std::vector<double>{1, 1, 1}));
+  EXPECT_FALSE(d.request_profile);
+}
+
+TEST(FilterSrcTest, RunsThroughFirstFilterOnly) {
+  sim::QueryModel m = workloads::MakeS2SModel();
+  auto strategy = MakeFilterSrc(m);
+  auto d = strategy->OnEpochEnd(Obs(1.0, 3));
+  EXPECT_EQ(d.load_factors, (std::vector<double>{1, 1, 0}));
+}
+
+TEST(FilterSrcTest, T2TStopsAtFilterBeforeJoins) {
+  sim::QueryModel m = workloads::MakeT2TModel();
+  auto strategy = MakeFilterSrc(m);
+  auto d = strategy->OnEpochEnd(Obs(1.0, 5));
+  EXPECT_EQ(d.load_factors, (std::vector<double>{1, 1, 0, 0, 0}));
+}
+
+TEST(BestOpTest, BoundaryGrowsWithBudget) {
+  sim::QueryModel m = workloads::MakeS2SModel();
+  BestOpStrategy strategy(m);
+  // W costs 2%: fits at 5%. W+F = 15%: fits at 20%. Full 85%: fits at 90%.
+  EXPECT_EQ(strategy.BoundaryFor(0.05, 1.0), 1u);
+  EXPECT_EQ(strategy.BoundaryFor(0.20, 1.0), 2u);
+  EXPECT_EQ(strategy.BoundaryFor(0.90, 1.0), 3u);
+  EXPECT_EQ(strategy.BoundaryFor(0.001, 1.0), 0u);
+}
+
+TEST(BestOpTest, AllOrNothingLoadFactors) {
+  sim::QueryModel m = workloads::MakeS2SModel();
+  BestOpStrategy strategy(m);
+  auto d = strategy.OnEpochEnd(Obs(0.55, 3));
+  // 55%: W+F fit (15%) but G+R (70% more) does not.
+  EXPECT_EQ(d.load_factors, (std::vector<double>{1, 1, 0}));
+}
+
+TEST(BestOpTest, NeverPlacesT2TJoin) {
+  sim::QueryModel m = workloads::MakeT2TModel();
+  BestOpStrategy strategy(m);
+  // Even at a full core the first join cannot be placed (Section VI-B).
+  auto d = strategy.OnEpochEnd(Obs(1.0, 5));
+  EXPECT_EQ(d.load_factors[2], 0.0);
+  EXPECT_EQ(d.load_factors[1], 1.0);
+}
+
+TEST(LbDpTest, ShareProportionalToBudget) {
+  sim::QueryModel m = workloads::MakeS2SModel();  // full cost 0.85
+  LbDpStrategy strategy(m);
+  auto d = strategy.OnEpochEnd(Obs(0.425, 3));
+  ASSERT_EQ(d.load_factors.size(), 3u);
+  EXPECT_NEAR(d.load_factors[0], 0.5, 1e-6);  // half the stream locally
+  EXPECT_EQ(d.load_factors[1], 1.0);
+  EXPECT_EQ(d.load_factors[2], 1.0);
+}
+
+TEST(LbDpTest, CapsAtOne) {
+  sim::QueryModel m = workloads::MakeLogAnalyticsModel();  // full cost 0.31
+  LbDpStrategy strategy(m);
+  auto d = strategy.OnEpochEnd(Obs(1.0, 6));
+  EXPECT_NEAR(d.load_factors[0], 1.0, 1e-9);
+}
+
+TEST(JarvisStrategyTest, WrapsRuntime) {
+  auto strategy = MakeJarvis(3);
+  EXPECT_EQ(strategy->name(), "Jarvis");
+  auto d = strategy->OnEpochEnd(Obs(1.0, 3));
+  EXPECT_EQ(d.load_factors.size(), 3u);
+  EXPECT_EQ(strategy->phase(), core::Phase::kProbe);
+}
+
+TEST(JarvisStrategyTest, AblationsConfigureRuntime) {
+  auto lp_only = MakeLpOnly(3);
+  auto no_init = MakeNoLpInit(3);
+  auto* a = dynamic_cast<JarvisStrategy*>(lp_only.get());
+  auto* b = dynamic_cast<JarvisStrategy*>(no_init.get());
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+}
+
+TEST(StaticStrategyTest, PhaseDefaultsToProbe) {
+  auto s = MakeAllSp(2);
+  EXPECT_EQ(s->phase(), core::Phase::kProbe);
+  EXPECT_EQ(s->last_convergence_epochs(), 0);
+}
+
+}  // namespace
+}  // namespace jarvis::baselines

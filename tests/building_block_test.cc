@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/building_block.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
+
+namespace jarvis::core {
+namespace {
+
+query::CompiledQuery CompileS2S() {
+  auto plan = workloads::MakeS2SProbeQuery();
+  EXPECT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  EXPECT_TRUE(compiled.ok());
+  return std::move(compiled).value();
+}
+
+BuildingBlock::SourceSpec MakeSpec(uint64_t seed, double budget,
+                                   int pairs = 100) {
+  BuildingBlock::SourceSpec spec;
+  spec.cost_model = std::make_shared<FixedCostModel>(
+      std::vector<double>{1e-6, 2e-6, 1e-5});
+  spec.options.cpu_budget_fraction = budget;
+  workloads::PingmeshConfig cfg;
+  cfg.seed = seed;
+  cfg.source_ip = static_cast<int64_t>(seed) * 100000;
+  cfg.num_pairs = pairs;
+  cfg.probe_interval = Seconds(1);
+  auto gen = std::make_shared<workloads::PingmeshGenerator>(cfg);
+  spec.generate = [gen](Micros from, Micros to) {
+    return gen->Generate(from, to);
+  };
+  return spec;
+}
+
+TEST(BuildingBlockTest, SingleSourceEndToEnd) {
+  query::CompiledQuery q = CompileS2S();
+  std::vector<BuildingBlock::SourceSpec> specs;
+  specs.push_back(MakeSpec(1, 1.0));
+  BuildingBlock block(q, std::move(specs));
+  ASSERT_TRUE(block.Init().ok());
+  stream::RecordBatch results;
+  for (int e = 0; e < 25; ++e) {
+    ASSERT_TRUE(block.RunEpoch(&results).ok());
+  }
+  EXPECT_FALSE(results.empty());
+  // The runtime adapted at least once and converged.
+  EXPECT_GT(block.runtime(0).adaptations_completed(), 0);
+}
+
+TEST(BuildingBlockTest, MultipleSourcesMergeAtTheStreamProcessor) {
+  query::CompiledQuery q = CompileS2S();
+  std::vector<BuildingBlock::SourceSpec> specs;
+  for (uint64_t s = 1; s <= 3; ++s) specs.push_back(MakeSpec(s, 1.0, 50));
+  BuildingBlock block(q, std::move(specs));
+  ASSERT_TRUE(block.Init().ok());
+  stream::RecordBatch results;
+  for (int e = 0; e < 15; ++e) {
+    ASSERT_TRUE(block.RunEpoch(&results).ok());
+  }
+  ASSERT_TRUE(block.Finish(&results).ok());
+  // 3 sources x 50 distinct (src,dst) pairs must all appear.
+  std::set<std::pair<int64_t, int64_t>> pairs;
+  for (const stream::Record& r : results) {
+    pairs.insert({r.i64(0), r.i64(1)});
+  }
+  EXPECT_EQ(pairs.size(), 150u);
+}
+
+TEST(BuildingBlockTest, CheckpointShipsStateToStreamProcessor) {
+  query::CompiledQuery q = CompileS2S();
+  std::vector<BuildingBlock::SourceSpec> specs;
+  specs.push_back(MakeSpec(7, 1.0));
+  BuildingBlock block(q, std::move(specs));
+  ASSERT_TRUE(block.Init().ok());
+  // Force everything local so the source holds aggregation state.
+  stream::RecordBatch results;
+  for (int e = 0; e < 4; ++e) {
+    block.source(0).SetLoadFactors({1, 1, 1});
+    ASSERT_TRUE(block.RunEpoch(&results).ok());
+  }
+  auto shipped = block.CheckpointSource(0, &results);
+  ASSERT_TRUE(shipped.ok()) << shipped.status().ToString();
+  EXPECT_GT(*shipped, 0u);
+}
+
+TEST(BuildingBlockTest, SourceFailureAfterCheckpointLosesNothing) {
+  // The Section IV-E fault-tolerance story: state checkpointed via the
+  // drain path lets the stream processor finalize the current window after
+  // the source dies.
+  query::CompiledQuery q = CompileS2S();
+
+  auto run = [&](bool fail_after_checkpoint) {
+    std::vector<BuildingBlock::SourceSpec> specs;
+    specs.push_back(MakeSpec(9, 1.0));
+    BuildingBlock block(q, std::move(specs));
+    stream::RecordBatch results;
+    for (int e = 0; e < 4; ++e) {
+      block.source(0).SetLoadFactors({1, 1, 1});
+      EXPECT_TRUE(block.RunEpoch(&results).ok());
+    }
+    EXPECT_TRUE(block.CheckpointSource(0, &results).ok());
+    if (fail_after_checkpoint) {
+      EXPECT_TRUE(block.FailSource(0).ok());
+    }
+    EXPECT_TRUE(block.Finish(&results).ok());
+    return results;
+  };
+
+  stream::RecordBatch with_failure = run(true);
+  stream::RecordBatch without_failure = run(false);
+  // The 4 epochs of probes before the checkpoint are fully represented in
+  // both runs: same groups, same counts for the first window.
+  ASSERT_FALSE(with_failure.empty());
+  std::multiset<std::string> a, b;
+  for (const auto& r : with_failure) {
+    if (r.window_start == 0) {
+      a.insert(stream::ValueToString(r.fields[0]) + "/" +
+               stream::ValueToString(r.fields[1]));
+    }
+  }
+  for (const auto& r : without_failure) {
+    if (r.window_start == 0) {
+      b.insert(stream::ValueToString(r.fields[0]) + "/" +
+               stream::ValueToString(r.fields[1]));
+    }
+  }
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a.empty());
+}
+
+TEST(BuildingBlockTest, FailedSourceDoesNotBlockSurvivors) {
+  query::CompiledQuery q = CompileS2S();
+  std::vector<BuildingBlock::SourceSpec> specs;
+  specs.push_back(MakeSpec(11, 1.0, 30));
+  specs.push_back(MakeSpec(12, 1.0, 30));
+  BuildingBlock block(q, std::move(specs));
+  stream::RecordBatch results;
+  for (int e = 0; e < 3; ++e) ASSERT_TRUE(block.RunEpoch(&results).ok());
+  ASSERT_TRUE(block.FailSource(0).ok());
+  // The surviving source's windows keep closing (the dead source's
+  // watermark was released).
+  const size_t before = results.size();
+  for (int e = 3; e < 15; ++e) ASSERT_TRUE(block.RunEpoch(&results).ok());
+  EXPECT_GT(results.size(), before);
+}
+
+TEST(BuildingBlockTest, InvalidSourceIdsRejected) {
+  query::CompiledQuery q = CompileS2S();
+  std::vector<BuildingBlock::SourceSpec> specs;
+  specs.push_back(MakeSpec(1, 1.0));
+  BuildingBlock block(q, std::move(specs));
+  stream::RecordBatch results;
+  EXPECT_FALSE(block.CheckpointSource(5, &results).ok());
+  EXPECT_FALSE(block.FailSource(5).ok());
+}
+
+}  // namespace
+}  // namespace jarvis::core

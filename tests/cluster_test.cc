@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "baselines/strategies.h"
+#include "sim/cluster.h"
+#include "workloads/cost_profiles.h"
+
+namespace jarvis::sim {
+namespace {
+
+ClusterOptions SingleSource(double budget) {
+  ClusterOptions o;
+  o.num_sources = 1;
+  o.cpu_budget_fraction = budget;
+  o.per_source_bandwidth_mbps = constants::kPerQueryBandwidthMbps10x;
+  o.sp_cores = 64;
+  return o;
+}
+
+TEST(ClusterSimTest, AllSpIsBandwidthLimited) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(1.0),
+                     [&] { return baselines::MakeAllSp(m.num_ops()); });
+  auto summary = cluster.Run(30, 60);
+  // 26.2 Mbps offered over a 20.48 Mbps link: goodput pins at the link.
+  EXPECT_NEAR(summary.avg_goodput_mbps, 20.48, 1.0);
+  EXPECT_NEAR(summary.avg_network_mbps, 20.48, 0.5);
+}
+
+TEST(ClusterSimTest, AllSrcIsCpuLimitedUnderTightBudget) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(0.6),
+                     [&] { return baselines::MakeAllSrc(m.num_ops()); });
+  auto summary = cluster.Run(30, 60);
+  // Upstream operators get CPU first (greedy topological scheduling), so
+  // W+F consume their full 15% and G+R completes 0.45/0.70 of the stream.
+  EXPECT_NEAR(summary.avg_goodput_mbps, 26.2 * 0.45 / 0.70, 1.5);
+}
+
+TEST(ClusterSimTest, AllSrcFullBudgetKeepsUp) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(1.0),
+                     [&] { return baselines::MakeAllSrc(m.num_ops()); });
+  auto summary = cluster.Run(30, 60);
+  EXPECT_NEAR(summary.avg_goodput_mbps, 26.2, 0.5);
+  // Network carries only the final aggregates.
+  EXPECT_LT(summary.avg_network_mbps, 8.0);
+}
+
+TEST(ClusterSimTest, JarvisConvergesAndSustainsFullInputAt60Percent) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(0.6),
+                     [&] { return baselines::MakeJarvis(m.num_ops()); });
+  auto summary = cluster.Run(40, 60);
+  // Jarvis partially loads G+R and drains the rest: full input sustained
+  // within the 20.48 Mbps link.
+  EXPECT_NEAR(summary.avg_goodput_mbps, 26.2, 1.0);
+  EXPECT_LT(summary.avg_network_mbps, 20.48);
+  EXPECT_LT(summary.median_latency_seconds,
+            constants::kLatencyBoundSeconds);
+}
+
+TEST(ClusterSimTest, JarvisBeatsAllSrcAndAllSpAt60Percent) {
+  QueryModel m = workloads::MakeS2SModel();
+  auto run = [&](const StrategyFactory& f) {
+    ClusterSim cluster(m, SingleSource(0.6), f);
+    return cluster.Run(40, 60).avg_goodput_mbps;
+  };
+  const double jarvis =
+      run([&] { return baselines::MakeJarvis(m.num_ops()); });
+  const double all_src =
+      run([&] { return baselines::MakeAllSrc(m.num_ops()); });
+  const double all_sp = run([&] { return baselines::MakeAllSp(m.num_ops()); });
+  EXPECT_GT(jarvis, all_src * 1.2);
+  EXPECT_GT(jarvis, all_sp * 1.2);
+}
+
+TEST(ClusterSimTest, JarvisStateTrajectoryReachesStable) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(0.6),
+                     [&] { return baselines::MakeJarvis(m.num_ops()); });
+  int stable_tail = 0;
+  for (int e = 0; e < 40; ++e) {
+    auto metrics = cluster.RunEpoch();
+    if (metrics.state0 == core::QueryState::kStable &&
+        metrics.phase0 == core::Phase::kProbe) {
+      ++stable_tail;
+    } else {
+      stable_tail = 0;
+    }
+  }
+  EXPECT_GE(stable_tail, 10);
+}
+
+TEST(ClusterSimTest, SharedLinkLimitsManySources) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterOptions o;
+  o.num_sources = 60;
+  o.cpu_budget_fraction = 0.55;
+  o.shared_bandwidth_mbps = constants::kQueryLinkMbps;
+  o.sp_cores = 64;
+  ClusterSim best_op(m, o, [&] {
+    return std::make_unique<baselines::BestOpStrategy>(m);
+  });
+  auto summary = best_op.Run(30, 60);
+  // Best-OP at 55% runs only W+F: ~22.5 Mbps per source * 60 = 1350 Mbps
+  // offered over a 410 Mbps link: heavily network-bound.
+  EXPECT_LT(summary.avg_goodput_mbps, 60 * 26.2 * 0.45);
+  EXPECT_NEAR(summary.avg_network_mbps, constants::kQueryLinkMbps, 20.0);
+}
+
+TEST(ClusterSimTest, JarvisScalesFurtherThanBestOpOnSharedLink) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterOptions o;
+  o.num_sources = 30;
+  o.cpu_budget_fraction = 0.55;
+  o.shared_bandwidth_mbps = constants::kQueryLinkMbps;
+  o.sp_cores = 64;
+  ClusterSim jarvis(m, o, [&] { return baselines::MakeJarvis(m.num_ops()); });
+  ClusterSim best_op(m, o, [&] {
+    return std::make_unique<baselines::BestOpStrategy>(m);
+  });
+  const double tput_jarvis = jarvis.Run(40, 60).avg_goodput_mbps;
+  const double tput_best = best_op.Run(40, 60).avg_goodput_mbps;
+  EXPECT_GT(tput_jarvis, tput_best * 1.3);
+  // Jarvis at 30 sources sustains nearly all input (30*26.2 = 786 Mbps):
+  // its per-source drain traffic lands just at the 410 Mbps query link.
+  EXPECT_GT(tput_jarvis, 30 * 26.2 * 0.9);
+}
+
+TEST(ClusterSimTest, BudgetChangeTriggersReAdaptation) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(0.9),
+                     [&] { return baselines::MakeJarvis(m.num_ops()); });
+  for (int e = 0; e < 30; ++e) cluster.RunEpoch();
+  // Drop the budget: congestion, then re-convergence.
+  cluster.source(0).SetCpuBudget(0.5);
+  bool saw_non_stable = false;
+  int stable_tail = 0;
+  for (int e = 0; e < 50; ++e) {
+    auto metrics = cluster.RunEpoch();
+    if (metrics.state0 != core::QueryState::kStable) saw_non_stable = true;
+    if (metrics.state0 == core::QueryState::kStable &&
+        metrics.phase0 == core::Phase::kProbe) {
+      ++stable_tail;
+    } else {
+      stable_tail = 0;
+    }
+  }
+  EXPECT_TRUE(saw_non_stable);
+  EXPECT_GE(stable_tail, 8);
+}
+
+TEST(ClusterSimTest, LatencyStaysBoundedByBackpressure) {
+  QueryModel m = workloads::MakeS2SModel();
+  ClusterSim cluster(m, SingleSource(0.3),
+                     [&] { return baselines::MakeAllSrc(m.num_ops()); });
+  auto summary = cluster.Run(30, 120);
+  // Bounded queues cap each component's delay near the bound.
+  EXPECT_LT(summary.max_latency_seconds,
+            3 * constants::kLatencyBoundSeconds + 1.0);
+}
+
+}  // namespace
+}  // namespace jarvis::sim

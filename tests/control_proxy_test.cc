@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "core/control_proxy.h"
+
+namespace jarvis::core {
+namespace {
+
+TEST(ControlProxyTest, ZeroLoadFactorDrainsEverything) {
+  ControlProxy p(0);
+  p.set_load_factor(0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.Route());
+  ProxyObservation obs = p.Observe();
+  EXPECT_EQ(obs.arrived, 100u);
+  EXPECT_EQ(obs.drained, 100u);
+  EXPECT_EQ(obs.forwarded, 0u);
+}
+
+TEST(ControlProxyTest, FullLoadFactorForwardsEverything) {
+  ControlProxy p(0);
+  p.set_load_factor(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(p.Route());
+  EXPECT_EQ(p.Observe().forwarded, 100u);
+}
+
+TEST(ControlProxyTest, FractionalRoutingIsExact) {
+  // Error-diffusion routing: after n arrivals, forwarded == round(n*p) +- 1.
+  for (double lf : {0.1, 0.25, 0.5, 0.83, 0.99}) {
+    ControlProxy p(0);
+    p.set_load_factor(lf);
+    int fwd = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) fwd += p.Route() ? 1 : 0;
+    EXPECT_NEAR(fwd, n * lf, 1.0) << "lf=" << lf;
+  }
+}
+
+TEST(ControlProxyTest, RoutingIsDeterministic) {
+  ControlProxy a(0), b(0);
+  a.set_load_factor(0.37);
+  b.set_load_factor(0.37);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Route(), b.Route());
+}
+
+TEST(ControlProxyTest, LoadFactorClamped) {
+  ControlProxy p(0);
+  p.set_load_factor(1.5);
+  EXPECT_EQ(p.load_factor(), 1.0);
+  p.set_load_factor(-0.5);
+  EXPECT_EQ(p.load_factor(), 0.0);
+}
+
+TEST(ControlProxyTest, BeginEpochResetsCountersNotQueue) {
+  ControlProxy p(0);
+  p.set_load_factor(1.0);
+  p.Route();
+  p.queue().push_back(stream::Record{});
+  p.BeginEpoch();
+  ProxyObservation obs = p.Observe();
+  EXPECT_EQ(obs.arrived, 0u);
+  EXPECT_EQ(obs.pending, 1u);  // queue contents persist across epochs
+}
+
+TEST(ControlProxyTest, ProcessedCounting) {
+  ControlProxy p(3);
+  p.CountProcessed(5);
+  p.CountProcessed(2);
+  EXPECT_EQ(p.Observe().processed, 7u);
+  EXPECT_EQ(p.op_index(), 3u);
+}
+
+TEST(ControlProxyTest, MidEpochLoadFactorChangeApplies) {
+  ControlProxy p(0);
+  p.set_load_factor(0.0);
+  for (int i = 0; i < 10; ++i) p.Route();
+  p.set_load_factor(1.0);
+  int fwd = 0;
+  for (int i = 0; i < 10; ++i) fwd += p.Route() ? 1 : 0;
+  EXPECT_EQ(fwd, 10);
+}
+
+}  // namespace
+}  // namespace jarvis::core

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+#include "stream/group_aggregate.h"
+
+namespace jarvis::stream {
+namespace {
+
+Schema InSchema() {
+  return Schema::Of({{"key", ValueType::kInt64}, {"val", ValueType::kDouble}});
+}
+
+std::vector<AggSpec> AllAggs() {
+  return {{AggKind::kCount, 0, "cnt"},
+          {AggKind::kSum, 1, "sum"},
+          {AggKind::kAvg, 1, "avg"},
+          {AggKind::kMin, 1, "min"},
+          {AggKind::kMax, 1, "max"}};
+}
+
+Record Rec(Micros t, Micros window, int64_t k, double v) {
+  Record r;
+  r.event_time = t;
+  r.window_start = window;
+  r.fields = {Value(k), Value(v)};
+  return r;
+}
+
+TEST(GroupAggregateTest, OutputSchemaLayout) {
+  Schema out = GroupAggregateOp::MakeOutputSchema(InSchema(), {0}, AllAggs());
+  ASSERT_EQ(out.num_fields(), 6u);
+  EXPECT_EQ(out.field(0).name, "key");
+  EXPECT_EQ(out.field(1).name, "cnt");
+  EXPECT_EQ(out.field(1).type, ValueType::kInt64);
+  EXPECT_EQ(out.field(2).type, ValueType::kDouble);
+}
+
+TEST(GroupAggregateTest, BasicAggregation) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10),
+                      /*emit_partials=*/false);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 0, 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(2, 0, 1, 4.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(3, 0, 2, 10.0), &out).ok());
+  EXPECT_TRUE(out.empty());  // emission only on window close
+  EXPECT_EQ(op.open_windows(), 1u);
+
+  ASSERT_TRUE(op.OnWatermark(Seconds(10), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(op.open_windows(), 0u);
+
+  // Groups are emitted in encoded-key order (key 1, then key 2).
+  const Record& g1 = out[0];
+  EXPECT_EQ(g1.i64(0), 1);
+  EXPECT_EQ(g1.i64(1), 2);            // count
+  EXPECT_DOUBLE_EQ(g1.f64(2), 6.0);   // sum
+  EXPECT_DOUBLE_EQ(g1.f64(3), 3.0);   // avg
+  EXPECT_DOUBLE_EQ(g1.f64(4), 2.0);   // min
+  EXPECT_DOUBLE_EQ(g1.f64(5), 4.0);   // max
+
+  const Record& g2 = out[1];
+  EXPECT_EQ(g2.i64(0), 2);
+  EXPECT_EQ(g2.i64(1), 1);
+  EXPECT_DOUBLE_EQ(g2.f64(3), 10.0);
+}
+
+TEST(GroupAggregateTest, EmissionCarriesWindowTimes) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(Seconds(12), Seconds(10), 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.OnWatermark(Seconds(20), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].window_start, Seconds(10));
+  EXPECT_EQ(out[0].event_time, Seconds(20));
+}
+
+TEST(GroupAggregateTest, WatermarkOnlyClosesDueWindows) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(Seconds(5), 0, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(Seconds(15), Seconds(10), 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.OnWatermark(Seconds(10), &out).ok());
+  EXPECT_EQ(out.size(), 1u);  // only window [0,10) closed
+  EXPECT_EQ(op.open_windows(), 1u);
+  ASSERT_TRUE(op.OnWatermark(Seconds(20), &out).ok());
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(GroupAggregateTest, UnwindowedInputIsError) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  Record r = Rec(1, -1, 1, 1.0);
+  r.window_start = -1;
+  RecordBatch out;
+  EXPECT_EQ(op.Process(std::move(r), &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(GroupAggregateTest, PartialModeEmitsPartialRecords) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10),
+                      /*emit_partials=*/true);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 0, 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.OnWatermark(Seconds(10), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, RecordKind::kPartial);
+  // keys + 4 accumulator slots per agg.
+  EXPECT_EQ(out[0].fields.size(), 1u + 4u * 5u);
+}
+
+TEST(GroupAggregateTest, PartialMergeEqualsDirectAggregation) {
+  // Split a stream between two "source" operators in partial mode; merging
+  // their exports on a third operator must equal aggregating everything
+  // directly. This is the paper's losslessness claim in miniature.
+  Rng rng(99);
+  RecordBatch all;
+  for (int i = 0; i < 500; ++i) {
+    all.push_back(Rec(i, 0, static_cast<int64_t>(rng.NextBounded(7)),
+                      rng.NextGaussian() * 10));
+  }
+
+  GroupAggregateOp direct("d", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  GroupAggregateOp src_a("a", InSchema(), {0}, AllAggs(), Seconds(10), true);
+  GroupAggregateOp src_b("b", InSchema(), {0}, AllAggs(), Seconds(10), true);
+  GroupAggregateOp merge("m", InSchema(), {0}, AllAggs(), Seconds(10), false);
+
+  RecordBatch sink;
+  for (size_t i = 0; i < all.size(); ++i) {
+    Record copy = all[i];
+    ASSERT_TRUE(direct.Process(std::move(copy), &sink).ok());
+    Record split = all[i];
+    ASSERT_TRUE((i % 2 ? src_a : src_b).Process(std::move(split), &sink).ok());
+  }
+  ASSERT_TRUE(sink.empty());
+
+  RecordBatch partials;
+  ASSERT_TRUE(src_a.OnWatermark(Seconds(10), &partials).ok());
+  ASSERT_TRUE(src_b.OnWatermark(Seconds(10), &partials).ok());
+  for (Record& p : partials) {
+    ASSERT_EQ(p.kind, RecordKind::kPartial);
+    ASSERT_TRUE(merge.Process(std::move(p), &sink).ok());
+  }
+
+  RecordBatch direct_out, merged_out;
+  ASSERT_TRUE(direct.OnWatermark(Seconds(10), &direct_out).ok());
+  ASSERT_TRUE(merge.OnWatermark(Seconds(10), &merged_out).ok());
+  ASSERT_EQ(direct_out.size(), merged_out.size());
+  for (size_t i = 0; i < direct_out.size(); ++i) {
+    EXPECT_EQ(direct_out[i].i64(0), merged_out[i].i64(0));
+    EXPECT_EQ(direct_out[i].i64(1), merged_out[i].i64(1));
+    for (size_t f = 2; f < 6; ++f) {
+      EXPECT_NEAR(direct_out[i].f64(f), merged_out[i].f64(f), 1e-9);
+    }
+  }
+}
+
+TEST(GroupAggregateTest, PartialArityMismatchRejected) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  Record bad;
+  bad.kind = RecordKind::kPartial;
+  bad.window_start = 0;
+  bad.fields = {Value(int64_t{1})};  // too few accumulator fields
+  RecordBatch out;
+  EXPECT_EQ(op.Process(std::move(bad), &out).code(),
+            StatusCode::kSerializationError);
+}
+
+TEST(GroupAggregateTest, ExportPartialStateDrainsEverything) {
+  GroupAggregateOp op("g", InSchema(), {0}, AllAggs(), Seconds(10), false);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 0, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(11, Seconds(10), 2, 2.0), &out).ok());
+  RecordBatch exported;
+  ASSERT_TRUE(op.ExportPartialState(&exported).ok());
+  EXPECT_EQ(exported.size(), 2u);
+  for (const Record& r : exported) {
+    EXPECT_EQ(r.kind, RecordKind::kPartial);
+  }
+  EXPECT_EQ(op.open_windows(), 0u);
+}
+
+TEST(GroupAggregateTest, MultiKeyGrouping) {
+  Schema schema = Schema::Of({{"a", ValueType::kInt64},
+                              {"b", ValueType::kString},
+                              {"v", ValueType::kDouble}});
+  GroupAggregateOp op("g", schema, {0, 1}, {{AggKind::kCount, 0, "cnt"}},
+                      Seconds(10), false);
+  RecordBatch out;
+  auto make = [](int64_t a, const char* b) {
+    Record r;
+    r.event_time = 1;
+    r.window_start = 0;
+    r.fields = {Value(a), Value(std::string(b)), Value(1.0)};
+    return r;
+  };
+  ASSERT_TRUE(op.Process(make(1, "x"), &out).ok());
+  ASSERT_TRUE(op.Process(make(1, "y"), &out).ok());
+  ASSERT_TRUE(op.Process(make(1, "x"), &out).ok());
+  ASSERT_TRUE(op.OnWatermark(Seconds(10), &out).ok());
+  ASSERT_EQ(out.size(), 2u);
+  std::map<std::string, int64_t> counts;
+  for (const Record& r : out) counts[r.str(1)] = r.i64(2);
+  EXPECT_EQ(counts["x"], 2);
+  EXPECT_EQ(counts["y"], 1);
+}
+
+TEST(GroupAggregateTest, AggKindNames) {
+  EXPECT_EQ(AggKindToString(AggKind::kCount), "count");
+  EXPECT_EQ(AggKindToString(AggKind::kSum), "sum");
+  EXPECT_EQ(AggKindToString(AggKind::kAvg), "avg");
+  EXPECT_EQ(AggKindToString(AggKind::kMin), "min");
+  EXPECT_EQ(AggKindToString(AggKind::kMax), "max");
+}
+
+// Property: for any interleaving split into k partial operators, merged
+// results equal direct aggregation.
+class PartialMergePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartialMergePropertyTest, AnySplitIsLossless) {
+  const int k = GetParam();
+  Rng rng(1000 + k);
+  std::vector<AggSpec> aggs = AllAggs();
+
+  GroupAggregateOp direct("d", InSchema(), {0}, aggs, Seconds(10), false);
+  std::vector<std::unique_ptr<GroupAggregateOp>> sources;
+  for (int i = 0; i < k; ++i) {
+    sources.push_back(std::make_unique<GroupAggregateOp>(
+        "s" + std::to_string(i), InSchema(), std::vector<size_t>{0}, aggs,
+        Seconds(10), true));
+  }
+  GroupAggregateOp merge("m", InSchema(), {0}, aggs, Seconds(10), false);
+
+  RecordBatch sink;
+  for (int i = 0; i < 300; ++i) {
+    const Micros window = Seconds(10) * static_cast<Micros>(rng.NextBounded(3));
+    Record r = Rec(window + 1, window, static_cast<int64_t>(rng.NextBounded(5)),
+                   rng.NextGaussian());
+    Record copy = r;
+    ASSERT_TRUE(direct.Process(std::move(copy), &sink).ok());
+    ASSERT_TRUE(
+        sources[rng.NextBounded(k)]->Process(std::move(r), &sink).ok());
+  }
+  RecordBatch partials;
+  for (auto& s : sources) {
+    ASSERT_TRUE(s->OnWatermark(Seconds(30), &partials).ok());
+  }
+  for (Record& p : partials) {
+    ASSERT_TRUE(merge.Process(std::move(p), &sink).ok());
+  }
+  RecordBatch direct_out, merged_out;
+  ASSERT_TRUE(direct.OnWatermark(Seconds(30), &direct_out).ok());
+  ASSERT_TRUE(merge.OnWatermark(Seconds(30), &merged_out).ok());
+  ASSERT_EQ(direct_out.size(), merged_out.size());
+  for (size_t i = 0; i < direct_out.size(); ++i) {
+    EXPECT_EQ(direct_out[i].window_start, merged_out[i].window_start);
+    EXPECT_EQ(direct_out[i].i64(1), merged_out[i].i64(1));
+    for (size_t f = 2; f < 6; ++f) {
+      EXPECT_NEAR(direct_out[i].f64(f), merged_out[i].f64(f), 1e-9)
+          << "window " << direct_out[i].window_start << " field " << f;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, PartialMergePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8));
+
+}  // namespace
+}  // namespace jarvis::stream

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "stream/ops.h"
+
+namespace jarvis::stream {
+namespace {
+
+Schema TwoColSchema() {
+  return Schema::Of({{"k", ValueType::kInt64}, {"v", ValueType::kDouble}});
+}
+
+Record Rec(Micros t, int64_t k, double v) {
+  Record r;
+  r.event_time = t;
+  r.fields = {Value(k), Value(v)};
+  return r;
+}
+
+TEST(WindowOpTest, AssignsTumblingWindowStart) {
+  WindowOp op("w", TwoColSchema(), Seconds(10));
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(Seconds(13), 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(Seconds(20), 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(Rec(Seconds(29.999), 1, 2.0), &out).ok());
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[0].window_start, Seconds(10));
+  EXPECT_EQ(out[1].window_start, Seconds(20));
+  EXPECT_EQ(out[2].window_start, Seconds(20));
+}
+
+TEST(WindowOpTest, PartialRecordsKeepTheirWindow) {
+  WindowOp op("w", TwoColSchema(), Seconds(10));
+  Record partial = Rec(Seconds(25), 1, 2.0);
+  partial.kind = RecordKind::kPartial;
+  partial.window_start = Seconds(10);
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(std::move(partial), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].window_start, Seconds(10));
+}
+
+TEST(WindowOpTest, ZeroWidthIsError) {
+  WindowOp op("w", TwoColSchema(), 0);
+  RecordBatch out;
+  EXPECT_FALSE(op.Process(Rec(1, 1, 1.0), &out).ok());
+}
+
+TEST(FilterOpTest, DropsNonMatching) {
+  FilterOp op("f", TwoColSchema(),
+              [](const Record& r) { return r.i64(0) % 2 == 0; });
+  RecordBatch out;
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(op.Process(Rec(k, k, 1.0), &out).ok());
+  }
+  EXPECT_EQ(out.size(), 5u);
+  for (const Record& r : out) EXPECT_EQ(r.i64(0) % 2, 0);
+}
+
+TEST(FilterOpTest, StatsTrackSelectivity) {
+  FilterOp op("f", TwoColSchema(),
+              [](const Record& r) { return r.i64(0) < 3; });
+  RecordBatch out;
+  for (int64_t k = 0; k < 10; ++k) {
+    ASSERT_TRUE(op.Process(Rec(k, k, 1.0), &out).ok());
+  }
+  EXPECT_EQ(op.stats().records_in, 10u);
+  EXPECT_EQ(op.stats().records_out, 3u);
+  EXPECT_NEAR(op.stats().RelayRatioRecords(), 0.3, 1e-9);
+}
+
+TEST(FilterOpTest, PartialRecordsPassThrough) {
+  FilterOp op("f", TwoColSchema(), [](const Record&) { return false; });
+  Record partial = Rec(1, 1, 1.0);
+  partial.kind = RecordKind::kPartial;
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(std::move(partial), &out).ok());
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(MapOpTest, OneToMany) {
+  MapOp op("m", TwoColSchema(), [](Record&& rec, RecordBatch* out) {
+    for (int i = 0; i < 3; ++i) out->push_back(rec);
+    return Status::OK();
+  });
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_NEAR(op.stats().RelayRatioRecords(), 3.0, 1e-9);
+}
+
+TEST(MapOpTest, CanDropRecords) {
+  MapOp op("m", TwoColSchema(),
+           [](Record&&, RecordBatch*) { return Status::OK(); });
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(MapOpTest, ErrorsPropagate) {
+  MapOp op("m", TwoColSchema(), [](Record&&, RecordBatch*) {
+    return Status::Internal("boom");
+  });
+  RecordBatch out;
+  EXPECT_EQ(op.Process(Rec(1, 1, 1.0), &out).code(), StatusCode::kInternal);
+}
+
+TEST(ProjectOpTest, KeepsSelectedFieldsInOrder) {
+  ProjectOp op("p", TwoColSchema(), {1});
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(5, 7, 2.5), &out).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].fields.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].f64(0), 2.5);
+  EXPECT_EQ(out[0].event_time, 5);
+  EXPECT_EQ(op.output_schema().field(0).name, "v");
+}
+
+TEST(ProjectOpTest, ReordersFields) {
+  ProjectOp op("p", TwoColSchema(), {1, 0});
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(5, 7, 2.5), &out).ok());
+  EXPECT_DOUBLE_EQ(out[0].f64(0), 2.5);
+  EXPECT_EQ(out[0].i64(1), 7);
+}
+
+TEST(ProjectOpTest, OutOfRangeIndexFails) {
+  ProjectOp op("p", TwoColSchema(), {5});
+  RecordBatch out;
+  EXPECT_EQ(op.Process(Rec(1, 1, 1.0), &out).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ProjectOpTest, ReducesWireBytes) {
+  ProjectOp op("p", TwoColSchema(), {0});
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  EXPECT_LT(op.stats().bytes_out, op.stats().bytes_in);
+  EXPECT_LT(op.stats().RelayRatioBytes(), 1.0);
+}
+
+TEST(OperatorTest, ResetStatsClearsCounters) {
+  FilterOp op("f", TwoColSchema(), [](const Record&) { return true; });
+  RecordBatch out;
+  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  EXPECT_GT(op.stats().records_in, 0u);
+  op.ResetStats();
+  EXPECT_EQ(op.stats().records_in, 0u);
+  EXPECT_EQ(op.stats().bytes_in, 0u);
+}
+
+TEST(OperatorTest, KindToString) {
+  EXPECT_EQ(OpKindToString(OpKind::kWindow), "Window");
+  EXPECT_EQ(OpKindToString(OpKind::kFilter), "Filter");
+  EXPECT_EQ(OpKindToString(OpKind::kMap), "Map");
+  EXPECT_EQ(OpKindToString(OpKind::kJoin), "Join");
+  EXPECT_EQ(OpKindToString(OpKind::kGroupAggregate), "GroupAggregate");
+  EXPECT_EQ(OpKindToString(OpKind::kProject), "Project");
+}
+
+TEST(OperatorTest, EmptyStatsRelayIsOne) {
+  OperatorStats st;
+  EXPECT_DOUBLE_EQ(st.RelayRatioBytes(), 1.0);
+  EXPECT_DOUBLE_EQ(st.RelayRatioRecords(), 1.0);
+}
+
+}  // namespace
+}  // namespace jarvis::stream

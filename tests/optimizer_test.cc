@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "query/optimizer.h"
+#include "query/query_builder.h"
+#include "workloads/queries.h"
+
+namespace jarvis::query {
+namespace {
+
+using stream::Schema;
+using stream::ValueType;
+
+Schema S() {
+  return Schema::Of({{"a", ValueType::kInt64}, {"b", ValueType::kDouble}});
+}
+
+TEST(PlacementRulesTest, ParseDefaults) {
+  auto rules = ParsePlacementRules("");
+  ASSERT_TRUE(rules.ok());
+  EXPECT_FALSE(rules->allow_non_incremental);
+  EXPECT_FALSE(rules->allow_after_stateful);
+  EXPECT_FALSE(rules->allow_stream_stream_join);
+  EXPECT_EQ(rules->max_physical_per_logical, 1);
+}
+
+TEST(PlacementRulesTest, ParseAllKeys) {
+  auto rules = ParsePlacementRules(
+      "# R-1 override\n"
+      "allow_non_incremental=true\n"
+      "allow_after_stateful = 1\n"  // will fail: spaces kept? no, trimmed
+      "allow_stream_stream_join=false\n"
+      "max_physical_per_logical=4\n");
+  // "allow_after_stateful = 1" contains spaces around '='; the parser trims
+  // only the line ends, so the key has a trailing space and should error.
+  EXPECT_FALSE(rules.ok());
+}
+
+TEST(PlacementRulesTest, ParseValidFile) {
+  auto rules = ParsePlacementRules(
+      "allow_non_incremental=1\n"
+      "max_physical_per_logical=2  # data sources stay serial\n");
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_TRUE(rules->allow_non_incremental);
+  EXPECT_EQ(rules->max_physical_per_logical, 2);
+}
+
+TEST(PlacementRulesTest, UnknownKeyRejected) {
+  EXPECT_FALSE(ParsePlacementRules("frobnicate=1").ok());
+}
+
+TEST(PlacementRulesTest, BadBooleanRejected) {
+  EXPECT_FALSE(ParsePlacementRules("allow_non_incremental=yes").ok());
+}
+
+TEST(PlacementRulesTest, BadIntRejected) {
+  EXPECT_FALSE(ParsePlacementRules("max_physical_per_logical=zero").ok());
+  EXPECT_FALSE(ParsePlacementRules("max_physical_per_logical=0").ok());
+}
+
+TEST(OptimizerTest, FusesAdjacentFilters) {
+  QueryBuilder q(S());
+  q.Filter("f1", [](const stream::Record& r) { return r.i64(0) > 0; })
+      .Filter("f2", [](const stream::Record& r) { return r.i64(0) < 10; });
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ(optimized->plan.ops.size(), 1u);
+  // The fused predicate is a conjunction.
+  stream::Record in;
+  in.fields = {stream::Value(int64_t{5}), stream::Value(0.0)};
+  EXPECT_TRUE(optimized->plan.ops[0].predicate(in));
+  in.fields[0] = stream::Value(int64_t{50});
+  EXPECT_FALSE(optimized->plan.ops[0].predicate(in));
+  in.fields[0] = stream::Value(int64_t{-5});
+  EXPECT_FALSE(optimized->plan.ops[0].predicate(in));
+}
+
+TEST(OptimizerTest, S2SFullyPlaceable) {
+  auto plan = workloads::MakeS2SProbeQuery();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  // Window, Filter, G+R: all replicable; G+R itself is placeable because it
+  // is incrementally updatable (merged at the SP).
+  EXPECT_EQ(optimized->source_placeable_ops, 3u);
+}
+
+TEST(OptimizerTest, RuleR2StopsAfterStateful) {
+  // G+R followed by a filter on aggregates: the trailing filter must stay on
+  // the stream processor.
+  QueryBuilder q(S());
+  q.Window(Seconds(10))
+      .GroupApply({"a"})
+      .Aggregate({Count("cnt")});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan with_tail = std::move(plan).value();
+  LogicalOp tail;
+  tail.kind = stream::OpKind::kFilter;
+  tail.name = "post";
+  tail.predicate = [](const stream::Record&) { return true; };
+  tail.input_schema = with_tail.output_schema();
+  tail.output_schema = with_tail.output_schema();
+  with_tail.ops.push_back(std::move(tail));
+
+  auto optimized = Optimize(with_tail);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->source_placeable_ops, 2u);  // window + G+R
+
+  PlacementRules relaxed;
+  relaxed.allow_after_stateful = true;
+  auto opt2 = Optimize(with_tail, relaxed);
+  ASSERT_TRUE(opt2.ok());
+  EXPECT_EQ(opt2->source_placeable_ops, 3u);
+}
+
+TEST(OptimizerTest, RuleR1StopsNonIncrementalAggregate) {
+  QueryBuilder q(S());
+  q.Window(Seconds(10))
+      .GroupApply({"a"})
+      .Aggregate({Count("cnt")}, /*incremental=*/false);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->source_placeable_ops, 1u);  // window only
+}
+
+TEST(OptimizerTest, RuleR3StopsStreamStreamJoin) {
+  QueryBuilder q(S());
+  q.Window(Seconds(10));
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan lp = std::move(plan).value();
+  LogicalOp join;
+  join.kind = stream::OpKind::kJoin;
+  join.name = "ssjoin";
+  join.is_stream_stream = true;
+  join.input_schema = lp.output_schema();
+  join.output_schema = lp.output_schema();
+  lp.ops.push_back(std::move(join));
+
+  auto optimized = Optimize(lp);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(optimized->source_placeable_ops, 1u);
+
+  PlacementRules relaxed;
+  relaxed.allow_stream_stream_join = true;
+  auto opt2 = Optimize(lp, relaxed);
+  ASSERT_TRUE(opt2.ok());
+  EXPECT_EQ(opt2->source_placeable_ops, 2u);
+}
+
+TEST(OptimizerTest, EmptyPlanRejected) {
+  LogicalPlan empty;
+  EXPECT_FALSE(Optimize(empty).ok());
+}
+
+TEST(OptimizerTest, T2TFullyPlaceable) {
+  auto src = workloads::MakeIpToTorTable(0, 100, 10, "srcToR");
+  auto dst = workloads::MakeIpToTorTable(0, 100, 10, "dstToR");
+  auto plan = workloads::MakeT2TProbeQuery(src, dst);
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  // Stream-table joins are replicable (immutable build side): all 6 ops.
+  EXPECT_EQ(optimized->source_placeable_ops, 6u);
+}
+
+}  // namespace
+}  // namespace jarvis::query

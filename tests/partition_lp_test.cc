@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/partition_lp.h"
+
+namespace jarvis::lp {
+namespace {
+
+PartitionProblem S2SLikeProblem(double budget_fraction) {
+  // Mirrors the calibrated S2SProbe model: W 2%, F 13%, G+R 70% of a core
+  // at 38081 records/s.
+  PartitionProblem p;
+  const double nr = 38081;
+  p.ops = {
+      {0.02 / nr, 1.0, 1.0},
+      {0.13 / nr, 0.86, 0.86},
+      {0.70 / (nr * 0.86), 0.5, 0.30},
+  };
+  p.input_records_per_epoch = nr;
+  p.cpu_budget_seconds = budget_fraction;
+  return p;
+}
+
+TEST(PartitionLpTest, AmpleBudgetRunsEverythingLocally) {
+  auto sol = SolvePartitionLp(S2SLikeProblem(1.0));
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  for (double p : sol->load_factors) EXPECT_NEAR(p, 1.0, 1e-6);
+  // Only the final (already reduced) output leaves the node.
+  EXPECT_NEAR(sol->drained_fraction, 0.0, 1e-6);
+}
+
+TEST(PartitionLpTest, ZeroBudgetDrainsEverything) {
+  auto sol = SolvePartitionLp(S2SLikeProblem(0.0));
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->effective.back(), 0.0, 1e-9);
+  EXPECT_NEAR(sol->drained_fraction, 1.0, 1e-6);
+}
+
+TEST(PartitionLpTest, MidBudgetUsesTheWholeBudgetAndBeatsNaivePlans) {
+  // At 60% budget the optimum is interior. Two near-optimal shapes exist:
+  // run W+F fully and ~64% of G+R, or scale all operators uniformly to
+  // ~71%. The LP must spend the whole budget and drain no more than either
+  // hand-built plan.
+  PartitionProblem p = S2SLikeProblem(0.60);
+  auto sol = SolvePartitionLp(p);
+  ASSERT_TRUE(sol.ok());
+  const double spend =
+      PlanCpuSeconds(p.ops, sol->load_factors, p.input_records_per_epoch);
+  EXPECT_NEAR(spend, 0.60, 1e-6);
+  EXPECT_LE(sol->drained_fraction,
+            DrainedFraction(p.ops, {1.0, 1.0, 0.45 / 0.70}) + 1e-9);
+  EXPECT_LE(sol->drained_fraction,
+            DrainedFraction(p.ops, {0.60 / 0.85, 1.0, 1.0}) + 1e-9);
+}
+
+TEST(PartitionLpTest, BudgetConstraintRespected) {
+  for (double budget : {0.1, 0.3, 0.5, 0.8}) {
+    PartitionProblem p = S2SLikeProblem(budget);
+    auto sol = SolvePartitionLp(p);
+    ASSERT_TRUE(sol.ok());
+    EXPECT_LE(PlanCpuSeconds(p.ops, sol->load_factors,
+                             p.input_records_per_epoch),
+              budget + 1e-6);
+  }
+}
+
+TEST(PartitionLpTest, EffectiveLoadFactorsAreMonotone) {
+  auto sol = SolvePartitionLp(S2SLikeProblem(0.4));
+  ASSERT_TRUE(sol.ok());
+  double prev = 1.0;
+  for (double e : sol->effective) {
+    EXPECT_LE(e, prev + 1e-9);
+    prev = e;
+  }
+}
+
+TEST(PartitionLpTest, EmptyProblemRejected) {
+  PartitionProblem p;
+  p.input_records_per_epoch = 10;
+  EXPECT_FALSE(SolvePartitionLp(p).ok());
+}
+
+TEST(PartitionLpTest, NoInputMeansAllLocal) {
+  PartitionProblem p = S2SLikeProblem(0.5);
+  p.input_records_per_epoch = 0;
+  auto sol = SolvePartitionLp(p);
+  ASSERT_TRUE(sol.ok());
+  for (double lf : sol->load_factors) EXPECT_EQ(lf, 1.0);
+}
+
+TEST(PartitionLpTest, NegativeParametersRejected) {
+  PartitionProblem p = S2SLikeProblem(0.5);
+  p.ops[0].cost_per_record = -1;
+  EXPECT_FALSE(SolvePartitionLp(p).ok());
+}
+
+TEST(PartitionLpTest, DrainedFractionMatchesHandComputation) {
+  // Two ops, relay_bytes 0.5 each, load factors (1, 0): drain happens at
+  // proxy 2 on 0.5 of the input bytes.
+  std::vector<OperatorModel> ops = {{0.0, 1.0, 0.5}, {0.0, 1.0, 0.5}};
+  EXPECT_NEAR(DrainedFraction(ops, {1.0, 0.0}), 0.5, 1e-12);
+  EXPECT_NEAR(DrainedFraction(ops, {0.0, 0.0}), 1.0, 1e-12);
+  EXPECT_NEAR(DrainedFraction(ops, {1.0, 1.0}), 0.0, 1e-12);
+  EXPECT_NEAR(DrainedFraction(ops, {0.5, 1.0}), 0.5, 1e-12);
+}
+
+TEST(PartitionLpTest, PlanCpuSecondsMatchesHandComputation) {
+  std::vector<OperatorModel> ops = {{1e-5, 0.5, 0.5}, {2e-5, 1.0, 1.0}};
+  // 1000 records: op1 processes 1000*0.8, op2 processes 1000*0.8*0.5*0.5.
+  const double cpu = PlanCpuSeconds(ops, {0.8, 0.5}, 1000);
+  EXPECT_NEAR(cpu, 1000 * 0.8 * 1e-5 + 1000 * 0.8 * 0.5 * 0.5 * 2e-5, 1e-12);
+}
+
+// Property: the LP solution is no worse than any plan on a coarse grid of
+// feasible load-factor combinations.
+class PartitionLpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionLpPropertyTest, OptimalOnRandomInstances) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 15; ++trial) {
+    PartitionProblem p;
+    const size_t m = 2 + rng.NextBounded(3);
+    const double nr = 1000;
+    for (size_t i = 0; i < m; ++i) {
+      OperatorModel op;
+      op.cost_per_record = rng.NextDouble() * 1e-3;
+      op.relay_records = 0.2 + 0.8 * rng.NextDouble();
+      op.relay_bytes = 0.2 + 0.8 * rng.NextDouble();
+      p.ops.push_back(op);
+    }
+    p.input_records_per_epoch = nr;
+    p.cpu_budget_seconds = rng.NextDouble() * 0.8;
+
+    auto sol = SolvePartitionLp(p);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+    EXPECT_LE(PlanCpuSeconds(p.ops, sol->load_factors, nr),
+              p.cpu_budget_seconds + 1e-6);
+
+    const int steps = 4;
+    std::vector<int> idx(m, 0);
+    while (true) {
+      std::vector<double> lfs(m);
+      for (size_t i = 0; i < m; ++i) {
+        lfs[i] = static_cast<double>(idx[i]) / steps;
+      }
+      if (PlanCpuSeconds(p.ops, lfs, nr) <= p.cpu_budget_seconds) {
+        EXPECT_GE(DrainedFraction(p.ops, lfs),
+                  sol->drained_fraction - 1e-6)
+            << "grid plan beats LP";
+      }
+      size_t d = 0;
+      while (d < m && ++idx[d] > steps) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == m) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionLpPropertyTest,
+                         ::testing::Values(7, 14, 21, 28));
+
+}  // namespace
+}  // namespace jarvis::lp

@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stream/record.h"
+
+namespace jarvis::stream {
+namespace {
+
+Record MakeRecord() {
+  Record r;
+  r.event_time = 1234567;
+  r.window_start = 1000000;
+  r.fields = {Value(int64_t{42}), Value(2.5), Value(std::string("srv-1"))};
+  return r;
+}
+
+TEST(ValueTest, TypeOf) {
+  EXPECT_EQ(TypeOf(Value(int64_t{1})), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(Value(1.0)), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value(std::string("x"))), ValueType::kString);
+}
+
+TEST(ValueTest, ToString) {
+  EXPECT_EQ(ValueToString(Value(int64_t{7})), "7");
+  EXPECT_EQ(ValueToString(Value(std::string("abc"))), "abc");
+}
+
+TEST(RecordTest, TypedAccessors) {
+  Record r = MakeRecord();
+  EXPECT_EQ(r.i64(0), 42);
+  EXPECT_DOUBLE_EQ(r.f64(1), 2.5);
+  EXPECT_EQ(r.str(2), "srv-1");
+}
+
+TEST(RecordTest, AsDoubleWidensInt) {
+  Record r = MakeRecord();
+  EXPECT_DOUBLE_EQ(r.AsDouble(0), 42.0);
+  EXPECT_DOUBLE_EQ(r.AsDouble(1), 2.5);
+}
+
+TEST(RecordTest, DefaultsAreData) {
+  Record r;
+  EXPECT_EQ(r.kind, RecordKind::kData);
+  EXPECT_EQ(r.window_start, -1);
+}
+
+TEST(SchemaTest, IndexOf) {
+  Schema s = Schema::Of({{"a", ValueType::kInt64}, {"b", ValueType::kDouble}});
+  ASSERT_TRUE(s.IndexOf("a").ok());
+  EXPECT_EQ(s.IndexOf("a").value(), 0u);
+  EXPECT_EQ(s.IndexOf("b").value(), 1u);
+  EXPECT_EQ(s.IndexOf("c").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, AppendAndSelect) {
+  Schema s = Schema::Of({{"a", ValueType::kInt64}, {"b", ValueType::kDouble}});
+  Schema appended = s.Append({"c", ValueType::kString});
+  EXPECT_EQ(appended.num_fields(), 3u);
+  EXPECT_EQ(appended.field(2).name, "c");
+
+  Schema selected = appended.Select({2, 0});
+  EXPECT_EQ(selected.num_fields(), 2u);
+  EXPECT_EQ(selected.field(0).name, "c");
+  EXPECT_EQ(selected.field(1).name, "a");
+}
+
+TEST(SchemaTest, ToStringFormat) {
+  Schema s = Schema::Of({{"a", ValueType::kInt64}, {"s", ValueType::kString}});
+  EXPECT_EQ(s.ToString(), "{a:i64, s:str}");
+}
+
+TEST(SerdeTest, RoundTripPreservesEverything) {
+  Record r = MakeRecord();
+  r.kind = RecordKind::kPartial;
+  ser::BufferWriter w;
+  SerializeRecord(r, &w);
+  ser::BufferReader reader(w.data());
+  Record out;
+  ASSERT_TRUE(DeserializeRecord(&reader, &out).ok());
+  EXPECT_EQ(out, r);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(SerdeTest, WireSizeMatchesSerializedSize) {
+  Record r = MakeRecord();
+  ser::BufferWriter w;
+  SerializeRecord(r, &w);
+  EXPECT_EQ(WireSize(r), w.size());
+}
+
+TEST(SerdeTest, BadKindRejected) {
+  ser::BufferWriter w;
+  w.PutU8(99);
+  ser::BufferReader reader(w.data());
+  Record out;
+  EXPECT_EQ(DeserializeRecord(&reader, &out).code(),
+            StatusCode::kSerializationError);
+}
+
+TEST(SerdeTest, TruncatedRecordRejected) {
+  Record r = MakeRecord();
+  ser::BufferWriter w;
+  SerializeRecord(r, &w);
+  ser::BufferReader reader(w.data().data(), w.size() - 3);
+  Record out;
+  EXPECT_FALSE(DeserializeRecord(&reader, &out).ok());
+}
+
+class SerdePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerdePropertyTest, RandomRecordsRoundTripAndSizeMatches) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 100; ++trial) {
+    Record r;
+    r.event_time = static_cast<Micros>(rng.NextBounded(1ull << 40));
+    r.window_start =
+        rng.NextBernoulli(0.5)
+            ? -1
+            : static_cast<Micros>(rng.NextBounded(1ull << 40));
+    r.kind = rng.NextBernoulli(0.2) ? RecordKind::kPartial : RecordKind::kData;
+    const size_t nfields = rng.NextBounded(10);
+    for (size_t f = 0; f < nfields; ++f) {
+      switch (rng.NextBounded(3)) {
+        case 0:
+          r.fields.emplace_back(
+              static_cast<int64_t>(rng.NextU64() >> rng.NextBounded(64)) -
+              1000);
+          break;
+        case 1:
+          r.fields.emplace_back(rng.NextGaussian() * 1e4);
+          break;
+        default: {
+          std::string s(rng.NextBounded(30), ' ');
+          for (char& c : s) c = static_cast<char>('A' + rng.NextBounded(26));
+          r.fields.emplace_back(std::move(s));
+        }
+      }
+    }
+    ser::BufferWriter w;
+    SerializeRecord(r, &w);
+    EXPECT_EQ(WireSize(r), w.size());
+    ser::BufferReader reader(w.data());
+    Record out;
+    ASSERT_TRUE(DeserializeRecord(&reader, &out).ok());
+    EXPECT_EQ(out, r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerdePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace jarvis::stream

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "core/runtime.h"
+
+namespace jarvis::core {
+namespace {
+
+// A tiny analytic plant: 3 operators, spend = e3-weighted cost against a
+// configurable budget, driving the runtime exactly like an executor would.
+class Plant {
+ public:
+  explicit Plant(double budget) : budget_(budget) {}
+
+  void set_budget(double b) { budget_ = b; }
+
+  EpochObservation Observe(const std::vector<double>& lfs,
+                           bool profiled) const {
+    EpochObservation obs;
+    obs.proxies.resize(3);
+    const double kCosts[3] = {0.02, 0.13, 0.70};
+    const double kRelayRec[3] = {1.0, 0.86, 0.5};
+    const double kRelayBytes[3] = {1.0, 0.86, 0.30};
+    double e = 1.0;
+    double spend = 0.0;
+    double cum = 1.0;
+    for (int i = 0; i < 3; ++i) {
+      obs.proxies[i].arrived = static_cast<uint64_t>(1000 * cum * e);
+      e *= lfs.size() > static_cast<size_t>(i) ? lfs[i] : 0.0;
+      const double want = kCosts[i] * cum * e;
+      spend += want;
+      obs.proxies[i].load_factor =
+          lfs.size() > static_cast<size_t>(i) ? lfs[i] : 0.0;
+      cum *= kRelayRec[i];
+    }
+    if (spend > budget_) {
+      // Backlog at the most expensive operator.
+      obs.proxies[2].pending = static_cast<uint64_t>(
+          1000.0 * (spend - budget_) / 0.70);
+      spend = budget_;
+    }
+    obs.cpu_budget_seconds = budget_;
+    obs.cpu_spent_seconds = spend;
+    obs.input_records = 1000;
+    if (profiled) {
+      obs.profiles_valid = true;
+      obs.profiles.resize(3);
+      for (int i = 0; i < 3; ++i) {
+        obs.profiles[i].cost_per_record = kCosts[i] / 1000.0 /
+                                          (i == 2 ? 0.86 : 1.0);
+        obs.profiles[i].relay_records = kRelayRec[i];
+        obs.profiles[i].relay_bytes = kRelayBytes[i];
+        obs.profiles[i].sampled = 500;
+      }
+      // Adjust: profiles are per-record at the operator's own input.
+      obs.profiles[0].cost_per_record = 0.02 / 1000;
+      obs.profiles[1].cost_per_record = 0.13 / 1000;
+      obs.profiles[2].cost_per_record = 0.70 / (1000 * 0.86);
+    }
+    return obs;
+  }
+
+ private:
+  double budget_;
+};
+
+TEST(RuntimeTest, StartsAtZeroLoadFactors) {
+  JarvisRuntime rt(3, RuntimeConfig{});
+  Plant plant(0.5);
+  auto d = rt.OnEpochEnd(plant.Observe({0, 0, 0}, false));
+  EXPECT_EQ(d.load_factors, (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(rt.phase(), Phase::kProbe);
+}
+
+TEST(RuntimeTest, DetectionNeedsConsecutiveNonStableEpochs) {
+  RuntimeConfig config;
+  config.detect_epochs = 3;
+  JarvisRuntime rt(3, config);
+  Plant plant(0.9);
+  std::vector<double> lfs = {0, 0, 0};
+  // Startup epoch counts as the first non-stable observation.
+  auto d = rt.OnEpochEnd(plant.Observe(lfs, false));
+  EXPECT_FALSE(d.request_profile);
+  d = rt.OnEpochEnd(plant.Observe(lfs, false));  // idle #2
+  EXPECT_FALSE(d.request_profile);
+  d = rt.OnEpochEnd(plant.Observe(lfs, false));  // idle #3 -> profile
+  EXPECT_TRUE(d.request_profile);
+  EXPECT_EQ(rt.phase(), Phase::kProfile);
+}
+
+TEST(RuntimeTest, StableProbeResetsDetectionStreak) {
+  RuntimeConfig config;
+  config.detect_epochs = 3;
+  JarvisRuntime rt(3, config);
+  Plant plant(1.0);
+  rt.OnEpochEnd(plant.Observe({0, 0, 0}, false));  // startup
+  rt.OnEpochEnd(plant.Observe({0, 0, 0}, false));  // idle #2
+  // A stable epoch (all local, enough budget) resets the streak.
+  auto stable = plant.Observe({1, 1, 1}, false);
+  rt.OnEpochEnd(stable);
+  auto d = rt.OnEpochEnd(plant.Observe({0, 0, 0}, false));
+  EXPECT_FALSE(d.request_profile);  // streak restarted at 1
+}
+
+TEST(RuntimeTest, FullAdaptationCycleConvergesWithAmpleBudget) {
+  JarvisRuntime rt(3, RuntimeConfig{});
+  Plant plant(1.0);
+  std::vector<double> lfs = {0, 0, 0};
+  bool profile = false;
+  int epochs = 0;
+  while (epochs < 30) {
+    auto d = rt.OnEpochEnd(plant.Observe(lfs, profile));
+    lfs = d.load_factors;
+    profile = d.request_profile;
+    ++epochs;
+    if (rt.phase() == Phase::kProbe && rt.adaptations_completed() > 0) break;
+  }
+  EXPECT_GT(rt.adaptations_completed(), 0);
+  // Full budget: the LP should take everything local.
+  EXPECT_EQ(lfs, (std::vector<double>{1, 1, 1}));
+  EXPECT_LE(rt.last_convergence_epochs(), 3);
+}
+
+TEST(RuntimeTest, ConvergesUnderTightBudgetWithFineTuning) {
+  JarvisRuntime rt(3, RuntimeConfig{});
+  Plant plant(0.6);
+  std::vector<double> lfs = {0, 0, 0};
+  bool profile = false;
+  for (int epochs = 0; epochs < 40; ++epochs) {
+    auto d = rt.OnEpochEnd(plant.Observe(lfs, profile));
+    lfs = d.load_factors;
+    profile = d.request_profile;
+    if (rt.phase() == Phase::kProbe && rt.adaptations_completed() > 0) break;
+  }
+  EXPECT_GT(rt.adaptations_completed(), 0);
+  // The converged plan must fit the budget up to the DrainedThres backlog
+  // tolerance (the synthetic plant absorbs a few percent of over-demand in
+  // tolerated pending records).
+  const double spend = 0.02 * lfs[0] + 0.13 * lfs[0] * lfs[1] +
+                       0.70 * lfs[0] * lfs[1] * lfs[2];
+  EXPECT_LE(spend, 0.6 * 1.08);
+  EXPECT_GT(spend, 0.3);  // and not be trivially empty
+}
+
+TEST(RuntimeTest, LpOnlyRequestsReprofileWhenNotStable) {
+  RuntimeConfig config;
+  config.use_fine_tune = false;
+  JarvisRuntime rt(3, config);
+  Plant plant(0.9);
+  // Drive to Profile.
+  std::vector<double> lfs = {0, 0, 0};
+  bool profile = false;
+  for (int i = 0; i < 3; ++i) {
+    auto d = rt.OnEpochEnd(plant.Observe(lfs, profile));
+    lfs = d.load_factors;
+    profile = d.request_profile;
+  }
+  ASSERT_EQ(rt.phase(), Phase::kProfile);
+  // Profile epoch -> Adapt with LP plan.
+  auto d = rt.OnEpochEnd(plant.Observe(lfs, true));
+  lfs = d.load_factors;
+  ASSERT_EQ(rt.phase(), Phase::kAdapt);
+  // Feed a congested observation: LP-only can only re-profile.
+  auto obs = plant.Observe(lfs, false);
+  obs.proxies[2].pending = 900;
+  d = rt.OnEpochEnd(obs);
+  EXPECT_TRUE(d.request_profile);
+  EXPECT_EQ(rt.phase(), Phase::kProfile);
+}
+
+TEST(RuntimeTest, NoLpInitStartsFineTuningFromZeros) {
+  RuntimeConfig config;
+  config.use_lp_init = false;
+  JarvisRuntime rt(3, config);
+  Plant plant(0.9);
+  std::vector<double> lfs = {0, 0, 0};
+  bool profile = false;
+  for (int i = 0; i < 3; ++i) {
+    auto d = rt.OnEpochEnd(plant.Observe(lfs, profile));
+    lfs = d.load_factors;
+    profile = d.request_profile;
+  }
+  ASSERT_EQ(rt.phase(), Phase::kProfile);
+  auto d = rt.OnEpochEnd(plant.Observe(lfs, true));
+  // Without LP init the post-profile plan is still all-zero.
+  EXPECT_EQ(d.load_factors, (std::vector<double>{0, 0, 0}));
+  EXPECT_EQ(rt.phase(), Phase::kAdapt);
+}
+
+TEST(RuntimeTest, PhaseNames) {
+  EXPECT_EQ(PhaseToString(Phase::kStartup), "Startup");
+  EXPECT_EQ(PhaseToString(Phase::kProbe), "Probe");
+  EXPECT_EQ(PhaseToString(Phase::kProfile), "Profile");
+  EXPECT_EQ(PhaseToString(Phase::kAdapt), "Adapt");
+}
+
+TEST(RuntimeTest, MissingProfilesHandledGracefully) {
+  JarvisRuntime rt(3, RuntimeConfig{});
+  Plant plant(0.9);
+  std::vector<double> lfs = {0, 0, 0};
+  for (int i = 0; i < 3; ++i) rt.OnEpochEnd(plant.Observe(lfs, false));
+  ASSERT_EQ(rt.phase(), Phase::kProfile);
+  // Observation without profiles_valid: runtime must not crash and must
+  // still move to Adapt.
+  auto d = rt.OnEpochEnd(plant.Observe(lfs, false));
+  EXPECT_EQ(rt.phase(), Phase::kAdapt);
+  EXPECT_EQ(d.load_factors.size(), 3u);
+}
+
+}  // namespace
+}  // namespace jarvis::core

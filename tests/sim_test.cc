@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.h"
+#include "sim/link.h"
+#include "sim/source_node.h"
+#include "sim/sp_sim.h"
+#include "workloads/cost_profiles.h"
+
+namespace jarvis::sim {
+namespace {
+
+TEST(QueryModelTest, S2SCalibration) {
+  QueryModel m = workloads::MakeS2SModel();
+  EXPECT_NEAR(m.InputMbps(), 26.2, 0.01);
+  // W 2% + F 13% + G+R 70% = 85% of one core (Section VI-B).
+  EXPECT_NEAR(m.FullCpuFraction(), 0.85, 0.005);
+  EXPECT_NEAR(m.RelayBytes(1), 0.86, 1e-9);
+  EXPECT_NEAR(m.RelayBytes(2), 0.5 * 52.0 / 86.0, 1e-9);
+}
+
+TEST(QueryModelTest, T2TExceedsOneCore) {
+  QueryModel m = workloads::MakeT2TModel();
+  EXPECT_GT(m.FullCpuFraction(), 1.0);
+}
+
+TEST(QueryModelTest, LogAnalyticsCalibration) {
+  QueryModel m = workloads::MakeLogAnalyticsModel();
+  EXPECT_NEAR(m.InputMbps(), 49.6, 0.01);
+  EXPECT_NEAR(m.FullCpuFraction(), 0.31, 0.005);
+}
+
+TEST(QueryModelTest, RateScalingScalesCpuLinearly) {
+  QueryModel full = workloads::MakeS2SModel(1.0);
+  QueryModel half = workloads::MakeS2SModel(0.5);
+  EXPECT_NEAR(half.FullCpuFraction(), full.FullCpuFraction() / 2, 1e-9);
+  EXPECT_NEAR(half.InputMbps(), full.InputMbps() / 2, 1e-9);
+}
+
+TEST(QueryModelTest, JoinCostGrowsWithTableSize) {
+  EXPECT_LT(workloads::JoinCostFactor(50), workloads::JoinCostFactor(500));
+  EXPECT_NEAR(workloads::JoinCostFactor(500), 1.0, 1e-9);
+}
+
+TEST(QueryModelTest, SpEntryCostsAreSuffixSums) {
+  QueryModel m = workloads::MakeS2SModel();
+  auto entry = m.SpEntryCosts();
+  ASSERT_EQ(entry.size(), 4u);
+  EXPECT_EQ(entry[3], 0.0);
+  EXPECT_GT(entry[0], entry[1]);
+  EXPECT_GT(entry[1], entry[2]);
+}
+
+SourceNodeSim::Options SrcOpts(double budget) {
+  SourceNodeSim::Options o;
+  o.cpu_budget_fraction = budget;
+  return o;
+}
+
+TEST(SourceNodeSimTest, AllDrainAtZeroLoadFactors) {
+  SourceNodeSim node(workloads::MakeS2SModel(), SrcOpts(1.0));
+  auto r = node.RunEpoch(false);
+  // Everything drains at the entry proxy at full input rate.
+  EXPECT_NEAR(r.drained_records[0], 38081, 10);
+  EXPECT_NEAR(r.observation.cpu_spent_seconds, 0.0, 1e-9);
+  EXPECT_NEAR(BytesToMbps(r.drained_bytes, 1.0), 26.2, 0.1);
+}
+
+TEST(SourceNodeSimTest, FullLocalProcessingWithinBudget) {
+  SourceNodeSim node(workloads::MakeS2SModel(), SrcOpts(1.0));
+  node.SetLoadFactors({1, 1, 1});
+  auto r = node.RunEpoch(false);
+  EXPECT_NEAR(r.observation.cpu_spent_seconds, 0.85, 0.01);
+  // Only the final aggregates leave the node: ~26.2 * 0.86 * 0.30.
+  EXPECT_NEAR(BytesToMbps(r.drained_bytes, 1.0), 26.2 * 0.86 * 0.302, 0.3);
+  EXPECT_NEAR(r.completed_input_equiv, 38081, 50);
+}
+
+TEST(SourceNodeSimTest, BudgetCapsProcessing) {
+  SourceNodeSim node(workloads::MakeS2SModel(), SrcOpts(0.5));
+  node.SetLoadFactors({1, 1, 1});
+  auto r = node.RunEpoch(false);
+  EXPECT_LE(r.observation.cpu_spent_seconds, 0.5 + 1e-9);
+  EXPECT_GT(r.observation.proxies[2].pending, 0u);
+  EXPECT_EQ(core::ClassifyQueryState(r.observation, core::StepwiseConfig{}),
+            core::QueryState::kCongested);
+}
+
+TEST(SourceNodeSimTest, ShedsBeyondQueueBound) {
+  SourceNodeSim::Options o = SrcOpts(0.3);
+  o.queue_bound_seconds = 2.0;
+  SourceNodeSim node(workloads::MakeS2SModel(), o);
+  node.SetLoadFactors({1, 1, 1});
+  double shed = 0;
+  for (int e = 0; e < 30; ++e) shed += node.RunEpoch(false).shed_records;
+  EXPECT_GT(shed, 0.0);
+  // Queue stays bounded.
+  auto r = node.RunEpoch(false);
+  EXPECT_LT(r.local_backlog_seconds, 2.5);
+}
+
+TEST(SourceNodeSimTest, ProfileModeReportsTrueRelaysAndBiasedCosts) {
+  SourceNodeSim::Options o = SrcOpts(0.3);
+  o.profile_error_magnitude = 0.4;
+  SourceNodeSim node(workloads::MakeS2SModel(), o);
+  node.SetLoadFactors({1, 1, 1});
+  auto r = node.RunEpoch(true);
+  ASSERT_TRUE(r.observation.profiles_valid);
+  EXPECT_NEAR(r.observation.profiles[1].relay_records, 0.86, 1e-9);
+  // The expensive G+R cannot be fully covered at 30% budget: biased low.
+  EXPECT_LT(r.observation.profiles[2].cost_per_record,
+            node.model().ops[2].cost_per_record);
+  // Cheap window op is fully covered: exact.
+  EXPECT_NEAR(r.observation.profiles[0].cost_per_record,
+              node.model().ops[0].cost_per_record, 1e-12);
+}
+
+TEST(SourceNodeSimTest, RecordConservationPerEpoch) {
+  SourceNodeSim node(workloads::MakeS2SModel(), SrcOpts(0.6));
+  node.SetLoadFactors({1, 1, 0.5});
+  auto r = node.RunEpoch(false);
+  // Arrivals at proxy 0 = drained + forwarded.
+  const auto& p0 = r.observation.proxies[0];
+  EXPECT_EQ(p0.arrived, p0.drained + p0.forwarded);
+}
+
+TEST(LinkSimTest, UnderCapacityDeliversEverything) {
+  LinkSim link(1000.0, {10.0}, 5.0);
+  auto d = link.Transfer({50.0}, 1.0);  // 500 bytes < 1000
+  EXPECT_NEAR(d.records[0], 50.0, 1e-9);
+  EXPECT_NEAR(link.DelaySeconds(), 0.0, 1e-9);
+}
+
+TEST(LinkSimTest, OverCapacityQueues) {
+  LinkSim link(1000.0, {10.0}, 5.0);
+  auto d = link.Transfer({200.0}, 1.0);  // 2000 bytes offered
+  EXPECT_NEAR(d.bytes, 1000.0, 1e-6);
+  EXPECT_GT(link.DelaySeconds(), 0.9);
+}
+
+TEST(LinkSimTest, BacklogDrainsNextEpoch) {
+  LinkSim link(1000.0, {10.0}, 5.0);
+  link.Transfer({150.0}, 1.0);
+  auto d = link.Transfer({0.0}, 1.0);
+  EXPECT_NEAR(d.records[0], 50.0, 1e-9);
+  EXPECT_NEAR(link.BacklogBytes(), 0.0, 1e-9);
+}
+
+TEST(LinkSimTest, ProportionalSharingAcrossCategories) {
+  LinkSim link(1000.0, {10.0, 20.0}, 5.0);
+  auto d = link.Transfer({100.0, 50.0}, 1.0);  // 2000 bytes, half fits
+  EXPECT_NEAR(d.records[0], 50.0, 1e-6);
+  EXPECT_NEAR(d.records[1], 25.0, 1e-6);
+}
+
+TEST(LinkSimTest, BoundedBacklogSheds) {
+  LinkSim link(1000.0, {10.0}, /*backlog_bound_seconds=*/2.0);
+  for (int i = 0; i < 10; ++i) link.Transfer({500.0}, 1.0);
+  EXPECT_LE(link.BacklogBytes(), 2000.0 + 1e-6);
+}
+
+TEST(SpSimTest, CompletesWithinCapacity) {
+  QueryModel m = workloads::MakeS2SModel();
+  SpSim sp(m, 64.0);
+  std::vector<double> arrivals(4, 0.0);
+  arrivals[0] = m.input_records_per_sec;  // one source's full raw stream
+  auto r = sp.RunEpoch(arrivals, 1.0);
+  EXPECT_NEAR(r.completed_input_equiv, m.input_records_per_sec, 1.0);
+  EXPECT_NEAR(r.backlog_seconds, 0.0, 1e-9);
+}
+
+TEST(SpSimTest, FinishedRecordsAreFree) {
+  QueryModel m = workloads::MakeS2SModel();
+  SpSim sp(m, 0.001);  // almost no cores
+  std::vector<double> arrivals(4, 0.0);
+  arrivals[3] = 1000.0;  // already-finished outputs
+  auto r = sp.RunEpoch(arrivals, 1.0);
+  EXPECT_GT(r.completed_input_equiv, 0.0);
+  EXPECT_NEAR(r.backlog_seconds, 0.0, 1e-9);
+}
+
+TEST(SpSimTest, OverloadBuildsBacklog) {
+  QueryModel m = workloads::MakeS2SModel();
+  SpSim sp(m, 0.5);  // half a core for a 0.85-core stream
+  std::vector<double> arrivals(4, 0.0);
+  arrivals[0] = m.input_records_per_sec;
+  auto r = sp.RunEpoch(arrivals, 1.0);
+  EXPECT_GT(r.backlog_seconds, 0.0);
+  EXPECT_LT(r.completed_input_equiv, m.input_records_per_sec);
+}
+
+TEST(MaxMinFairTest, EqualSplitWhenAllDemandsExceed) {
+  auto share = MaxMinFairShare({1.0, 1.0, 1.0}, 1.5);
+  for (double s : share) EXPECT_NEAR(s, 0.5, 1e-9);
+}
+
+TEST(MaxMinFairTest, SmallDemandsSatisfiedFirst) {
+  auto share = MaxMinFairShare({0.1, 1.0, 1.0}, 1.1);
+  EXPECT_NEAR(share[0], 0.1, 1e-9);
+  EXPECT_NEAR(share[1], 0.5, 1e-9);
+  EXPECT_NEAR(share[2], 0.5, 1e-9);
+}
+
+TEST(MaxMinFairTest, AmpleCapacityMeetsAllDemands) {
+  auto share = MaxMinFairShare({0.2, 0.3}, 10.0);
+  EXPECT_NEAR(share[0], 0.2, 1e-9);
+  EXPECT_NEAR(share[1], 0.3, 1e-9);
+}
+
+TEST(MaxMinFairTest, ZeroCapacityGivesNothing) {
+  auto share = MaxMinFairShare({1.0, 1.0}, 0.0);
+  EXPECT_EQ(share[0], 0.0);
+  EXPECT_EQ(share[1], 0.0);
+}
+
+}  // namespace
+}  // namespace jarvis::sim

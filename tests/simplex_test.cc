@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "lp/simplex.h"
+
+namespace jarvis::lp {
+namespace {
+
+Constraint Le(std::vector<double> c, double rhs) {
+  return Constraint{std::move(c), Sense::kLe, rhs};
+}
+Constraint Ge(std::vector<double> c, double rhs) {
+  return Constraint{std::move(c), Sense::kGe, rhs};
+}
+Constraint Eq(std::vector<double> c, double rhs) {
+  return Constraint{std::move(c), Sense::kEq, rhs};
+}
+
+TEST(SimplexTest, SimpleMaximization) {
+  // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6  => x=4, y=0, value 12.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-3, -2};
+  p.constraints = {Le({1, 1}, 4), Le({1, 3}, 6)};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 0.0, 1e-8);
+  EXPECT_NEAR(sol->objective, -12.0, 1e-8);
+}
+
+TEST(SimplexTest, ClassicTwoVariable) {
+  // max x + y s.t. 2x + y <= 8, x + 2y <= 8 => x=y=8/3.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-1, -1};
+  p.constraints = {Le({2, 1}, 8), Le({1, 2}, 8)};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 8.0 / 3, 1e-8);
+  EXPECT_NEAR(sol->x[1], 8.0 / 3, 1e-8);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // min x + y s.t. x + y = 5, x <= 3 => any feasible has value 5.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.constraints = {Eq({1, 1}, 5), Le({1, 0}, 3)};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 5.0, 1e-8);
+  EXPECT_NEAR(sol->objective, 5.0, 1e-8);
+}
+
+TEST(SimplexTest, GeConstraintsNeedPhase1) {
+  // min 2x + 3y s.t. x + y >= 4, x >= 1 => x=4 (cheapest), y=0 -> 8? No:
+  // cost of x is 2 so fill with x: x=4, y=0 => 8.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {2, 3};
+  p.constraints = {Ge({1, 1}, 4), Ge({1, 0}, 1)};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 8.0, 1e-8);
+  EXPECT_NEAR(sol->x[0], 4.0, 1e-8);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.constraints = {Le({1}, 1), Ge({1}, 2)};
+  auto sol = Solve(p);
+  EXPECT_EQ(sol.status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {-1};  // maximize x with no upper bound
+  p.constraints = {Ge({1}, 0)};
+  auto sol = Solve(p);
+  EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, NegativeRhsNormalized) {
+  // x <= -1 is infeasible for x >= 0 after normalization (-x >= 1 -> never).
+  Problem p;
+  p.num_vars = 1;
+  p.objective = {1};
+  p.constraints = {Le({1}, -1)};
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kInfeasible);
+
+  // -x <= -1 (i.e., x >= 1) is fine.
+  Problem p2;
+  p2.num_vars = 1;
+  p2.objective = {1};
+  p2.constraints = {Le({-1}, -1)};
+  auto sol = Solve(p2);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->x[0], 1.0, 1e-8);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-1, -1};
+  p.constraints = {Le({1, 0}, 1), Le({0, 1}, 1), Le({1, 1}, 2),
+                   Le({2, 2}, 4)};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, -2.0, 1e-8);
+}
+
+TEST(SimplexTest, MalformedInputsRejected) {
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1};  // wrong arity
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kInvalidArgument);
+
+  Problem p2;
+  p2.num_vars = 1;
+  p2.objective = {1};
+  p2.constraints = {Le({1, 2}, 1)};  // wrong arity
+  EXPECT_EQ(Solve(p2).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SimplexTest, NoConstraintsMinimizesAtZero) {
+  Problem p;
+  p.num_vars = 3;
+  p.objective = {1, 2, 3};
+  auto sol = Solve(p);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective, 0.0, 1e-12);
+}
+
+// Property: on random bounded LPs, the simplex optimum is feasible and at
+// least as good as any point of a brute-force grid search.
+class SimplexPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimplexPropertyTest, BeatsGridSearchOnRandomBoundedLps) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const size_t n = 2 + rng.NextBounded(2);  // 2-3 vars
+    Problem p;
+    p.num_vars = n;
+    p.objective.resize(n);
+    for (double& c : p.objective) c = rng.NextGaussian();
+    // Box bounds keep it bounded; plus two random <= constraints.
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<double> row(n, 0.0);
+      row[i] = 1.0;
+      p.constraints.push_back(Le(std::move(row), 1.0 + rng.NextDouble()));
+    }
+    for (int extra = 0; extra < 2; ++extra) {
+      std::vector<double> row(n);
+      for (double& v : row) v = rng.NextDouble();
+      p.constraints.push_back(Le(std::move(row), 0.5 + rng.NextDouble()));
+    }
+    auto sol = Solve(p);
+    ASSERT_TRUE(sol.ok()) << sol.status().ToString();
+
+    // Feasibility of the reported point.
+    for (const Constraint& c : p.constraints) {
+      double lhs = 0.0;
+      for (size_t i = 0; i < n; ++i) lhs += c.coeffs[i] * sol->x[i];
+      EXPECT_LE(lhs, c.rhs + 1e-6);
+    }
+    for (double v : sol->x) EXPECT_GE(v, -1e-9);
+
+    // Grid search (coarse) cannot beat the simplex optimum.
+    const int steps = 6;
+    std::vector<int> idx(n, 0);
+    while (true) {
+      std::vector<double> x(n);
+      for (size_t i = 0; i < n; ++i) {
+        x[i] = 2.0 * idx[i] / steps;
+      }
+      bool feasible = true;
+      for (const Constraint& c : p.constraints) {
+        double lhs = 0.0;
+        for (size_t i = 0; i < n; ++i) lhs += c.coeffs[i] * x[i];
+        if (lhs > c.rhs + 1e-9) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible) {
+        double obj = 0.0;
+        for (size_t i = 0; i < n; ++i) obj += p.objective[i] * x[i];
+        EXPECT_GE(obj, sol->objective - 1e-6);
+      }
+      size_t d = 0;
+      while (d < n && ++idx[d] > steps) {
+        idx[d] = 0;
+        ++d;
+      }
+      if (d == n) break;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+}  // namespace
+}  // namespace jarvis::lp

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "core/sp_executor.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
+
+namespace jarvis::core {
+namespace {
+
+query::CompiledQuery CompileS2S() {
+  auto plan = workloads::MakeS2SProbeQuery();
+  EXPECT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  EXPECT_TRUE(compiled.ok());
+  return std::move(compiled).value();
+}
+
+SourceEpochOutput RawEpoch(const stream::RecordBatch& records, Micros wm) {
+  SourceEpochOutput out;
+  for (const stream::Record& r : records) {
+    out.to_sp.push_back(DrainRecord{0, r});
+  }
+  out.watermark = wm;
+  return out;
+}
+
+stream::RecordBatch Probes(int n, Micros t0, uint64_t seed = 42) {
+  workloads::PingmeshConfig cfg;
+  cfg.num_pairs = n;
+  cfg.probe_interval = Seconds(1);
+  cfg.seed = seed;
+  workloads::PingmeshGenerator gen(cfg);
+  return gen.Generate(t0, t0 + Seconds(1));
+}
+
+TEST(SpExecutorTest, SingleSourceEndToEnd) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  ASSERT_TRUE(sp.Init().ok());
+  stream::RecordBatch results;
+  ASSERT_TRUE(sp.Consume(0, RawEpoch(Probes(50, 0), Seconds(1)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_TRUE(results.empty());  // window still open
+  ASSERT_TRUE(sp.Consume(0, RawEpoch({}, Seconds(10)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_FALSE(results.empty());  // window [0, 10s) closed
+  for (const stream::Record& r : results) {
+    EXPECT_EQ(r.kind, stream::RecordKind::kData);
+    EXPECT_EQ(r.fields.size(), 5u);  // srcIp, dstIp, avg, max, min
+  }
+}
+
+TEST(SpExecutorTest, WindowHeldOpenUntilAllSourcesAdvance) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 2);
+  ASSERT_TRUE(sp.Init().ok());
+  stream::RecordBatch results;
+  // Source 0 advances past the window; source 1 lags.
+  ASSERT_TRUE(
+      sp.Consume(0, RawEpoch(Probes(10, 0), Seconds(12)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_TRUE(results.empty());  // source 1 has not reported yet
+
+  ASSERT_TRUE(
+      sp.Consume(1, RawEpoch(Probes(10, 0, 43), Seconds(5)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_TRUE(results.empty());  // min watermark is 5s < window end
+
+  ASSERT_TRUE(sp.Consume(1, RawEpoch({}, Seconds(11)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_FALSE(results.empty());  // both sources past 10s
+}
+
+TEST(SpExecutorTest, DrainedRecordsResumeAtTaggedOperator) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  ASSERT_TRUE(sp.Init().ok());
+  stream::RecordBatch results;
+  // A record with errCode != 0 drained *after* the filter (entry 2) must
+  // not be filtered again: it reaches the aggregate.
+  stream::Record bad = Probes(1, 0)[0];
+  bad.fields[workloads::PingmeshGenerator::kErrCode] =
+      stream::Value(int64_t{1});
+  bad.window_start = 0;
+  SourceEpochOutput out;
+  out.to_sp.push_back(DrainRecord{2, bad});
+  out.watermark = Seconds(11);
+  ASSERT_TRUE(sp.Consume(0, std::move(out), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  ASSERT_EQ(results.size(), 1u);
+
+  // The same record entering at 0 goes through the filter and is dropped.
+  SpExecutor sp2(q, 1);
+  stream::RecordBatch results2;
+  SourceEpochOutput out2;
+  out2.to_sp.push_back(DrainRecord{0, bad});
+  out2.watermark = Seconds(11);
+  ASSERT_TRUE(sp2.Consume(0, std::move(out2), &results2).ok());
+  ASSERT_TRUE(sp2.EndEpoch(&results2).ok());
+  EXPECT_TRUE(results2.empty());
+}
+
+TEST(SpExecutorTest, UnknownSourceRejected) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  stream::RecordBatch results;
+  EXPECT_EQ(sp.Consume(5, RawEpoch({}, 0), &results).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SpExecutorTest, BadEntryOperatorRejected) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  stream::RecordBatch results;
+  SourceEpochOutput out;
+  out.to_sp.push_back(DrainRecord{17, stream::Record{}});
+  out.watermark = 0;
+  EXPECT_EQ(sp.Consume(0, std::move(out), &results).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SpExecutorTest, FlushEmitsRemainingState) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  stream::RecordBatch results;
+  ASSERT_TRUE(sp.Consume(0, RawEpoch(Probes(5, 0), Seconds(1)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  ASSERT_TRUE(results.empty());
+  ASSERT_TRUE(sp.Flush(&results).ok());
+  EXPECT_FALSE(results.empty());
+}
+
+TEST(SpExecutorTest, WatermarkNeverRegresses) {
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor sp(q, 1);
+  stream::RecordBatch results;
+  ASSERT_TRUE(sp.Consume(0, RawEpoch({}, Seconds(20)), &results).ok());
+  ASSERT_TRUE(sp.EndEpoch(&results).ok());
+  EXPECT_EQ(sp.merged_watermark(), Seconds(20));
+  ASSERT_TRUE(sp.Consume(0, RawEpoch({}, Seconds(15)), &results).ok());
+  EXPECT_EQ(sp.merged_watermark(), Seconds(20));
+}
+
+}  // namespace
+}  // namespace jarvis::core

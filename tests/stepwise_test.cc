@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/stepwise_adapt.h"
+
+namespace jarvis::core {
+namespace {
+
+EpochObservation BaseObs(size_t num_ops) {
+  EpochObservation obs;
+  obs.proxies.resize(num_ops);
+  for (auto& p : obs.proxies) {
+    p.arrived = 1000;
+    p.load_factor = 0.5;
+  }
+  obs.input_records = 1000;
+  obs.cpu_budget_seconds = 1.0;
+  obs.cpu_spent_seconds = 0.95;
+  return obs;
+}
+
+TEST(ClassifyTest, StableWhenBudgetWellUsedAndNoBacklog) {
+  EpochObservation obs = BaseObs(3);
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kStable);
+}
+
+TEST(ClassifyTest, CongestedOnPendingBacklog) {
+  EpochObservation obs = BaseObs(3);
+  obs.proxies[1].pending = 500;  // 50% of arrivals >> DrainedThres
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}),
+            QueryState::kCongested);
+}
+
+TEST(ClassifyTest, SmallPendingTolerated) {
+  EpochObservation obs = BaseObs(3);
+  obs.proxies[1].pending = 50;  // 5% < DrainedThres (10%)
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kStable);
+}
+
+TEST(ClassifyTest, IdleWhenBudgetUnderusedWithHeadroom) {
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.3;
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kIdle);
+}
+
+TEST(ClassifyTest, NotIdleWhenAllLoadFactorsMaxed) {
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.3;
+  for (auto& p : obs.proxies) p.load_factor = 1.0;
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kStable);
+}
+
+TEST(ClassifyTest, NotIdleWithoutInput) {
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.0;
+  obs.input_records = 0;
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kStable);
+}
+
+TEST(ClassifyTest, CongestionBeatsIdle) {
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.1;
+  obs.proxies[0].pending = 900;
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}),
+            QueryState::kCongested);
+}
+
+TEST(ClassifyTest, EmptyObservationIsStable) {
+  EpochObservation obs;
+  EXPECT_EQ(ClassifyQueryState(obs, StepwiseConfig{}), QueryState::kStable);
+}
+
+std::vector<OperatorProfile> S2SProfiles() {
+  // window, filter (relay .86), group-agg (relay .30 bytes).
+  std::vector<OperatorProfile> p(3);
+  p[0] = {0.02 / 1000, 1.0, 1.0, 1000};
+  p[1] = {0.13 / 1000, 0.86, 0.86, 1000};
+  p[2] = {0.70 / (1000 * 0.86), 0.5, 0.30, 860};
+  return p;
+}
+
+TEST(StepwiseLpInitTest, AmpleBudgetGoesAllLocal) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  auto lfs = adapter.ComputeLpInit(S2SProfiles(), 1.0, 1000);
+  ASSERT_TRUE(lfs.ok());
+  for (double lf : *lfs) EXPECT_NEAR(lf, 1.0, 1e-9);
+}
+
+TEST(StepwiseLpInitTest, ZeroBudgetStaysRemote) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  auto lfs = adapter.ComputeLpInit(S2SProfiles(), 0.0, 1000);
+  ASSERT_TRUE(lfs.ok());
+  EXPECT_NEAR((*lfs)[0] * (*lfs)[1] * (*lfs)[2], 0.0, 1e-9);
+}
+
+TEST(StepwiseLpInitTest, ResultsSnapToGrid) {
+  StepwiseConfig config;
+  config.grid = 10;
+  StepwiseAdapt adapter(config);
+  auto lfs = adapter.ComputeLpInit(S2SProfiles(), 0.57, 1000);
+  ASSERT_TRUE(lfs.ok());
+  for (double lf : *lfs) {
+    const double scaled = lf * 10;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST(StepwiseFineTuneTest, IdleGrowsHighestPriorityOperator) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {0.5, 0.5, 0.5};
+  adapter.Begin(lfs, S2SProfiles());
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.4;  // idle
+  ASSERT_TRUE(adapter.Step(QueryState::kIdle, obs, &lfs));
+  // Highest priority = lowest byte relay = the group aggregate (index 2).
+  EXPECT_GT(lfs[2], 0.5);
+  EXPECT_EQ(lfs[0], 0.5);
+  EXPECT_EQ(lfs[1], 0.5);
+}
+
+TEST(StepwiseFineTuneTest, CongestedShrinksLowestPriorityOperator) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {0.5, 0.5, 0.5};
+  adapter.Begin(lfs, S2SProfiles());
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 1.2;  // over budget
+  ASSERT_TRUE(adapter.Step(QueryState::kCongested, obs, &lfs));
+  // Lowest priority = highest relay = the window (index 0).
+  EXPECT_LT(lfs[0], 0.5);
+  EXPECT_EQ(lfs[1], 0.5);
+  EXPECT_EQ(lfs[2], 0.5);
+}
+
+TEST(StepwiseFineTuneTest, StableStateMakesNoChange) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {0.5, 0.5, 0.5};
+  adapter.Begin(lfs, S2SProfiles());
+  EXPECT_FALSE(adapter.Step(QueryState::kStable, BaseObs(3), &lfs));
+}
+
+TEST(StepwiseFineTuneTest, IdleFromZeroJumpsToUpperBound) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {0.0, 0.0, 0.0};
+  adapter.Begin(lfs, S2SProfiles());
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.0;
+  ASSERT_TRUE(adapter.Step(QueryState::kIdle, obs, &lfs));
+  EXPECT_EQ(lfs[2], 1.0);  // jump, not midpoint
+}
+
+TEST(StepwiseFineTuneTest, GrowthSaturatesAcrossAllOperators) {
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {0.0, 0.0, 0.0};
+  adapter.Begin(lfs, S2SProfiles());
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_spent_seconds = 0.0;
+  int steps = 0;
+  while (adapter.Step(QueryState::kIdle, obs, &lfs)) {
+    ++steps;
+    ASSERT_LT(steps, 100);
+  }
+  EXPECT_EQ(lfs, (std::vector<double>{1.0, 1.0, 1.0}));
+  EXPECT_EQ(steps, 3);  // one jump per operator
+}
+
+TEST(StepwiseFineTuneTest, ProportionalShrinkLandsNearTarget) {
+  StepwiseConfig config;
+  StepwiseAdapt adapter(config);
+  std::vector<double> lfs = {1.0, 1.0, 1.0};
+  adapter.Begin(lfs, S2SProfiles());
+  EpochObservation obs = BaseObs(3);
+  obs.cpu_budget_seconds = 0.6;
+  obs.cpu_spent_seconds = 0.85;  // plant: full query costs 0.85
+  ASSERT_TRUE(adapter.Step(QueryState::kCongested, obs, &lfs));
+  // target = 0.6 * (1 - 0.075) = 0.555; guess = 0.555/0.85 ~ 0.65.
+  EXPECT_NEAR(lfs[0], 0.65, 0.051);
+}
+
+TEST(StepwiseFineTuneTest, AlternatingStatesConverge) {
+  // Synthetic plant: spend = lf[0] * 0.85 against budget 0.6. The search
+  // must settle inside the stable band within a few steps.
+  StepwiseAdapt adapter(StepwiseConfig{});
+  std::vector<double> lfs = {1.0, 1.0, 1.0};
+  adapter.Begin(lfs, S2SProfiles());
+  QueryState state = QueryState::kCongested;
+  int steps = 0;
+  while (steps < 20) {
+    EpochObservation obs = BaseObs(3);
+    obs.cpu_budget_seconds = 0.6;
+    obs.cpu_spent_seconds = lfs[0] * 0.85;
+    for (size_t i = 0; i < 3; ++i) obs.proxies[i].load_factor = lfs[i];
+    if (obs.cpu_spent_seconds > 0.6) {
+      state = QueryState::kCongested;
+    } else if (obs.cpu_spent_seconds < 0.85 * 0.6) {
+      state = QueryState::kIdle;
+    } else {
+      state = QueryState::kStable;
+      break;
+    }
+    ASSERT_TRUE(adapter.Step(state, obs, &lfs)) << "step " << steps;
+    ++steps;
+  }
+  EXPECT_EQ(state, QueryState::kStable);
+  EXPECT_LE(steps, 6);
+}
+
+TEST(QueryStateTest, Names) {
+  EXPECT_EQ(QueryStateToString(QueryState::kIdle), "Idle");
+  EXPECT_EQ(QueryStateToString(QueryState::kStable), "Stable");
+  EXPECT_EQ(QueryStateToString(QueryState::kCongested), "Congested");
+}
+
+}  // namespace
+}  // namespace jarvis::core

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "synopsis/quantile.h"
+#include "synopsis/wsp.h"
+#include "workloads/pingmesh.h"
+
+namespace jarvis::synopsis {
+namespace {
+
+TEST(WindowSamplerTest, RateZeroKeepsNothingRateOneKeepsAll) {
+  WindowSampler none(0.0, 1);
+  WindowSampler all(1.0, 1);
+  for (uint64_t seq = 0; seq < 100; ++seq) {
+    EXPECT_FALSE(none.Keep(0, seq));
+    EXPECT_TRUE(all.Keep(0, seq));
+  }
+}
+
+TEST(WindowSamplerTest, SampleSizeTracksRate) {
+  for (double rate : {0.2, 0.5, 0.8}) {
+    WindowSampler sampler(rate, 7);
+    int kept = 0;
+    const int n = 20000;
+    for (int seq = 0; seq < n; ++seq) kept += sampler.Keep(0, seq) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(kept) / n, rate, 0.02) << rate;
+  }
+}
+
+TEST(WindowSamplerTest, Deterministic) {
+  WindowSampler a(0.5, 42), b(0.5, 42);
+  for (uint64_t seq = 0; seq < 500; ++seq) {
+    EXPECT_EQ(a.Keep(1000, seq), b.Keep(1000, seq));
+  }
+}
+
+TEST(WindowSamplerTest, DifferentWindowsDifferentSamples) {
+  WindowSampler s(0.5, 42);
+  int diff = 0;
+  for (uint64_t seq = 0; seq < 500; ++seq) {
+    if (s.Keep(0, seq) != s.Keep(Seconds(10), seq)) ++diff;
+  }
+  EXPECT_GT(diff, 100);
+}
+
+stream::RecordBatch TwoKeyBatch() {
+  stream::RecordBatch batch;
+  for (int i = 0; i < 10; ++i) {
+    stream::Record r;
+    r.event_time = i;
+    r.fields = {stream::Value(int64_t{i % 2}),
+                stream::Value(static_cast<double>(i))};
+    batch.push_back(std::move(r));
+  }
+  return batch;
+}
+
+TEST(AggregateByKeyTest, ExactStatistics) {
+  auto groups = AggregateByKey(TwoKeyBatch(), 0, 1);
+  ASSERT_EQ(groups.size(), 2u);
+  const RangeEstimate& even = groups.at("0");  // 0,2,4,6,8
+  EXPECT_EQ(even.count, 5u);
+  EXPECT_DOUBLE_EQ(even.min, 0.0);
+  EXPECT_DOUBLE_EQ(even.max, 8.0);
+  EXPECT_DOUBLE_EQ(even.avg, 4.0);
+}
+
+TEST(AggregateByKeyTest, SampledSubsetIsConsistent) {
+  stream::RecordBatch batch = TwoKeyBatch();
+  WindowSampler sampler(0.5, 3);
+  stream::RecordBatch sampled = sampler.Sample(0, batch);
+  EXPECT_LT(sampled.size(), batch.size());
+  auto groups = AggregateByKey(sampled, 0, 1);
+  auto exact = AggregateByKey(batch, 0, 1);
+  for (const auto& [key, est] : groups) {
+    // Sampled extrema are bounded by the exact ones.
+    EXPECT_GE(est.min, exact.at(key).min);
+    EXPECT_LE(est.max, exact.at(key).max);
+  }
+}
+
+TEST(SamplingAnomalyTest, LowRatesMissSparseAnomalies) {
+  // The Fig. 9 mechanism in miniature: sparse high-latency probes are
+  // missed at low sampling rates, so per-pair max-rtt estimates collapse.
+  workloads::PingmeshConfig cfg;
+  cfg.num_pairs = 400;
+  cfg.probe_interval = Seconds(5);
+  cfg.anomaly_pair_fraction = 0.05;
+  cfg.episode_period = Seconds(10);
+  cfg.episode_duration = Seconds(10);  // always anomalous for chosen pairs
+  workloads::PingmeshGenerator gen(cfg);
+  stream::RecordBatch window = gen.Generate(0, Seconds(10));
+
+  auto exact = AggregateByKey(window, workloads::PingmeshGenerator::kDstIp,
+                              workloads::PingmeshGenerator::kRttUs);
+  int exact_alerts = 0;
+  for (const auto& [key, est] : exact) exact_alerts += est.max > 5000.0;
+  ASSERT_GT(exact_alerts, 2);
+
+  WindowSampler sampler(0.2, 11);
+  auto sampled = AggregateByKey(
+      sampler.Sample(0, window), workloads::PingmeshGenerator::kDstIp,
+      workloads::PingmeshGenerator::kRttUs);
+  int sampled_alerts = 0;
+  for (const auto& [key, est] : sampled) sampled_alerts += est.max > 5000.0;
+  // With 2 probes per pair and rate 0.2, most anomalous pairs lose their
+  // high-latency probes: recall is well below 100%.
+  EXPECT_LT(sampled_alerts, exact_alerts);
+}
+
+TEST(GkQuantileTest, EmptySketchErrors) {
+  GkQuantile q(0.01);
+  EXPECT_FALSE(q.Query(0.5).ok());
+}
+
+TEST(GkQuantileTest, ExactForTinyInputs) {
+  GkQuantile q(0.1);
+  q.Insert(1.0);
+  q.Insert(2.0);
+  q.Insert(3.0);
+  auto median = q.Query(0.5);
+  ASSERT_TRUE(median.ok());
+  EXPECT_GE(*median, 1.0);
+  EXPECT_LE(*median, 3.0);
+}
+
+TEST(GkQuantileTest, MinAndMaxAreExact) {
+  Rng rng(5);
+  GkQuantile q(0.05);
+  double lo = 1e300, hi = -1e300;
+  for (int i = 0; i < 5000; ++i) {
+    const double v = rng.NextGaussian();
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    q.Insert(v);
+  }
+  EXPECT_DOUBLE_EQ(*q.Query(0.0), lo);
+  EXPECT_DOUBLE_EQ(*q.Query(1.0), hi);
+}
+
+TEST(GkQuantileTest, SummaryIsSublinear) {
+  GkQuantile q(0.01);
+  Rng rng(6);
+  for (int i = 0; i < 20000; ++i) q.Insert(rng.NextDouble());
+  EXPECT_LT(q.tuples(), 4000u);
+  EXPECT_EQ(q.count(), 20000u);
+}
+
+class GkErrorBoundTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GkErrorBoundTest, RankErrorWithinEpsilon) {
+  const double eps = GetParam();
+  GkQuantile sketch(eps);
+  Rng rng(17);
+  std::vector<double> values;
+  const int n = 10000;
+  values.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextExponential(100.0);
+    values.push_back(v);
+    sketch.Insert(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    auto est = sketch.Query(q);
+    ASSERT_TRUE(est.ok());
+    // Rank of the returned value.
+    const auto it = std::lower_bound(values.begin(), values.end(), *est);
+    const double rank =
+        static_cast<double>(it - values.begin()) / values.size();
+    EXPECT_NEAR(rank, q, 2 * eps + 0.005) << "quantile " << q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Epsilons, GkErrorBoundTest,
+                         ::testing::Values(0.2, 0.1, 0.05, 0.02, 0.01));
+
+}  // namespace
+}  // namespace jarvis::synopsis

@@ -1,0 +1,49 @@
+#include <gtest/gtest.h>
+
+#include "stream/watermark.h"
+
+namespace jarvis::stream {
+namespace {
+
+TEST(WatermarkTest, UninitializedUntilAllInputsReport) {
+  WatermarkMerger m(3);
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  m.Update(0, 100);
+  m.Update(1, 200);
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  m.Update(2, 150);
+  EXPECT_EQ(m.Merged(), 100);
+}
+
+TEST(WatermarkTest, MergedIsMinimum) {
+  WatermarkMerger m(2);
+  m.Update(0, 500);
+  m.Update(1, 300);
+  EXPECT_EQ(m.Merged(), 300);
+  m.Update(1, 600);
+  EXPECT_EQ(m.Merged(), 500);
+}
+
+TEST(WatermarkTest, StaleUpdatesIgnored) {
+  WatermarkMerger m(1);
+  m.Update(0, 100);
+  m.Update(0, 50);  // stale
+  EXPECT_EQ(m.Merged(), 100);
+}
+
+TEST(WatermarkTest, SingleInputTracksDirectly) {
+  WatermarkMerger m(1);
+  m.Update(0, 7);
+  EXPECT_EQ(m.Merged(), 7);
+}
+
+TEST(WatermarkTest, ManyInputsAdvanceTogether) {
+  WatermarkMerger m(10);
+  for (size_t i = 0; i < 10; ++i) m.Update(i, 100 + static_cast<Micros>(i));
+  EXPECT_EQ(m.Merged(), 100);
+  for (size_t i = 0; i < 10; ++i) m.Update(i, 1000);
+  EXPECT_EQ(m.Merged(), 1000);
+}
+
+}  // namespace
+}  // namespace jarvis::stream

@@ -1,0 +1,107 @@
+#!/usr/bin/env bash
+# Runs the benchmark harness and emits a machine-readable snapshot of the
+# repo's performance (throughput + latency) for trajectory tracking.
+#
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+#   BUILD_DIR    cmake build directory with bench binaries (default: build)
+#   OUTPUT_JSON  where to write the snapshot (default: BENCH_seed.json)
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_seed.json}"
+RESULTS_DIR="${BUILD_DIR}/bench_results"
+
+if [[ ! -x "${BUILD_DIR}/bench/fig7_throughput" ]]; then
+  echo "error: ${BUILD_DIR}/bench/fig7_throughput not found." >&2
+  echo "Build first: cmake -B ${BUILD_DIR} -S . && cmake --build ${BUILD_DIR} -j" >&2
+  exit 1
+fi
+
+mkdir -p "${RESULTS_DIR}"
+
+echo "== fig7_throughput (paper Fig. 7: goodput vs CPU budget) =="
+"${BUILD_DIR}/bench/fig7_throughput" | tee "${RESULTS_DIR}/fig7.txt"
+
+echo
+echo "== latency_bench (Section VI-E: epoch latency under load) =="
+"${BUILD_DIR}/bench/latency_bench" | tee "${RESULTS_DIR}/latency.txt"
+
+# Optional microbenchmarks (google-benchmark); tolerated if absent.
+if [[ -x "${BUILD_DIR}/bench/overhead_bench" ]]; then
+  echo
+  echo "== overhead_bench (adaptation-path microbenchmarks) =="
+  "${BUILD_DIR}/bench/overhead_bench" \
+    --benchmark_format=json > "${RESULTS_DIR}/overhead.json" || true
+fi
+
+python3 - "$RESULTS_DIR" "$OUT" <<'PYEOF'
+import json, re, subprocess, sys
+from pathlib import Path
+
+results_dir, out_path = Path(sys.argv[1]), sys.argv[2]
+
+def parse_fig7(text):
+    """Tables keyed '(a) <Query> (input ...' with rows '<budget> % v1..v6'."""
+    queries, strategies, current = {}, [], None
+    for line in text.splitlines():
+        m = re.match(r"\([a-z]\)\s+(.+?)\s+\(input", line)
+        if m:
+            current = m.group(1)
+            queries[current] = {}
+            continue
+        if line.startswith("CPU budget"):
+            strategies = line.split()[2:]
+            continue
+        m = re.match(r"(\d+)\s*%\s+([\d.\s]+)$", line)
+        if m and current:
+            vals = [float(v) for v in m.group(2).split()]
+            queries[current][f"cpu_{m.group(1)}pct"] = dict(
+                zip(strategies, vals))
+    return queries
+
+def parse_latency(text):
+    """Sections '(n) <label>' with rows '<policy> median max tput'."""
+    scenarios, current = {}, None
+    for line in text.splitlines():
+        m = re.match(r"\(\d+\)\s+(.*)", line)
+        if m:
+            current = m.group(1).strip()
+            scenarios[current] = {}
+            continue
+        m = re.match(r"(\S+)\s+([\d.]+)\s+([\d.]+)\s+([\d.]+)\s*$", line)
+        if m and current:
+            scenarios[current][m.group(1)] = {
+                "median_latency_s": float(m.group(2)),
+                "max_latency_s": float(m.group(3)),
+                "throughput_mbps": float(m.group(4)),
+            }
+    return scenarios
+
+snapshot = {
+    "schema_version": 1,
+    "label": Path(out_path).stem.replace("BENCH_", ""),
+    "compiler": subprocess.run(["c++", "--version"], capture_output=True,
+                               text=True).stdout.splitlines()[0],
+    "fig7_throughput_mbps": parse_fig7(
+        (results_dir / "fig7.txt").read_text()),
+    "latency": parse_latency((results_dir / "latency.txt").read_text()),
+}
+
+overhead = results_dir / "overhead.json"
+if overhead.exists():
+    try:
+        data = json.loads(overhead.read_text())
+        snapshot["overhead_us"] = {
+            b["name"]: round(b["real_time"] / 1e3, 3)  # ns -> us
+            for b in data.get("benchmarks", [])
+        }
+    except (json.JSONDecodeError, KeyError):
+        pass
+
+sanity = snapshot["fig7_throughput_mbps"]
+assert sanity and all(sanity.values()), "fig7 parse produced no data"
+assert snapshot["latency"], "latency parse produced no data"
+
+Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
+print(f"\nwrote {out_path}")
+PYEOF

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <iterator>
 #include <set>
 
 #include "common/rng.h"
@@ -22,6 +23,35 @@ TEST(StatusTest, ErrorCarriesCodeAndMessage) {
   EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(s.message(), "bad thing");
   EXPECT_EQ(s.ToString(), "InvalidArgument: bad thing");
+}
+
+TEST(StatusTest, EveryCodeRoundTrips) {
+  const StatusCode kAllCodes[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kResourceExhausted, StatusCode::kFailedPrecondition,
+      StatusCode::kUnimplemented, StatusCode::kInternal,
+      StatusCode::kSerializationError, StatusCode::kInfeasible,
+  };
+  for (StatusCode code : kAllCodes) {
+    Status s(code, "msg");
+    EXPECT_EQ(s.code(), code);
+    EXPECT_EQ(s.ok(), code == StatusCode::kOk);
+    // Rebuilding from the accessors yields an equal status.
+    EXPECT_EQ(Status(s.code(), s.message()), s);
+    if (code == StatusCode::kOk) {
+      EXPECT_EQ(s.ToString(), "OK");
+    } else {
+      // ToString round-trips the code name and message.
+      EXPECT_EQ(s.ToString(),
+                std::string(StatusCodeToString(code)) + ": msg");
+    }
+    // Every code has a distinct, non-"Unknown" name.
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+  std::set<std::string_view> names;
+  for (StatusCode code : kAllCodes) names.insert(StatusCodeToString(code));
+  EXPECT_EQ(names.size(), std::size(kAllCodes));
 }
 
 TEST(StatusTest, AllFactoriesSetTheirCode) {

@@ -14,6 +14,7 @@
 #include "core/source_executor.h"
 #include "core/sp_executor.h"
 #include "query/compile.h"
+#include "testing/test_util.h"
 #include "workloads/loganalytics.h"
 #include "workloads/pingmesh.h"
 #include "workloads/queries.h"
@@ -148,8 +149,10 @@ TEST_P(FuzzEquivalenceTest, LogAnalyticsAnyPlanMatchesCentralized) {
   }
 }
 
+// Seeds are pinned (1..N) so every run and every CI shard sees the same
+// sequences; JARVIS_FUZZ_ITERS=<n> widens the sweep for deep local runs.
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzEquivalenceTest,
-                         ::testing::Values(1, 2, 3, 4, 5, 6));
+                         ::testing::ValuesIn(jarvis::testing::FuzzSeeds()));
 
 }  // namespace
 }  // namespace jarvis

@@ -1,13 +1,12 @@
 #include <gtest/gtest.h>
 
 #include "stream/join.h"
+#include "testing/test_util.h"
 
 namespace jarvis::stream {
 namespace {
 
-Schema ProbeSchema() {
-  return Schema::Of({{"ip", ValueType::kInt64}, {"rtt", ValueType::kDouble}});
-}
+Schema ProbeSchema() { return jarvis::testing::KvSchema("ip", "rtt"); }
 
 std::shared_ptr<StaticTable> MakeTable() {
   auto t = std::make_shared<StaticTable>(
@@ -17,10 +16,7 @@ std::shared_ptr<StaticTable> MakeTable() {
 }
 
 Record Rec(int64_t ip, double rtt) {
-  Record r;
-  r.event_time = 1;
-  r.fields = {Value(ip), Value(rtt)};
-  return r;
+  return jarvis::testing::MakeRecord(/*event_time=*/1, ip, rtt);
 }
 
 TEST(StaticTableTest, FindHitAndMiss) {

@@ -1,27 +1,20 @@
 #include <gtest/gtest.h>
 
 #include "stream/ops.h"
+#include "testing/test_util.h"
 
 namespace jarvis::stream {
 namespace {
 
-Schema TwoColSchema() {
-  return Schema::Of({{"k", ValueType::kInt64}, {"v", ValueType::kDouble}});
-}
-
-Record Rec(Micros t, int64_t k, double v) {
-  Record r;
-  r.event_time = t;
-  r.fields = {Value(k), Value(v)};
-  return r;
-}
+using jarvis::testing::KvSchema;
+using jarvis::testing::MakeRecord;
 
 TEST(WindowOpTest, AssignsTumblingWindowStart) {
-  WindowOp op("w", TwoColSchema(), Seconds(10));
+  WindowOp op("w", KvSchema(), Seconds(10));
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(Seconds(13), 1, 2.0), &out).ok());
-  ASSERT_TRUE(op.Process(Rec(Seconds(20), 1, 2.0), &out).ok());
-  ASSERT_TRUE(op.Process(Rec(Seconds(29.999), 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(Seconds(13), 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(Seconds(20), 1, 2.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(Seconds(29.999), 1, 2.0), &out).ok());
   ASSERT_EQ(out.size(), 3u);
   EXPECT_EQ(out[0].window_start, Seconds(10));
   EXPECT_EQ(out[1].window_start, Seconds(20));
@@ -29,8 +22,8 @@ TEST(WindowOpTest, AssignsTumblingWindowStart) {
 }
 
 TEST(WindowOpTest, PartialRecordsKeepTheirWindow) {
-  WindowOp op("w", TwoColSchema(), Seconds(10));
-  Record partial = Rec(Seconds(25), 1, 2.0);
+  WindowOp op("w", KvSchema(), Seconds(10));
+  Record partial = MakeRecord(Seconds(25), 1, 2.0);
   partial.kind = RecordKind::kPartial;
   partial.window_start = Seconds(10);
   RecordBatch out;
@@ -40,28 +33,28 @@ TEST(WindowOpTest, PartialRecordsKeepTheirWindow) {
 }
 
 TEST(WindowOpTest, ZeroWidthIsError) {
-  WindowOp op("w", TwoColSchema(), 0);
+  WindowOp op("w", KvSchema(), 0);
   RecordBatch out;
-  EXPECT_FALSE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  EXPECT_FALSE(op.Process(MakeRecord(1, 1, 1.0), &out).ok());
 }
 
 TEST(FilterOpTest, DropsNonMatching) {
-  FilterOp op("f", TwoColSchema(),
+  FilterOp op("f", KvSchema(),
               [](const Record& r) { return r.i64(0) % 2 == 0; });
   RecordBatch out;
   for (int64_t k = 0; k < 10; ++k) {
-    ASSERT_TRUE(op.Process(Rec(k, k, 1.0), &out).ok());
+    ASSERT_TRUE(op.Process(MakeRecord(k, k, 1.0), &out).ok());
   }
   EXPECT_EQ(out.size(), 5u);
   for (const Record& r : out) EXPECT_EQ(r.i64(0) % 2, 0);
 }
 
 TEST(FilterOpTest, StatsTrackSelectivity) {
-  FilterOp op("f", TwoColSchema(),
+  FilterOp op("f", KvSchema(),
               [](const Record& r) { return r.i64(0) < 3; });
   RecordBatch out;
   for (int64_t k = 0; k < 10; ++k) {
-    ASSERT_TRUE(op.Process(Rec(k, k, 1.0), &out).ok());
+    ASSERT_TRUE(op.Process(MakeRecord(k, k, 1.0), &out).ok());
   }
   EXPECT_EQ(op.stats().records_in, 10u);
   EXPECT_EQ(op.stats().records_out, 3u);
@@ -69,8 +62,8 @@ TEST(FilterOpTest, StatsTrackSelectivity) {
 }
 
 TEST(FilterOpTest, PartialRecordsPassThrough) {
-  FilterOp op("f", TwoColSchema(), [](const Record&) { return false; });
-  Record partial = Rec(1, 1, 1.0);
+  FilterOp op("f", KvSchema(), [](const Record&) { return false; });
+  Record partial = MakeRecord(1, 1, 1.0);
   partial.kind = RecordKind::kPartial;
   RecordBatch out;
   ASSERT_TRUE(op.Process(std::move(partial), &out).ok());
@@ -78,36 +71,36 @@ TEST(FilterOpTest, PartialRecordsPassThrough) {
 }
 
 TEST(MapOpTest, OneToMany) {
-  MapOp op("m", TwoColSchema(), [](Record&& rec, RecordBatch* out) {
+  MapOp op("m", KvSchema(), [](Record&& rec, RecordBatch* out) {
     for (int i = 0; i < 3; ++i) out->push_back(rec);
     return Status::OK();
   });
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(1, 1, 1.0), &out).ok());
   EXPECT_EQ(out.size(), 3u);
   EXPECT_NEAR(op.stats().RelayRatioRecords(), 3.0, 1e-9);
 }
 
 TEST(MapOpTest, CanDropRecords) {
-  MapOp op("m", TwoColSchema(),
+  MapOp op("m", KvSchema(),
            [](Record&&, RecordBatch*) { return Status::OK(); });
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(1, 1, 1.0), &out).ok());
   EXPECT_TRUE(out.empty());
 }
 
 TEST(MapOpTest, ErrorsPropagate) {
-  MapOp op("m", TwoColSchema(), [](Record&&, RecordBatch*) {
+  MapOp op("m", KvSchema(), [](Record&&, RecordBatch*) {
     return Status::Internal("boom");
   });
   RecordBatch out;
-  EXPECT_EQ(op.Process(Rec(1, 1, 1.0), &out).code(), StatusCode::kInternal);
+  EXPECT_EQ(op.Process(MakeRecord(1, 1, 1.0), &out).code(), StatusCode::kInternal);
 }
 
 TEST(ProjectOpTest, KeepsSelectedFieldsInOrder) {
-  ProjectOp op("p", TwoColSchema(), {1});
+  ProjectOp op("p", KvSchema(), {1});
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(5, 7, 2.5), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(5, 7, 2.5), &out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].fields.size(), 1u);
   EXPECT_DOUBLE_EQ(out[0].f64(0), 2.5);
@@ -116,32 +109,32 @@ TEST(ProjectOpTest, KeepsSelectedFieldsInOrder) {
 }
 
 TEST(ProjectOpTest, ReordersFields) {
-  ProjectOp op("p", TwoColSchema(), {1, 0});
+  ProjectOp op("p", KvSchema(), {1, 0});
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(5, 7, 2.5), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(5, 7, 2.5), &out).ok());
   EXPECT_DOUBLE_EQ(out[0].f64(0), 2.5);
   EXPECT_EQ(out[0].i64(1), 7);
 }
 
 TEST(ProjectOpTest, OutOfRangeIndexFails) {
-  ProjectOp op("p", TwoColSchema(), {5});
+  ProjectOp op("p", KvSchema(), {5});
   RecordBatch out;
-  EXPECT_EQ(op.Process(Rec(1, 1, 1.0), &out).code(),
+  EXPECT_EQ(op.Process(MakeRecord(1, 1, 1.0), &out).code(),
             StatusCode::kOutOfRange);
 }
 
 TEST(ProjectOpTest, ReducesWireBytes) {
-  ProjectOp op("p", TwoColSchema(), {0});
+  ProjectOp op("p", KvSchema(), {0});
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(1, 1, 1.0), &out).ok());
   EXPECT_LT(op.stats().bytes_out, op.stats().bytes_in);
   EXPECT_LT(op.stats().RelayRatioBytes(), 1.0);
 }
 
 TEST(OperatorTest, ResetStatsClearsCounters) {
-  FilterOp op("f", TwoColSchema(), [](const Record&) { return true; });
+  FilterOp op("f", KvSchema(), [](const Record&) { return true; });
   RecordBatch out;
-  ASSERT_TRUE(op.Process(Rec(1, 1, 1.0), &out).ok());
+  ASSERT_TRUE(op.Process(MakeRecord(1, 1, 1.0), &out).ok());
   EXPECT_GT(op.stats().records_in, 0u);
   op.ResetStats();
   EXPECT_EQ(op.stats().records_in, 0u);
@@ -161,6 +154,47 @@ TEST(OperatorTest, EmptyStatsRelayIsOne) {
   OperatorStats st;
   EXPECT_DOUBLE_EQ(st.RelayRatioBytes(), 1.0);
   EXPECT_DOUBLE_EQ(st.RelayRatioRecords(), 1.0);
+}
+
+TEST(OperatorTest, EmptyBatchThroughOperatorsIsANoOp) {
+  // An empty input batch must not disturb stats, emit records, or error.
+  WindowOp w("w", KvSchema(), Seconds(10));
+  FilterOp f("f", KvSchema(), [](const Record&) { return true; });
+  ProjectOp p("p", KvSchema(), {0});
+  RecordBatch empty;
+  for (Operator* op : std::initializer_list<Operator*>{&w, &f, &p}) {
+    RecordBatch out;
+    for (Record& r : empty) {
+      ASSERT_TRUE(op->Process(std::move(r), &out).ok());
+    }
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(op->stats().records_in, 0u);
+    EXPECT_DOUBLE_EQ(op->stats().RelayRatioRecords(), 1.0);
+  }
+}
+
+TEST(OperatorTest, WatermarkWithNoBufferedDataEmitsNothing) {
+  WindowOp w("w", KvSchema(), Seconds(10));
+  FilterOp f("f", KvSchema(), [](const Record&) { return true; });
+  MapOp m("m", KvSchema(),
+          [](Record&& rec, RecordBatch* out) {
+            out->push_back(std::move(rec));
+            return Status::OK();
+          });
+  RecordBatch out;
+  EXPECT_TRUE(w.OnWatermark(Seconds(10), &out).ok());
+  EXPECT_TRUE(f.OnWatermark(Seconds(10), &out).ok());
+  EXPECT_TRUE(m.OnWatermark(Seconds(10), &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(OperatorTest, StatelessOpsExportNoPartialState) {
+  FilterOp f("f", KvSchema(), [](const Record&) { return true; });
+  ProjectOp p("p", KvSchema(), {0});
+  RecordBatch out;
+  EXPECT_TRUE(f.ExportPartialState(&out).ok());
+  EXPECT_TRUE(p.ExportPartialState(&out).ok());
+  EXPECT_TRUE(out.empty());
 }
 
 }  // namespace

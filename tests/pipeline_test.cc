@@ -3,28 +3,21 @@
 #include "stream/group_aggregate.h"
 #include "stream/ops.h"
 #include "stream/pipeline.h"
+#include "testing/test_util.h"
 
 namespace jarvis::stream {
 namespace {
 
-Schema InSchema() {
-  return Schema::Of({{"k", ValueType::kInt64}, {"v", ValueType::kDouble}});
-}
-
-Record Rec(Micros t, int64_t k, double v) {
-  Record r;
-  r.event_time = t;
-  r.fields = {Value(k), Value(v)};
-  return r;
-}
+using jarvis::testing::KvSchema;
+using jarvis::testing::MakeRecord;
 
 Pipeline MakeWindowFilterAgg() {
   Pipeline p;
-  p.Add(std::make_unique<WindowOp>("w", InSchema(), Seconds(10)));
+  p.Add(std::make_unique<WindowOp>("w", KvSchema(), Seconds(10)));
   p.Add(std::make_unique<FilterOp>(
-      "f", InSchema(), [](const Record& r) { return r.i64(0) != 0; }));
+      "f", KvSchema(), [](const Record& r) { return r.i64(0) != 0; }));
   p.Add(std::make_unique<GroupAggregateOp>(
-      "g", InSchema(), std::vector<size_t>{0},
+      "g", KvSchema(), std::vector<size_t>{0},
       std::vector<AggSpec>{{AggKind::kCount, 0, "cnt"},
                            {AggKind::kSum, 1, "sum"}},
       Seconds(10), false));
@@ -34,9 +27,9 @@ Pipeline MakeWindowFilterAgg() {
 TEST(PipelineTest, PushCascades) {
   Pipeline p = MakeWindowFilterAgg();
   RecordBatch out;
-  ASSERT_TRUE(p.Push(Rec(Seconds(1), 1, 2.0), &out).ok());
-  ASSERT_TRUE(p.Push(Rec(Seconds(2), 0, 9.0), &out).ok());  // filtered
-  ASSERT_TRUE(p.Push(Rec(Seconds(3), 1, 3.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(Seconds(1), 1, 2.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(Seconds(2), 0, 9.0), &out).ok());  // filtered
+  ASSERT_TRUE(p.Push(MakeRecord(Seconds(3), 1, 3.0), &out).ok());
   EXPECT_TRUE(out.empty());
   ASSERT_TRUE(p.OnWatermark(Seconds(10), &out).ok());
   ASSERT_EQ(out.size(), 1u);
@@ -48,7 +41,7 @@ TEST(PipelineTest, PushCascades) {
 TEST(PipelineTest, PushFromSkipsPrefix) {
   Pipeline p = MakeWindowFilterAgg();
   // Entering after the filter: even the k==0 record reaches the aggregate.
-  Record r = Rec(Seconds(1), 0, 1.0);
+  Record r = MakeRecord(Seconds(1), 0, 1.0);
   r.window_start = 0;
   RecordBatch out;
   ASSERT_TRUE(p.PushFrom(2, std::move(r), &out).ok());
@@ -60,7 +53,7 @@ TEST(PipelineTest, PushFromSkipsPrefix) {
 TEST(PipelineTest, PushFromPastEndIsPassThrough) {
   Pipeline p = MakeWindowFilterAgg();
   RecordBatch out;
-  ASSERT_TRUE(p.PushFrom(3, Rec(1, 5, 5.0), &out).ok());
+  ASSERT_TRUE(p.PushFrom(3, MakeRecord(1, 5, 5.0), &out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].i64(0), 5);
 }
@@ -69,9 +62,9 @@ TEST(PipelineTest, WatermarkEmissionsFlowDownstream) {
   // Aggregate followed by a filter on the aggregate output: window emissions
   // must pass through the downstream filter.
   Pipeline p;
-  p.Add(std::make_unique<WindowOp>("w", InSchema(), Seconds(10)));
+  p.Add(std::make_unique<WindowOp>("w", KvSchema(), Seconds(10)));
   p.Add(std::make_unique<GroupAggregateOp>(
-      "g", InSchema(), std::vector<size_t>{0},
+      "g", KvSchema(), std::vector<size_t>{0},
       std::vector<AggSpec>{{AggKind::kCount, 0, "cnt"}}, Seconds(10), false));
   Schema agg_schema = Schema::Of({{"k", ValueType::kInt64},
                                   {"cnt", ValueType::kInt64}});
@@ -79,9 +72,9 @@ TEST(PipelineTest, WatermarkEmissionsFlowDownstream) {
       "f2", agg_schema, [](const Record& r) { return r.i64(1) >= 2; }));
 
   RecordBatch out;
-  ASSERT_TRUE(p.Push(Rec(1, 1, 0.0), &out).ok());
-  ASSERT_TRUE(p.Push(Rec(2, 1, 0.0), &out).ok());
-  ASSERT_TRUE(p.Push(Rec(3, 2, 0.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(1, 1, 0.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(2, 1, 0.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(3, 2, 0.0), &out).ok());
   ASSERT_TRUE(p.OnWatermark(Seconds(10), &out).ok());
   ASSERT_EQ(out.size(), 1u);  // k=2 has count 1 and is filtered out
   EXPECT_EQ(out[0].i64(0), 1);
@@ -90,7 +83,7 @@ TEST(PipelineTest, WatermarkEmissionsFlowDownstream) {
 TEST(PipelineTest, FlushExportsState) {
   Pipeline p = MakeWindowFilterAgg();
   RecordBatch out;
-  ASSERT_TRUE(p.Push(Rec(Seconds(1), 1, 2.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(Seconds(1), 1, 2.0), &out).ok());
   ASSERT_TRUE(p.Flush(&out).ok());
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0].kind, RecordKind::kPartial);
@@ -99,7 +92,7 @@ TEST(PipelineTest, FlushExportsState) {
 TEST(PipelineTest, ResetStatsClearsAllOperators) {
   Pipeline p = MakeWindowFilterAgg();
   RecordBatch out;
-  ASSERT_TRUE(p.Push(Rec(1, 1, 1.0), &out).ok());
+  ASSERT_TRUE(p.Push(MakeRecord(1, 1, 1.0), &out).ok());
   EXPECT_GT(p.op(0).stats().records_in, 0u);
   p.ResetStats();
   for (size_t i = 0; i < p.size(); ++i) {

@@ -86,6 +86,42 @@ TEST(SimplexTest, UnboundedDetected) {
   EXPECT_EQ(sol.status().code(), StatusCode::kOutOfRange);
 }
 
+TEST(SimplexTest, InfeasibleEqualitySystem) {
+  // x + y = 5 and x + y = 6 cannot both hold.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {1, 1};
+  p.constraints = {Eq({1, 1}, 5), Eq({1, 1}, 6)};
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, InfeasibleMixedSenses) {
+  // x >= 3 and x <= 2 conflict even though y is unconstrained.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {0, 1};
+  p.constraints = {Ge({1, 0}, 3), Le({1, 0}, 2)};
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedWithEquality) {
+  // min -y with only x pinned: y can grow without bound.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {0, -1};
+  p.constraints = {Eq({1, 0}, 1)};
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(SimplexTest, UnboundedAlongConstraintDirection) {
+  // max x + y s.t. x - y <= 1: the direction (1, 1) never hits the wall.
+  Problem p;
+  p.num_vars = 2;
+  p.objective = {-1, -1};
+  p.constraints = {Le({1, -1}, 1)};
+  EXPECT_EQ(Solve(p).status().code(), StatusCode::kOutOfRange);
+}
+
 TEST(SimplexTest, NegativeRhsNormalized) {
   // x <= -1 is infeasible for x >= 0 after normalization (-x >= 1 -> never).
   Problem p;

@@ -1,0 +1,424 @@
+// fig12: data-plane microbenchmark — batch-at-a-time vs record-at-a-time,
+// measured in the same binary so the speedup is attributable to the batch
+// API and the schema-elided wire format, not compiler or flag drift.
+//
+// Three sections:
+//   (a) per-operator micro-throughput: Process loop vs ProcessBatch
+//   (b) stateless pipeline push: Pipeline::Push vs Pipeline::PushBatch
+//   (c) wire format: per-record SerializeRecord/DeserializeRecord vs
+//       SerializeBatch/DeserializeBatch (MB/s of record-format payload
+//       bytes, so both paths are normalized to the same data volume)
+//
+// Output lines are machine-parseable ("op ...", "pipeline ...", "wire ...");
+// scripts/run_benches.sh folds them into the BENCH_<label>.json snapshot.
+//
+// Usage: fig12_dataplane [--smoke]   (--smoke: 1 tiny trial, for CI)
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/rng.h"
+#include "ser/buffer.h"
+#include "stream/group_aggregate.h"
+#include "stream/join.h"
+#include "stream/ops.h"
+#include "stream/pipeline.h"
+#include "stream/record.h"
+
+namespace {
+
+using namespace jarvis;
+using stream::AggKind;
+using stream::FilterOp;
+using stream::GroupAggregateOp;
+using stream::JoinOp;
+using stream::MapOp;
+using stream::Operator;
+using stream::Pipeline;
+using stream::ProjectOp;
+using stream::Record;
+using stream::RecordBatch;
+using stream::Schema;
+using stream::StaticTable;
+using stream::Value;
+using stream::ValueType;
+using stream::WindowOp;
+
+struct Config {
+  size_t records = 200000;
+  size_t batch_size = 1024;
+  int trials = 5;
+};
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+Schema ProbeSchema() {
+  return Schema::Of({{"src", ValueType::kInt64},
+                     {"dst", ValueType::kInt64},
+                     {"rtt", ValueType::kDouble},
+                     {"host", ValueType::kString}});
+}
+
+/// The paper's canonical drain payload: a numeric Pingmesh probe record.
+Schema NumericProbeSchema() {
+  return Schema::Of({{"src", ValueType::kInt64},
+                     {"dst", ValueType::kInt64},
+                     {"rtt", ValueType::kDouble},
+                     {"seq", ValueType::kInt64},
+                     {"ttl", ValueType::kInt64}});
+}
+
+RecordBatch MakeNumericInput(Rng* rng, size_t n) {
+  RecordBatch batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.event_time = static_cast<Micros>(i) * 100;
+    r.window_start = r.event_time - r.event_time % Seconds(1);
+    r.fields.reserve(5);
+    r.fields.emplace_back(static_cast<int64_t>(rng->NextBounded(4096)));
+    r.fields.emplace_back(static_cast<int64_t>(rng->NextBounded(4096)));
+    r.fields.emplace_back(0.1 + rng->NextDouble() * 40.0);
+    r.fields.emplace_back(static_cast<int64_t>(i));
+    r.fields.emplace_back(static_cast<int64_t>(rng->NextBounded(256)));
+    batch.push_back(std::move(r));
+  }
+  return batch;
+}
+
+/// Pingmesh-like probe records: small int keys, one double metric, a short
+/// host string. `windowed` pre-assigns tumbling windows (for operators that
+/// require windowed input).
+RecordBatch MakeInput(Rng* rng, size_t n, bool windowed) {
+  RecordBatch batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Record r;
+    r.event_time = static_cast<Micros>(i) * 100;
+    if (windowed) r.event_time = r.event_time - r.event_time % Seconds(1);
+    if (windowed) r.window_start = r.event_time;
+    r.fields.reserve(4);
+    r.fields.emplace_back(static_cast<int64_t>(rng->NextBounded(64)));
+    r.fields.emplace_back(static_cast<int64_t>(rng->NextBounded(1024)));
+    r.fields.emplace_back(0.1 + rng->NextDouble() * 40.0);
+    r.fields.emplace_back(std::string("h-") +
+                          std::to_string(rng->NextBounded(64)));
+    batch.push_back(std::move(r));
+  }
+  return batch;
+}
+
+std::vector<RecordBatch> Slice(RecordBatch&& input, size_t batch_size) {
+  std::vector<RecordBatch> chunks;
+  chunks.reserve(input.size() / batch_size + 1);
+  RecordBatch chunk;
+  chunk.reserve(batch_size);
+  for (Record& r : input) {
+    chunk.push_back(std::move(r));
+    if (chunk.size() == batch_size) {
+      chunks.push_back(std::move(chunk));
+      chunk = RecordBatch();
+      chunk.reserve(batch_size);
+    }
+  }
+  if (!chunk.empty()) chunks.push_back(std::move(chunk));
+  return chunks;
+}
+
+/// Per-path times are the *best* trial (min), which rejects scheduler and
+/// frequency noise on shared machines; both paths see identical data.
+struct PathResult {
+  double record_s = 1e300;
+  double batch_s = 1e300;
+  size_t records = 0;
+};
+
+/// Times `records` through one freshly made operator per path per trial; the
+/// same generated data is fed to both paths.
+PathResult BenchOperator(
+    const std::function<std::unique_ptr<Operator>()>& make, Rng* rng,
+    const Config& cfg, bool windowed) {
+  PathResult res;
+  for (int t = 0; t < cfg.trials; ++t) {
+    RecordBatch input = MakeInput(rng, cfg.records, windowed);
+    RecordBatch input_copy = input;
+
+    auto op_a = make();
+    op_a->set_byte_accounting(false);  // steady-state (non-profile) config
+    RecordBatch out;
+    out.reserve(input.size());
+    double t0 = NowSeconds();
+    for (Record& r : input) {
+      if (!op_a->Process(std::move(r), &out).ok()) std::abort();
+    }
+    res.record_s = std::min(res.record_s, NowSeconds() - t0);
+    // Flush stateful operators outside the timed region.
+    out.clear();
+    (void)op_a->OnWatermark(Seconds(1e9), &out);
+
+    auto op_b = make();
+    op_b->set_byte_accounting(false);
+    std::vector<RecordBatch> chunks =
+        Slice(std::move(input_copy), cfg.batch_size);
+    out.clear();
+    out.reserve(cfg.records);
+    t0 = NowSeconds();
+    for (RecordBatch& chunk : chunks) {
+      if (op_b->HasInPlaceBatch()) {
+        if (!op_b->ProcessBatchInPlace(&chunk).ok()) std::abort();
+        MoveAppend(std::move(chunk), &out);
+      } else if (!op_b->ProcessBatch(std::move(chunk), &out).ok()) {
+        std::abort();
+      }
+    }
+    res.batch_s = std::min(res.batch_s, NowSeconds() - t0);
+    out.clear();
+    (void)op_b->OnWatermark(Seconds(1e9), &out);
+
+    res.records = cfg.records;
+  }
+  return res;
+}
+
+void PrintRps(const char* prefix, const char* name, const PathResult& r) {
+  const double rec_rps = static_cast<double>(r.records) / r.record_s;
+  const double bat_rps = static_cast<double>(r.records) / r.batch_s;
+  std::printf("%s %s record_rps %.6g batch_rps %.6g speedup %.2f\n", prefix,
+              name, rec_rps, bat_rps, rec_rps > 0 ? bat_rps / rec_rps : 0.0);
+}
+
+std::unique_ptr<Pipeline> MakeStatelessPipeline() {
+  const Schema schema = ProbeSchema();
+  auto pipe = std::make_unique<Pipeline>();
+  pipe->Add(std::make_unique<WindowOp>("window", schema, Seconds(1)));
+  pipe->Add(std::make_unique<FilterOp>("filter_src", schema,
+                                       [](const Record& r) {
+                                         return r.i64(0) % 4 != 0;  // ~75%
+                                       }));
+  pipe->Add(std::make_unique<FilterOp>("filter_rtt", schema,
+                                       [](const Record& r) {
+                                         return r.f64(2) < 30.0;  // ~75%
+                                       }));
+  pipe->Add(std::make_unique<ProjectOp>("project", schema,
+                                        std::vector<size_t>{0, 1, 2}));
+  return pipe;
+}
+
+/// Per-path byte accounting: the seed data plane always walked WireSize per
+/// record (there was no toggle), so the "before this PR" configuration is
+/// record-at-a-time with accounting on; the shipped steady state is
+/// batch-at-a-time with accounting off (profiling epochs turn it back on).
+void BenchPipeline(Rng* rng, const Config& cfg, bool record_accounting,
+                   bool batch_accounting, const char* label) {
+  PathResult res;
+  for (int t = 0; t < cfg.trials; ++t) {
+    RecordBatch input = MakeInput(rng, cfg.records, false);
+    RecordBatch input_copy = input;
+
+    auto pipe_a = MakeStatelessPipeline();
+    pipe_a->SetByteAccounting(record_accounting);
+    RecordBatch out;
+    out.reserve(input.size());
+    double t0 = NowSeconds();
+    for (Record& r : input) {
+      if (!pipe_a->Push(std::move(r), &out).ok()) std::abort();
+    }
+    res.record_s = std::min(res.record_s, NowSeconds() - t0);
+
+    auto pipe_b = MakeStatelessPipeline();
+    pipe_b->SetByteAccounting(batch_accounting);
+    std::vector<RecordBatch> chunks =
+        Slice(std::move(input_copy), cfg.batch_size);
+    out.clear();
+    out.reserve(cfg.records);
+    t0 = NowSeconds();
+    for (RecordBatch& chunk : chunks) {
+      if (!pipe_b->PushBatch(std::move(chunk), &out).ok()) std::abort();
+    }
+    res.batch_s = std::min(res.batch_s, NowSeconds() - t0);
+
+    res.records = cfg.records;
+  }
+  PrintRps("pipeline", label, res);
+}
+
+// Both paths ship drain batches of cfg.batch_size records (the real drain
+// granularity) that the pipeline just produced, so batches are cache-warm
+// exactly as on the executor's drain path; a WireSize pass re-warms each
+// chunk before timing and the path order alternates per chunk to cancel
+// ordering bias. Throughput is normalized to the record-format byte volume
+// so both paths divide the same numerator; the best trial is reported.
+void BenchWireFormat(Rng* rng, const Config& cfg, const Schema& schema,
+                     bool numeric, const char* suffix) {
+  double best_ser_rec = 0, best_ser_bat = 0, best_de_rec = 0, best_de_bat = 0;
+  size_t record_wire_bytes = 0, batch_wire_bytes = 0, total_records = 0;
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::vector<RecordBatch> chunks =
+        Slice(numeric ? MakeNumericInput(rng, cfg.records)
+                      : MakeInput(rng, cfg.records, true),
+              cfg.batch_size);
+    double ser_rec = 0, ser_bat = 0, de_rec = 0, de_bat = 0;
+    size_t rec_bytes = 0, bat_bytes = 0;
+    ser::BufferWriter w_rec, w_bat;
+    RecordBatch decoded;
+    size_t warm_sink = 0;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const RecordBatch& chunk = chunks[c];
+      for (const Record& r : chunk) warm_sink += stream::WireSize(r);
+      w_rec.Clear();
+      w_bat.Clear();
+      const auto ser_record_path = [&] {
+        const double t0 = NowSeconds();
+        for (const Record& r : chunk) stream::SerializeRecord(r, &w_rec);
+        ser_rec += NowSeconds() - t0;
+      };
+      const auto ser_batch_path = [&] {
+        const double t0 = NowSeconds();
+        if (stream::SerializeBatch(chunk, schema, &w_bat) != w_bat.size()) {
+          std::abort();
+        }
+        ser_bat += NowSeconds() - t0;
+      };
+      if (c % 2 == 0) {
+        ser_record_path();
+        ser_batch_path();
+      } else {
+        ser_batch_path();
+        ser_record_path();
+      }
+      rec_bytes += w_rec.size();
+      bat_bytes += w_bat.size();
+
+      const auto de_record_path = [&] {
+        const double t0 = NowSeconds();
+        ser::BufferReader r(w_rec.data());
+        decoded.resize(chunk.size());
+        for (size_t i = 0; i < chunk.size(); ++i) {
+          if (!stream::DeserializeRecord(&r, &decoded[i]).ok()) std::abort();
+        }
+        if (!r.AtEnd()) std::abort();
+        de_rec += NowSeconds() - t0;
+      };
+      const auto de_batch_path = [&] {
+        const double t0 = NowSeconds();
+        ser::BufferReader r(w_bat.data());
+        if (!stream::DeserializeBatch(&r, &decoded).ok()) std::abort();
+        if (decoded.size() != chunk.size() || !r.AtEnd()) std::abort();
+        de_bat += NowSeconds() - t0;
+      };
+      if (c % 2 == 0) {
+        de_record_path();
+        de_batch_path();
+      } else {
+        de_batch_path();
+        de_record_path();
+      }
+    }
+    if (warm_sink == 0) std::abort();
+    const double mb = static_cast<double>(rec_bytes) / 1e6;
+    best_ser_rec = std::max(best_ser_rec, mb / ser_rec);
+    best_ser_bat = std::max(best_ser_bat, mb / ser_bat);
+    best_de_rec = std::max(best_de_rec, mb / de_rec);
+    best_de_bat = std::max(best_de_bat, mb / de_bat);
+    record_wire_bytes += rec_bytes;
+    batch_wire_bytes += bat_bytes;
+    total_records += cfg.records;
+  }
+  std::printf(
+      "wire serialize%s record_mbps %.6g batch_mbps %.6g speedup %.2f\n",
+      suffix, best_ser_rec, best_ser_bat, best_ser_bat / best_ser_rec);
+  std::printf(
+      "wire deserialize%s record_mbps %.6g batch_mbps %.6g speedup %.2f\n",
+      suffix, best_de_rec, best_de_bat, best_de_bat / best_de_rec);
+  std::printf(
+      "wire bytes_per_record%s record %.2f batch %.2f ratio %.3f\n", suffix,
+      static_cast<double>(record_wire_bytes) / total_records,
+      static_cast<double>(batch_wire_bytes) / total_records,
+      static_cast<double>(batch_wire_bytes) / record_wire_bytes);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.records = 2000;
+      cfg.trials = 1;
+    }
+  }
+  Rng rng(20220707);
+
+  bench::PrintHeader(
+      "fig12: batch-at-a-time data plane vs record-at-a-time (same build)");
+  std::printf("records/trial %zu  batch_size %zu  trials %d\n\n", cfg.records,
+              cfg.batch_size, cfg.trials);
+
+  std::printf("(a) operator micro-throughput (records/sec)\n");
+  const Schema schema = ProbeSchema();
+  PrintRps("op", "Window", BenchOperator([&] {
+    return std::make_unique<WindowOp>("w", schema, Seconds(1));
+  }, &rng, cfg, false));
+  PrintRps("op", "Filter", BenchOperator([&] {
+    return std::make_unique<FilterOp>("f", schema, [](const Record& r) {
+      return r.i64(0) % 4 != 0;
+    });
+  }, &rng, cfg, false));
+  PrintRps("op", "Map", BenchOperator([&] {
+    return std::make_unique<MapOp>("m", schema,
+                                   [](Record&& r, RecordBatch* out) {
+                                     r.fields[2] = Value(
+                                         std::get<double>(r.fields[2]) * 2.0);
+                                     out->push_back(std::move(r));
+                                     return Status::OK();
+                                   });
+  }, &rng, cfg, false));
+  PrintRps("op", "Project", BenchOperator([&] {
+    return std::make_unique<ProjectOp>("p", schema,
+                                       std::vector<size_t>{0, 1, 2});
+  }, &rng, cfg, false));
+  auto table = std::make_shared<StaticTable>(
+      "dst", Schema::Field{"tor", ValueType::kInt64});
+  for (int64_t k = 0; k < 1024; ++k) table->Insert(k, Value(k / 40));
+  PrintRps("op", "Join", BenchOperator([&] {
+    return std::make_unique<JoinOp>("j", schema, table, 1);
+  }, &rng, cfg, false));
+  PrintRps("op", "GroupAggregate", BenchOperator([&] {
+    return std::make_unique<GroupAggregateOp>(
+        "g", schema, std::vector<size_t>{0},
+        std::vector<stream::AggSpec>{{AggKind::kCount, 0, "cnt"},
+                                     {AggKind::kAvg, 2, "avg_rtt"}},
+        Seconds(1), /*emit_partials=*/false);
+  }, &rng, cfg, true));
+
+  std::printf(
+      "\n(b) stateless pipeline push (Window -> 2x Filter -> Project)\n"
+      "    stateless:          seed config (record-at-a-time, byte stats "
+      "always on)\n"
+      "                        vs shipped steady state (batch, byte stats "
+      "off)\n"
+      "    stateless_api:      batch API effect alone (byte stats off on "
+      "both)\n"
+      "    stateless_profiled: profiling epochs (byte stats on on both)\n");
+  BenchPipeline(&rng, cfg, /*record_accounting=*/true,
+                /*batch_accounting=*/false, "stateless");
+  BenchPipeline(&rng, cfg, false, false, "stateless_api");
+  BenchPipeline(&rng, cfg, true, true, "stateless_profiled");
+
+  std::printf(
+      "\n(c) wire format: schema-elided batch vs per-record "
+      "(MB/s of record-format payload)\n");
+  BenchWireFormat(&rng, cfg, NumericProbeSchema(), /*numeric=*/true, "");
+  BenchWireFormat(&rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
+  return 0;
+}

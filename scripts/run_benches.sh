@@ -1,14 +1,37 @@
 #!/usr/bin/env bash
 # Runs the benchmark harness and emits a machine-readable snapshot of the
-# repo's performance (throughput + latency) for trajectory tracking.
+# repo's performance (throughput + latency + data-plane microbench) for
+# trajectory tracking.
 #
-# Usage: scripts/run_benches.sh [BUILD_DIR] [OUTPUT_JSON]
+# Usage: scripts/run_benches.sh [BUILD_DIR] [OUTPUT_JSON] [--label NAME]
 #   BUILD_DIR    cmake build directory with bench binaries (default: build)
-#   OUTPUT_JSON  where to write the snapshot (default: BENCH_seed.json)
+#   OUTPUT_JSON  where to write the snapshot (default: BENCH_<label>.json,
+#                or BENCH_seed.json when no label is given)
+#   --label NAME snapshot label; sets the default output file name
 set -euo pipefail
 
-BUILD_DIR="${1:-build}"
-OUT="${2:-BENCH_seed.json}"
+LABEL=""
+POSITIONAL=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --label)
+      [[ $# -ge 2 ]] || { echo "error: --label needs a value" >&2; exit 2; }
+      LABEL="$2"
+      shift 2
+      ;;
+    *)
+      POSITIONAL+=("$1")
+      shift
+      ;;
+  esac
+done
+
+BUILD_DIR="${POSITIONAL[0]:-build}"
+if [[ -n "${LABEL}" ]]; then
+  OUT="${POSITIONAL[1]:-BENCH_${LABEL}.json}"
+else
+  OUT="${POSITIONAL[1]:-BENCH_seed.json}"
+fi
 RESULTS_DIR="${BUILD_DIR}/bench_results"
 
 if [[ ! -x "${BUILD_DIR}/bench/fig7_throughput" ]]; then
@@ -25,6 +48,10 @@ echo "== fig7_throughput (paper Fig. 7: goodput vs CPU budget) =="
 echo
 echo "== latency_bench (Section VI-E: epoch latency under load) =="
 "${BUILD_DIR}/bench/latency_bench" | tee "${RESULTS_DIR}/latency.txt"
+
+echo
+echo "== fig12_dataplane (batch vs record-at-a-time data plane) =="
+"${BUILD_DIR}/bench/fig12_dataplane" | tee "${RESULTS_DIR}/fig12.txt"
 
 # Optional microbenchmarks (google-benchmark); tolerated if absent.
 if [[ -x "${BUILD_DIR}/bench/overhead_bench" ]]; then
@@ -59,6 +86,39 @@ def parse_fig7(text):
                 zip(strategies, vals))
     return queries
 
+def parse_fig12(text):
+    """Machine-parseable rows: 'op <Name> record_rps X batch_rps Y speedup Z',
+    'pipeline <label> ...', 'wire <what> record_mbps X batch_mbps Y speedup Z',
+    'wire bytes_per_record[<suffix>] record X batch Y ratio Z'."""
+    data = {"operator_rps": {}, "pipeline_rps": {}, "wire_mbps": {},
+            "wire_bytes_per_record": {}}
+    for line in text.splitlines():
+        m = re.match(
+            r"(op|pipeline)\s+(\S+)\s+record_rps\s+(\S+)\s+batch_rps\s+(\S+)"
+            r"\s+speedup\s+(\S+)", line)
+        if m:
+            key = "operator_rps" if m.group(1) == "op" else "pipeline_rps"
+            data[key][m.group(2)] = {
+                "record": float(m.group(3)), "batch": float(m.group(4)),
+                "speedup": float(m.group(5))}
+            continue
+        m = re.match(
+            r"wire\s+(serialize\S*|deserialize\S*)\s+record_mbps\s+(\S+)"
+            r"\s+batch_mbps\s+(\S+)\s+speedup\s+(\S+)", line)
+        if m:
+            data["wire_mbps"][m.group(1)] = {
+                "record": float(m.group(2)), "batch": float(m.group(3)),
+                "speedup": float(m.group(4))}
+            continue
+        m = re.match(
+            r"wire\s+(bytes_per_record\S*)\s+record\s+(\S+)\s+batch\s+(\S+)"
+            r"\s+ratio\s+(\S+)", line)
+        if m:
+            data["wire_bytes_per_record"][m.group(1)] = {
+                "record": float(m.group(2)), "batch": float(m.group(3)),
+                "ratio": float(m.group(4))}
+    return data
+
 def parse_latency(text):
     """Sections '(n) <label>' with rows '<policy> median max tput'."""
     scenarios, current = {}, None
@@ -85,6 +145,7 @@ snapshot = {
     "fig7_throughput_mbps": parse_fig7(
         (results_dir / "fig7.txt").read_text()),
     "latency": parse_latency((results_dir / "latency.txt").read_text()),
+    "dataplane": parse_fig12((results_dir / "fig12.txt").read_text()),
 }
 
 overhead = results_dir / "overhead.json"
@@ -101,6 +162,9 @@ if overhead.exists():
 sanity = snapshot["fig7_throughput_mbps"]
 assert sanity and all(sanity.values()), "fig7 parse produced no data"
 assert snapshot["latency"], "latency parse produced no data"
+dp = snapshot["dataplane"]
+assert dp["operator_rps"] and dp["pipeline_rps"] and dp["wire_mbps"], \
+    "fig12 parse produced no data"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

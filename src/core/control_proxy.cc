@@ -22,6 +22,17 @@ bool ControlProxy::Route() {
   return false;
 }
 
+void ControlProxy::RouteBatch(stream::RecordBatch&& batch,
+                              stream::RecordBatch* drained) {
+  for (stream::Record& rec : batch) {
+    if (Route()) {
+      queue_.push_back(std::move(rec));
+    } else {
+      drained->push_back(std::move(rec));
+    }
+  }
+}
+
 void ControlProxy::BeginEpoch() {
   arrived_ = 0;
   forwarded_ = 0;

@@ -31,6 +31,11 @@ class ControlProxy {
   /// counters.
   bool Route();
 
+  /// Routes a whole arriving batch with the same error-diffusion decision
+  /// sequence as per-record Route(): forwarded records append to the local
+  /// queue, drained records append to `*drained`, both in arrival order.
+  void RouteBatch(stream::RecordBatch&& batch, stream::RecordBatch* drained);
+
   /// The local queue of forwarded-but-unprocessed records. The executor pops
   /// from it as CPU budget allows; what remains at epoch end is backpressure.
   std::deque<stream::Record>& queue() { return queue_; }

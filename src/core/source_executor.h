@@ -91,7 +91,12 @@ class SourceExecutor {
   void RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
                     SourceEpochOutput* out);
   void Drain(size_t entry_op, stream::Record&& rec, SourceEpochOutput* out);
-  /// Processes proxy `i`'s queue within the remaining budget.
+  /// Drains a whole batch to the same entry operator (one reserve, one
+  /// accounting pass).
+  void DrainBatch(size_t entry_op, stream::RecordBatch&& batch,
+                  SourceEpochOutput* out);
+  /// Processes proxy `i`'s queue within the remaining budget, popping the
+  /// affordable run of records as one batch through the operator.
   Status ProcessStage(size_t i, double* budget_left, double* spent,
                       SourceEpochOutput* out);
 
@@ -103,6 +108,11 @@ class SourceExecutor {
   std::deque<stream::Record> input_buffer_;
   bool flush_pending_ = false;
   Status init_status_;
+  // Hot-loop scratch, reused every epoch so the steady state allocates
+  // nothing: stage input, operator emissions, and proxy-drained records.
+  stream::RecordBatch stage_input_;
+  stream::RecordBatch stage_emitted_;
+  stream::RecordBatch drained_scratch_;
 };
 
 }  // namespace jarvis::core

@@ -18,12 +18,25 @@ Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
   if (source_id >= merger_.num_inputs()) {
     return Status::OutOfRange("unknown source id");
   }
-  for (DrainRecord& dr : out.to_sp) {
-    if (dr.sp_entry_op > pipeline_->size()) {
+  // The drain path delivers long runs of records tagged with the same entry
+  // operator (whole proxy queues, whole emitted batches). Regroup each run
+  // into one batch push so the chain is traversed batch-at-a-time.
+  std::vector<DrainRecord>& drains = out.to_sp;
+  for (size_t i = 0; i < drains.size();) {
+    const size_t entry = drains[i].sp_entry_op;
+    if (entry > pipeline_->size()) {
       return Status::OutOfRange("drain entry operator out of range");
     }
+    size_t j = i;
+    while (j < drains.size() && drains[j].sp_entry_op == entry) ++j;
+    entry_batch_.clear();
+    entry_batch_.reserve(j - i);
+    for (size_t k = i; k < j; ++k) {
+      entry_batch_.push_back(std::move(drains[k].record));
+    }
     JARVIS_RETURN_IF_ERROR(
-        pipeline_->PushFrom(dr.sp_entry_op, std::move(dr.record), results));
+        pipeline_->PushBatchFrom(entry, std::move(entry_batch_), results));
+    i = j;
   }
   // The control proxy replicates the source watermark onto the drain path;
   // one update covers both paths of this source.

@@ -40,6 +40,9 @@ class SpExecutor {
   stream::WatermarkMerger merger_;
   Micros applied_watermark_ = -1;
   Status init_status_;
+  // Reused per Consume call: consecutive drain records tagged with the same
+  // entry operator are regrouped into one batch push.
+  stream::RecordBatch entry_batch_;
 };
 
 }  // namespace jarvis::core

@@ -3,19 +3,21 @@
 namespace jarvis::ser {
 
 void BufferWriter::PutU32(uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  uint8_t tmp[4];
+  StoreLe(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + sizeof(tmp));
 }
 
 void BufferWriter::PutU64(uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back((v >> (8 * i)) & 0xff);
+  uint8_t tmp[8];
+  StoreLe(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + sizeof(tmp));
 }
 
 void BufferWriter::PutVarU64(uint64_t v) {
-  while (v >= 0x80) {
-    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
-    v >>= 7;
-  }
-  buf_.push_back(static_cast<uint8_t>(v));
+  uint8_t tmp[10];
+  const size_t n = EncodeVarU64(v, tmp);
+  buf_.insert(buf_.end(), tmp, tmp + n);
 }
 
 void BufferWriter::PutVarI64(int64_t v) { PutVarU64(ZigZagEncode(v)); }
@@ -67,6 +69,24 @@ Status BufferReader::GetU64(uint64_t* out) {
 }
 
 Status BufferReader::GetVarU64(uint64_t* out) {
+  // Fast path: enough bytes remain that no per-byte bounds check is needed
+  // (a varint is at most 10 bytes).
+  if (size_ - pos_ >= 10) {
+    const uint8_t* p = data_ + pos_;
+    uint64_t v = 0;
+    int shift = 0;
+    size_t i = 0;
+    while (true) {
+      const uint8_t b = p[i++];
+      v |= static_cast<uint64_t>(b & 0x7f) << shift;
+      if (!(b & 0x80)) break;
+      shift += 7;
+      if (shift > 63) return Status::SerializationError("varint too long");
+    }
+    pos_ += i;
+    *out = v;
+    return Status::OK();
+  }
   uint64_t v = 0;
   int shift = 0;
   while (true) {

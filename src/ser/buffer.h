@@ -1,6 +1,8 @@
 #ifndef JARVIS_SER_BUFFER_H_
 #define JARVIS_SER_BUFFER_H_
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstring>
 #include <string>
@@ -11,13 +13,59 @@
 
 namespace jarvis::ser {
 
+/// Exact encoded length of an unsigned LEB128 varint, computed from the
+/// value's bit width (no loop). Used by WireSize so byte accounting matches
+/// serialization output exactly.
+constexpr size_t VarIntSize(uint64_t v) {
+  return static_cast<size_t>(std::bit_width(v | 1) + 6) / 7;
+}
+
+/// Little-endian fixed-width store into a caller-provided buffer; gcc/clang
+/// collapse the shift loop into a single unaligned store on LE targets.
+/// Shared by BufferWriter's fixed-width puts and batch column emission so
+/// the wire encoding of doubles/words has exactly one definition.
+template <typename T>
+inline void StoreLe(T v, uint8_t* p) {
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    p[i] = static_cast<uint8_t>(v >> (8 * i));
+  }
+}
+
+/// Encodes `v` as unsigned LEB128 into `p` (which must have >= 10 bytes of
+/// room) and returns the number of bytes written. Exposed so batch
+/// serialization can emit varints into a stack chunk and flush with one
+/// memcpy instead of going through the writer per value.
+inline size_t EncodeVarU64(uint64_t v, uint8_t* p) {
+  size_t n = 0;
+  while (v >= 0x80) {
+    p[n++] = static_cast<uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  p[n++] = static_cast<uint8_t>(v);
+  return n;
+}
+
 /// Append-only binary encoder with LEB128 varints and zigzag for signed
 /// integers. This is the wire format used on the drain path between a data
 /// source and its parent stream processor (the paper uses Kryo; we implement
 /// an equivalent compact binary format so network byte counts are realistic).
+///
+/// All fixed-width and varint puts emit through a small stack buffer plus one
+/// bulk append; nothing on the hot path appends byte-by-byte.
 class BufferWriter {
  public:
   BufferWriter() = default;
+
+  /// Pre-grows the backing buffer so the next `n` bytes of puts do not
+  /// reallocate. Growth is geometric: an exact-size reserve would cap
+  /// capacity at each request and make repeated batch appends into one
+  /// writer quadratic.
+  void Reserve(size_t n) {
+    const size_t need = buf_.size() + n;
+    if (need > buf_.capacity()) {
+      buf_.reserve(std::max(need, buf_.capacity() * 2));
+    }
+  }
 
   void PutU8(uint8_t v) { buf_.push_back(v); }
   void PutU32(uint32_t v);

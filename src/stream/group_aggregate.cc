@@ -89,46 +89,65 @@ GroupAggregateOp::GroupAggregateOp(std::string name,
       window_width_(window_width),
       emit_partials_(emit_partials) {}
 
-std::string GroupAggregateOp::EncodeKey(
-    const std::vector<Value>& keys) const {
-  ser::BufferWriter w;
-  for (const Value& v : keys) {
-    w.PutU8(static_cast<uint8_t>(TypeOf(v)));
-    switch (TypeOf(v)) {
-      case ValueType::kInt64:
-        w.PutU64(static_cast<uint64_t>(std::get<int64_t>(v)));
-        break;
-      case ValueType::kDouble:
-        w.PutDouble(std::get<double>(v));
-        break;
-      case ValueType::kString:
-        w.PutString(std::get<std::string>(v));
-        break;
-    }
+void GroupAggregateOp::AppendKeyValue(const Value& v) {
+  key_buf_.PutU8(static_cast<uint8_t>(TypeOf(v)));
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      key_buf_.PutU64(static_cast<uint64_t>(std::get<int64_t>(v)));
+      break;
+    case ValueType::kDouble:
+      key_buf_.PutDouble(std::get<double>(v));
+      break;
+    case ValueType::kString:
+      key_buf_.PutString(std::get<std::string>(v));
+      break;
   }
-  return std::string(reinterpret_cast<const char*>(w.data().data()),
-                     w.size());
 }
 
-Status GroupAggregateOp::UpdateFromData(const Record& rec) {
+std::string_view GroupAggregateOp::EncodedKey() const {
+  return std::string_view(
+      reinterpret_cast<const char*>(key_buf_.data().data()), key_buf_.size());
+}
+
+template <typename MakeKeys>
+GroupAggregateOp::Group& GroupAggregateOp::FindOrCreateGroup(
+    GroupMap& groups, MakeKeys&& make_keys) {
+  const std::string_view key = EncodedKey();
+  auto it = groups.find(key);
+  if (it == groups.end()) {
+    it = groups.emplace(std::string(key), Group{}).first;
+    Group& g = it->second;
+    g.keys = make_keys();
+    g.accs.resize(aggs_.size());
+  }
+  return it->second;
+}
+
+Status GroupAggregateOp::UpdateFromData(const Record& rec,
+                                        WindowCursor* cursor) {
   if (rec.window_start < 0) {
     return Status::FailedPrecondition(
         "GroupAggregate requires windowed input (no window_start)");
   }
-  std::vector<Value> keys;
-  keys.reserve(key_fields_.size());
+  key_buf_.Clear();
   for (size_t k : key_fields_) {
     if (k >= rec.fields.size()) {
       return Status::OutOfRange("group key index out of range");
     }
-    keys.push_back(rec.fields[k]);
+    AppendKeyValue(rec.fields[k]);
   }
-  GroupMap& groups = windows_[rec.window_start];
-  Group& g = groups[EncodeKey(keys)];
-  if (g.accs.empty()) {
-    g.keys = std::move(keys);
-    g.accs.resize(aggs_.size());
+  if (cursor->groups == nullptr || cursor->window_start != rec.window_start) {
+    // std::map nodes are stable, so the cached pointer survives inserts of
+    // other windows within the same batch.
+    cursor->groups = &windows_[rec.window_start];
+    cursor->window_start = rec.window_start;
   }
+  Group& g = FindOrCreateGroup(*cursor->groups, [&] {
+    std::vector<Value> keys;
+    keys.reserve(key_fields_.size());
+    for (size_t k : key_fields_) keys.push_back(rec.fields[k]);
+    return keys;
+  });
   for (size_t i = 0; i < aggs_.size(); ++i) {
     const AggSpec& a = aggs_[i];
     if (a.kind == AggKind::kCount) {
@@ -143,7 +162,8 @@ Status GroupAggregateOp::UpdateFromData(const Record& rec) {
   return Status::OK();
 }
 
-Status GroupAggregateOp::MergeFromPartial(const Record& rec) {
+Status GroupAggregateOp::MergeFromPartial(const Record& rec,
+                                          WindowCursor* cursor) {
   // Partial layout: keys..., then per agg: count(i64), sum(f64), min(f64),
   // max(f64).
   const size_t nk = key_fields_.size();
@@ -151,13 +171,15 @@ Status GroupAggregateOp::MergeFromPartial(const Record& rec) {
   if (rec.fields.size() != expected) {
     return Status::SerializationError("partial record arity mismatch");
   }
-  std::vector<Value> keys(rec.fields.begin(), rec.fields.begin() + nk);
-  GroupMap& groups = windows_[rec.window_start];
-  Group& g = groups[EncodeKey(keys)];
-  if (g.accs.empty()) {
-    g.keys = std::move(keys);
-    g.accs.resize(aggs_.size());
+  key_buf_.Clear();
+  for (size_t k = 0; k < nk; ++k) AppendKeyValue(rec.fields[k]);
+  if (cursor->groups == nullptr || cursor->window_start != rec.window_start) {
+    cursor->groups = &windows_[rec.window_start];
+    cursor->window_start = rec.window_start;
   }
+  Group& g = FindOrCreateGroup(*cursor->groups, [&] {
+    return std::vector<Value>(rec.fields.begin(), rec.fields.begin() + nk);
+  });
   for (size_t i = 0; i < aggs_.size(); ++i) {
     Acc other;
     other.count = std::get<int64_t>(rec.fields[nk + 4 * i]);
@@ -171,19 +193,48 @@ Status GroupAggregateOp::MergeFromPartial(const Record& rec) {
 
 Status GroupAggregateOp::DoProcess(Record&& rec, RecordBatch* out) {
   (void)out;  // G+R emits on window close, not per record.
-  if (rec.kind == RecordKind::kPartial) return MergeFromPartial(rec);
-  return UpdateFromData(rec);
+  WindowCursor cursor;
+  if (rec.kind == RecordKind::kPartial) return MergeFromPartial(rec, &cursor);
+  return UpdateFromData(rec, &cursor);
+}
+
+Status GroupAggregateOp::DoProcessBatch(RecordBatch&& batch,
+                                        RecordBatch* out) {
+  (void)out;  // G+R emits on window close, not per record.
+  WindowCursor cursor;
+  for (const Record& rec : batch) {
+    if (rec.kind == RecordKind::kPartial) {
+      JARVIS_RETURN_IF_ERROR(MergeFromPartial(rec, &cursor));
+    } else {
+      JARVIS_RETURN_IF_ERROR(UpdateFromData(rec, &cursor));
+    }
+  }
+  return Status::OK();
+}
+
+Status GroupAggregateOp::DoProcessBatchInPlace(RecordBatch* batch) {
+  // G+R consumes the whole batch into accumulator state; nothing flows on.
+  RecordBatch sink;
+  JARVIS_RETURN_IF_ERROR(DoProcessBatch(std::move(*batch), &sink));
+  batch->clear();
+  return Status::OK();
 }
 
 void GroupAggregateOp::EmitWindow(Micros window_start, GroupMap& groups,
                                   RecordBatch* out) {
+  GrowForAppend(out, groups.size());
+  const size_t arity =
+      key_fields_.size() + aggs_.size() * (emit_partials_ ? 4 : 1);
   for (auto& [key, group] : groups) {
     Record r;
     r.event_time = window_start + window_width_;
     r.window_start = window_start;
+    // Every caller drops the window right after emission, so the key column
+    // moves out instead of copying.
+    r.fields = std::move(group.keys);
+    r.fields.reserve(arity);
     if (emit_partials_) {
       r.kind = RecordKind::kPartial;
-      r.fields = group.keys;
       for (const Acc& acc : group.accs) {
         r.fields.emplace_back(acc.count);
         r.fields.emplace_back(acc.sum);
@@ -192,7 +243,6 @@ void GroupAggregateOp::EmitWindow(Micros window_start, GroupMap& groups,
       }
     } else {
       r.kind = RecordKind::kData;
-      r.fields = group.keys;
       for (size_t i = 0; i < aggs_.size(); ++i) {
         r.fields.push_back(group.accs[i].Finalize(aggs_[i].kind));
       }

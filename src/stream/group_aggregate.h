@@ -3,9 +3,11 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "ser/buffer.h"
 #include "stream/operator.h"
 
 namespace jarvis::stream {
@@ -42,6 +44,7 @@ class GroupAggregateOp : public Operator {
 
   OpKind kind() const override { return OpKind::kGroupAggregate; }
   bool IsStateful() const override { return true; }
+  bool HasInPlaceBatch() const override { return true; }
 
   Status OnWatermark(Micros wm, RecordBatch* out) override;
   Status ExportPartialState(RecordBatch* out) override;
@@ -56,6 +59,8 @@ class GroupAggregateOp : public Operator {
 
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
+  Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
+  Status DoProcessBatchInPlace(RecordBatch* batch) override;
 
  private:
   /// Mergeable accumulator: enough to finalize any AggKind.
@@ -76,19 +81,38 @@ class GroupAggregateOp : public Operator {
   };
 
   // window_start -> (encoded key -> group). std::map keeps window flush order
-  // deterministic; groups are emitted sorted by encoded key.
-  using GroupMap = std::map<std::string, Group>;
+  // deterministic; groups are emitted sorted by encoded key. The transparent
+  // comparator lets the hot path probe with a string_view over the reused
+  // key buffer, allocating only when a new group is created.
+  using GroupMap = std::map<std::string, Group, std::less<>>;
 
-  Status UpdateFromData(const Record& rec);
-  Status MergeFromPartial(const Record& rec);
+  /// Per-record cursor the batch path threads through consecutive records:
+  /// the window map is looked up once per run of same-window records, not
+  /// once per record.
+  struct WindowCursor {
+    Micros window_start = -1;
+    GroupMap* groups = nullptr;
+  };
+
+  Status UpdateFromData(const Record& rec, WindowCursor* cursor);
+  Status MergeFromPartial(const Record& rec, WindowCursor* cursor);
   void EmitWindow(Micros window_start, GroupMap& groups, RecordBatch* out);
-  std::string EncodeKey(const std::vector<Value>& keys) const;
+
+  /// Appends one key component's binary encoding to key_buf_.
+  void AppendKeyValue(const Value& v);
+  /// View of key_buf_'s contents as the map probe key.
+  std::string_view EncodedKey() const;
+  /// Finds or creates the group for the key currently in key_buf_;
+  /// `make_keys` materializes the key column values only on first touch.
+  template <typename MakeKeys>
+  Group& FindOrCreateGroup(GroupMap& groups, MakeKeys&& make_keys);
 
   std::vector<size_t> key_fields_;
   std::vector<AggSpec> aggs_;
   Micros window_width_;
   bool emit_partials_;
   std::map<Micros, GroupMap> windows_;
+  ser::BufferWriter key_buf_;  // reused across records; never shrinks
 };
 
 }  // namespace jarvis::stream

@@ -22,18 +22,44 @@ std::string_view OpKindToString(OpKind kind) {
 
 Status Operator::Process(Record&& rec, RecordBatch* out) {
   stats_.records_in += 1;
-  stats_.bytes_in += WireSize(rec);
+  if (count_bytes_) stats_.bytes_in += WireSize(rec);
   const size_t first = out->size();
   JARVIS_RETURN_IF_ERROR(DoProcess(std::move(rec), out));
   CountOutputs(*out, first);
   return Status::OK();
 }
 
+Status Operator::ProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+  stats_.records_in += batch.size();
+  if (count_bytes_) stats_.bytes_in += BatchBytes(batch);
+  const size_t first = out->size();
+  JARVIS_RETURN_IF_ERROR(DoProcessBatch(std::move(batch), out));
+  CountOutputs(*out, first);
+  return Status::OK();
+}
+
+Status Operator::ProcessBatchInPlace(RecordBatch* batch) {
+  stats_.records_in += batch->size();
+  if (count_bytes_) stats_.bytes_in += BatchBytes(*batch);
+  JARVIS_RETURN_IF_ERROR(DoProcessBatchInPlace(batch));
+  stats_.records_out += batch->size();
+  if (count_bytes_) stats_.bytes_out += BatchBytes(*batch);
+  return Status::OK();
+}
+
+uint64_t Operator::BatchBytes(const RecordBatch& batch) {
+  uint64_t bytes = 0;
+  for (const Record& rec : batch) bytes += WireSize(rec);
+  return bytes;
+}
+
 void Operator::CountOutputs(const RecordBatch& out, size_t first) {
-  for (size_t i = first; i < out.size(); ++i) {
-    stats_.records_out += 1;
-    stats_.bytes_out += WireSize(out[i]);
+  if (count_bytes_) {
+    for (size_t i = first; i < out.size(); ++i) {
+      stats_.bytes_out += WireSize(out[i]);
+    }
   }
+  stats_.records_out += out.size() - first;
 }
 
 }  // namespace jarvis::stream

@@ -48,9 +48,11 @@ struct OperatorStats {
   }
 };
 
-/// Base class for all stream operators. Operators process one record at a
-/// time (so control proxies can apportion records between the local copy and
-/// the replicated copy on the stream processor) and may react to watermarks.
+/// Base class for all stream operators. The hot path is batch-at-a-time
+/// (ProcessBatch); control proxies apportion whole record runs between the
+/// local copy and the replicated copy on the stream processor, so batching
+/// does not change what the control plane can express. Process remains as
+/// the record-at-a-time compatibility path.
 class Operator {
  public:
   Operator(std::string name, Schema output_schema)
@@ -64,6 +66,28 @@ class Operator {
 
   /// Processes one record, appending any outputs to `out`. Updates stats.
   Status Process(Record&& rec, RecordBatch* out);
+
+  /// Processes a whole batch, appending outputs to `out` in order. Produces
+  /// exactly the outputs and stats of calling Process on each record in
+  /// order, but with one stats pass and (for operators that override
+  /// DoProcessBatch) no per-record virtual dispatch.
+  Status ProcessBatch(RecordBatch&& batch, RecordBatch* out);
+
+  /// True when this operator can rewrite a batch in place (1:1 transforms,
+  /// in-place compaction, or full consumption). In-place stages cost zero
+  /// inter-stage record moves in Pipeline::PushBatch.
+  virtual bool HasInPlaceBatch() const { return false; }
+
+  /// Rewrites `batch` in place; only valid when HasInPlaceBatch(). Output
+  /// records (and stats) are identical to the copying paths.
+  Status ProcessBatchInPlace(RecordBatch* batch);
+
+  /// Toggles byte-level stats accounting (records are always counted).
+  /// Walking every record's WireSize costs more than most operators
+  /// themselves; the source executor enables it only for profiling epochs,
+  /// where relay-byte ratios actually feed the LP. Defaults to on.
+  void set_byte_accounting(bool enabled) { count_bytes_ = enabled; }
+  bool byte_accounting() const { return count_bytes_; }
 
   /// Advances event time. Stateful operators flush windows closed by `wm`.
   virtual Status OnWatermark(Micros wm, RecordBatch* out) {
@@ -96,13 +120,32 @@ class Operator {
  protected:
   virtual Status DoProcess(Record&& rec, RecordBatch* out) = 0;
 
+  /// Batch hook with a per-record fallback; operators with tight-loop
+  /// implementations (Filter, Project, GroupAggregate, ...) override this.
+  virtual Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+    for (Record& rec : batch) {
+      JARVIS_RETURN_IF_ERROR(DoProcess(std::move(rec), out));
+    }
+    return Status::OK();
+  }
+
+  /// In-place hook; implemented by operators that report HasInPlaceBatch().
+  virtual Status DoProcessBatchInPlace(RecordBatch* batch) {
+    (void)batch;
+    return Status::Internal("operator has no in-place batch path");
+  }
+
   /// Lets subclasses account records emitted from OnWatermark /
   /// ExportPartialState in the output-side stats.
   void CountOutputs(const RecordBatch& out, size_t first);
 
+  /// Sum of WireSize over a whole batch (input-side stats pass).
+  static uint64_t BatchBytes(const RecordBatch& batch);
+
   std::string name_;
   Schema output_schema_;
   OperatorStats stats_;
+  bool count_bytes_ = true;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

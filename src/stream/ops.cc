@@ -16,6 +16,24 @@ Status WindowOp::DoProcess(Record&& rec, RecordBatch* out) {
   return Status::OK();
 }
 
+Status WindowOp::DoProcessBatchInPlace(RecordBatch* batch) {
+  if (width_ <= 0) {
+    return Status::InvalidArgument("window width must be positive");
+  }
+  for (Record& rec : *batch) {
+    if (rec.kind == RecordKind::kData) {
+      rec.window_start = rec.event_time - (rec.event_time % width_);
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowOp::DoProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+  JARVIS_RETURN_IF_ERROR(DoProcessBatchInPlace(&batch));
+  MoveAppend(std::move(batch), out);
+  return Status::OK();
+}
+
 FilterOp::FilterOp(std::string name, Schema schema, Predicate pred)
     : Operator(std::move(name), std::move(schema)), pred_(std::move(pred)) {}
 
@@ -26,11 +44,35 @@ Status FilterOp::DoProcess(Record&& rec, RecordBatch* out) {
   return Status::OK();
 }
 
+Status FilterOp::DoProcessBatchInPlace(RecordBatch* batch) {
+  // Stable in-place compaction: survivors slide down over dropped slots.
+  size_t w = 0;
+  for (size_t r = 0; r < batch->size(); ++r) {
+    Record& rec = (*batch)[r];
+    if (rec.kind == RecordKind::kPartial || pred_(rec)) {
+      if (w != r) (*batch)[w] = std::move(rec);
+      ++w;
+    }
+  }
+  batch->resize(w);
+  return Status::OK();
+}
+
+Status FilterOp::DoProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+  GrowForAppend(out, batch.size());
+  for (Record& rec : batch) {
+    if (rec.kind == RecordKind::kPartial || pred_(rec)) {
+      out->push_back(std::move(rec));
+    }
+  }
+  return Status::OK();
+}
+
 MapOp::MapOp(std::string name, Schema output_schema, MapFn fn)
     : Operator(std::move(name), std::move(output_schema)),
       fn_(std::move(fn)) {}
 
-Status MapOp::DoProcess(Record&& rec, RecordBatch* out) {
+Status MapOp::MapOne(Record&& rec, RecordBatch* out) {
   if (rec.kind == RecordKind::kPartial) {
     out->push_back(std::move(rec));
     return Status::OK();
@@ -38,12 +80,24 @@ Status MapOp::DoProcess(Record&& rec, RecordBatch* out) {
   return fn_(std::move(rec), out);
 }
 
+Status MapOp::DoProcess(Record&& rec, RecordBatch* out) {
+  return MapOne(std::move(rec), out);
+}
+
+Status MapOp::DoProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+  GrowForAppend(out, batch.size());
+  for (Record& rec : batch) {
+    JARVIS_RETURN_IF_ERROR(MapOne(std::move(rec), out));
+  }
+  return Status::OK();
+}
+
 ProjectOp::ProjectOp(std::string name, const Schema& input_schema,
                      std::vector<size_t> keep)
     : Operator(std::move(name), input_schema.Select(keep)),
       keep_(std::move(keep)) {}
 
-Status ProjectOp::DoProcess(Record&& rec, RecordBatch* out) {
+Status ProjectOp::ProjectOne(Record&& rec, RecordBatch* out) {
   if (rec.kind == RecordKind::kPartial) {
     out->push_back(std::move(rec));
     return Status::OK();
@@ -60,6 +114,34 @@ Status ProjectOp::DoProcess(Record&& rec, RecordBatch* out) {
     projected.fields.push_back(std::move(rec.fields[i]));
   }
   out->push_back(std::move(projected));
+  return Status::OK();
+}
+
+Status ProjectOp::DoProcess(Record&& rec, RecordBatch* out) {
+  return ProjectOne(std::move(rec), out);
+}
+
+Status ProjectOp::DoProcessBatchInPlace(RecordBatch* batch) {
+  // The scratch vector and each record's field vector swap roles every
+  // iteration, so the steady state allocates nothing: a record's projected
+  // fields land in the buffer freed by the previous record.
+  for (Record& rec : *batch) {
+    if (rec.kind == RecordKind::kPartial) continue;
+    field_scratch_.clear();
+    for (size_t i : keep_) {
+      if (i >= rec.fields.size()) {
+        return Status::OutOfRange("project index out of range");
+      }
+      field_scratch_.push_back(std::move(rec.fields[i]));
+    }
+    std::swap(rec.fields, field_scratch_);
+  }
+  return Status::OK();
+}
+
+Status ProjectOp::DoProcessBatch(RecordBatch&& batch, RecordBatch* out) {
+  JARVIS_RETURN_IF_ERROR(DoProcessBatchInPlace(&batch));
+  MoveAppend(std::move(batch), out);
   return Status::OK();
 }
 

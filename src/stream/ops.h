@@ -19,9 +19,12 @@ class WindowOp : public Operator {
 
   OpKind kind() const override { return OpKind::kWindow; }
   Micros width() const { return width_; }
+  bool HasInPlaceBatch() const override { return true; }
 
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
+  Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
+  Status DoProcessBatchInPlace(RecordBatch* batch) override;
 
  private:
   Micros width_;
@@ -37,9 +40,12 @@ class FilterOp : public Operator {
   FilterOp(std::string name, Schema schema, Predicate pred);
 
   OpKind kind() const override { return OpKind::kFilter; }
+  bool HasInPlaceBatch() const override { return true; }
 
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
+  Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
+  Status DoProcessBatchInPlace(RecordBatch* batch) override;
 
  private:
   Predicate pred_;
@@ -57,8 +63,12 @@ class MapOp : public Operator {
 
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
+  Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
 
  private:
+  /// Non-virtual per-record body shared by both process paths.
+  Status MapOne(Record&& rec, RecordBatch* out);
+
   MapFn fn_;
 };
 
@@ -69,12 +79,19 @@ class ProjectOp : public Operator {
             std::vector<size_t> keep);
 
   OpKind kind() const override { return OpKind::kProject; }
+  bool HasInPlaceBatch() const override { return true; }
 
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
+  Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
+  Status DoProcessBatchInPlace(RecordBatch* batch) override;
 
  private:
+  /// Non-virtual per-record body shared by both process paths.
+  Status ProjectOne(Record&& rec, RecordBatch* out);
+
   std::vector<size_t> keep_;
+  std::vector<Value> field_scratch_;  // in-place projection swap buffer
 };
 
 }  // namespace jarvis::stream

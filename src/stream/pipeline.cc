@@ -20,7 +20,31 @@ Status Pipeline::PushFrom(size_t start, Record&& rec, RecordBatch* out) {
     }
     current = std::move(next);
   }
-  for (Record& r : current) out->push_back(std::move(r));
+  MoveAppend(std::move(current), out);
+  return Status::OK();
+}
+
+Status Pipeline::PushBatch(RecordBatch&& batch, RecordBatch* out) {
+  return PushBatchFrom(0, std::move(batch), out);
+}
+
+Status Pipeline::PushBatchFrom(size_t start, RecordBatch&& batch,
+                               RecordBatch* out) {
+  // `cur` starts as the caller's batch: in-place stages rewrite it where it
+  // sits (zero record moves); only expanding stages (Map, per-record
+  // fallbacks) hop to a ping-pong scratch batch.
+  RecordBatch* cur = &batch;
+  for (size_t i = start; i < ops_.size() && !cur->empty(); ++i) {
+    if (ops_[i]->HasInPlaceBatch()) {
+      JARVIS_RETURN_IF_ERROR(ops_[i]->ProcessBatchInPlace(cur));
+    } else {
+      RecordBatch* next = (cur == &ping_) ? &pong_ : &ping_;
+      next->clear();
+      JARVIS_RETURN_IF_ERROR(ops_[i]->ProcessBatch(std::move(*cur), next));
+      cur = next;
+    }
+  }
+  MoveAppend(std::move(*cur), out);
   return Status::OK();
 }
 
@@ -29,13 +53,14 @@ Status Pipeline::OnWatermark(Micros wm, RecordBatch* out) {
   for (size_t i = 0; i < ops_.size(); ++i) {
     RecordBatch emitted;
     // First process records emitted by upstream operators' window closures.
-    for (Record& r : carried) {
-      JARVIS_RETURN_IF_ERROR(ops_[i]->Process(std::move(r), &emitted));
+    if (!carried.empty()) {
+      JARVIS_RETURN_IF_ERROR(
+          ops_[i]->ProcessBatch(std::move(carried), &emitted));
     }
     JARVIS_RETURN_IF_ERROR(ops_[i]->OnWatermark(wm, &emitted));
     carried = std::move(emitted);
   }
-  for (Record& r : carried) out->push_back(std::move(r));
+  MoveAppend(std::move(carried), out);
   return Status::OK();
 }
 
@@ -43,13 +68,14 @@ Status Pipeline::Flush(RecordBatch* out) {
   RecordBatch carried;
   for (size_t i = 0; i < ops_.size(); ++i) {
     RecordBatch emitted;
-    for (Record& r : carried) {
-      JARVIS_RETURN_IF_ERROR(ops_[i]->Process(std::move(r), &emitted));
+    if (!carried.empty()) {
+      JARVIS_RETURN_IF_ERROR(
+          ops_[i]->ProcessBatch(std::move(carried), &emitted));
     }
     JARVIS_RETURN_IF_ERROR(ops_[i]->ExportPartialState(&emitted));
     carried = std::move(emitted);
   }
-  for (Record& r : carried) out->push_back(std::move(r));
+  MoveAppend(std::move(carried), out);
   return Status::OK();
 }
 

@@ -10,8 +10,11 @@ namespace jarvis::stream {
 
 /// A straight-line chain of operators (queries deployed on data sources are
 /// operator pipelines after the placement rules are applied, Section IV-B).
-/// Push() cascades a record through all operators; OnWatermark() advances
-/// event time and collects window emissions.
+/// The hot path is PushBatch(): a whole batch cascades through the chain
+/// stage by stage, ping-ponging between two reusable scratch batches so the
+/// steady state allocates nothing. Push() remains as the record-at-a-time
+/// compatibility path (one virtual hop and two scratch vectors per record
+/// per stage — the cost the batch API exists to amortize).
 class Pipeline {
  public:
   Pipeline() = default;
@@ -32,6 +35,15 @@ class Pipeline {
   /// right operator).
   Status PushFrom(size_t start, Record&& rec, RecordBatch* out);
 
+  /// Pushes a whole batch through the chain; final outputs are appended to
+  /// `out` in order. Identical outputs and operator stats to pushing each
+  /// record via Push(), but stage transitions reuse two ping-pong scratch
+  /// batches instead of allocating per record per stage.
+  Status PushBatch(RecordBatch&& batch, RecordBatch* out);
+
+  /// Batch analogue of PushFrom.
+  Status PushBatchFrom(size_t start, RecordBatch&& batch, RecordBatch* out);
+
   /// Advances the watermark through the chain; emissions from operator i are
   /// processed by operators i+1..end before being appended to `out`.
   Status OnWatermark(Micros wm, RecordBatch* out);
@@ -44,11 +56,22 @@ class Pipeline {
   /// Resets the per-operator stats counters (start of a profiling epoch).
   void ResetStats();
 
+  /// Toggles byte-level stats on every operator. Profiling epochs need the
+  /// relay-byte ratios; steady-state epochs skip the per-record WireSize
+  /// walks entirely.
+  void SetByteAccounting(bool enabled) {
+    for (auto& op : ops_) op->set_byte_accounting(enabled);
+  }
+
   /// Sum of output schema: the final operator's schema.
   const Schema& output_schema() const { return ops_.back()->output_schema(); }
 
  private:
   std::vector<OperatorPtr> ops_;
+  // Ping-pong stage scratch for PushBatch; cleared (not deallocated) between
+  // stages so capacity persists across pushes.
+  RecordBatch ping_;
+  RecordBatch pong_;
 };
 
 }  // namespace jarvis::stream

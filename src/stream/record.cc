@@ -4,10 +4,6 @@
 
 namespace jarvis::stream {
 
-ValueType TypeOf(const Value& v) {
-  return static_cast<ValueType>(v.index());
-}
-
 std::string ValueToString(const Value& v) {
   switch (TypeOf(v)) {
     case ValueType::kInt64:
@@ -76,18 +72,7 @@ std::string Schema::ToString() const {
   return out;
 }
 
-namespace {
-
-size_t VarIntSize(uint64_t v) {
-  size_t n = 1;
-  while (v >= 0x80) {
-    v >>= 7;
-    ++n;
-  }
-  return n;
-}
-
-}  // namespace
+using ser::VarIntSize;
 
 size_t WireSize(const Record& rec) {
   // kind (1) + event_time varint + window_start varint + field count varint.
@@ -174,6 +159,285 @@ Status DeserializeRecord(ser::BufferReader* in, Record* out) {
       }
       default:
         return Status::SerializationError("bad value tag");
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Schema-elided batch format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Batch header flag bits (one flag byte per record).
+constexpr uint8_t kFlagPartial = 0x01;     // RecordKind::kPartial
+constexpr uint8_t kFlagConforming = 0x02;  // fields match the batch schema
+constexpr uint8_t kFlagKnownMask = kFlagPartial | kFlagConforming;
+
+// Accumulates encoded bytes in a stack chunk and flushes to the BufferWriter
+// in bulk: column emission costs one vector append per ~4KB of payload
+// instead of one per value.
+class ChunkWriter {
+ public:
+  explicit ChunkWriter(ser::BufferWriter* out) : out_(out) {}
+  ~ChunkWriter() { Flush(); }
+
+  void Byte(uint8_t b) {
+    if (n_ + 1 > sizeof(buf_)) Flush();
+    buf_[n_++] = b;
+  }
+  void VarU64(uint64_t v) {
+    if (n_ + 10 > sizeof(buf_)) Flush();
+    n_ += ser::EncodeVarU64(v, buf_ + n_);
+  }
+  void VarI64(int64_t v) { VarU64(ser::ZigZagEncode(v)); }
+  /// One record's header row (flag byte + two time-delta varints),
+  /// bounds-checked once.
+  void Header(uint8_t flags, int64_t event_time_delta,
+              int64_t window_start_delta) {
+    if (n_ + 21 > sizeof(buf_)) Flush();
+    buf_[n_++] = flags;
+    n_ += ser::EncodeVarU64(ser::ZigZagEncode(event_time_delta), buf_ + n_);
+    n_ += ser::EncodeVarU64(ser::ZigZagEncode(window_start_delta), buf_ + n_);
+  }
+  void Double(double v) {
+    if (n_ + 8 > sizeof(buf_)) Flush();
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    ser::StoreLe(bits, buf_ + n_);
+    n_ += 8;
+  }
+  void Bytes(const uint8_t* p, size_t len) {
+    if (len >= sizeof(buf_) / 2) {
+      Flush();
+      out_->PutBytes(p, len);
+      return;
+    }
+    if (n_ + len > sizeof(buf_)) Flush();
+    std::memcpy(buf_ + n_, p, len);
+    n_ += len;
+  }
+  void String(const std::string& s) {
+    VarU64(s.size());
+    Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+  void Flush() {
+    if (n_ > 0) {
+      out_->PutBytes(buf_, n_);
+      n_ = 0;
+    }
+  }
+
+ private:
+  ser::BufferWriter* out_;
+  size_t n_ = 0;
+  uint8_t buf_[4096];
+};
+
+void WriteTaggedValue(const Value& v, ChunkWriter* w) {
+  w->Byte(static_cast<uint8_t>(TypeOf(v)));
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      w->VarI64(std::get<int64_t>(v));
+      break;
+    case ValueType::kDouble:
+      w->Double(std::get<double>(v));
+      break;
+    case ValueType::kString:
+      w->String(std::get<std::string>(v));
+      break;
+  }
+}
+
+}  // namespace
+
+size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
+                      ser::BufferWriter* out) {
+  const size_t start = out->size();
+  const size_t n = batch.size();
+  const size_t nf = schema.num_fields();
+  // Header + roughly flag/time bytes; the chunked column writer amortizes
+  // the rest of the growth.
+  out->Reserve(16 + nf + n * 8);
+  out->PutU8(kBatchFormatVersion);
+  out->PutVarU64(n);
+  out->PutVarU64(nf);
+  for (size_t j = 0; j < nf; ++j) {
+    out->PutU8(static_cast<uint8_t>(schema.field(j).type));
+  }
+
+  // Header rows: one flag byte plus two *delta-encoded* time varints per
+  // record, in one pass; the payload follows as packed columns. Event times
+  // are near-monotone, so deltas keep the varints at one or two bytes.
+  // Arithmetic goes through uint64_t: wraparound is well-defined and the
+  // decoder's addition inverts it exactly.
+  std::vector<uint8_t> conforming(n);
+  ChunkWriter w(out);
+  uint64_t prev_et = 0, prev_ws = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Record& r = batch[i];
+    conforming[i] = ConformsToSchema(r, schema) ? 1 : 0;
+    uint8_t flags = r.kind == RecordKind::kPartial ? kFlagPartial : 0;
+    if (conforming[i]) flags |= kFlagConforming;
+    const uint64_t et = static_cast<uint64_t>(r.event_time);
+    const uint64_t ws = static_cast<uint64_t>(r.window_start);
+    w.Header(flags, static_cast<int64_t>(et - prev_et),
+             static_cast<int64_t>(ws - prev_ws));
+    prev_et = et;
+    prev_ws = ws;
+  }
+
+  for (size_t j = 0; j < nf; ++j) {
+    switch (schema.field(j).type) {
+      // Types were verified by the conformance pass; get_if skips the
+      // per-access variant check std::get would re-do.
+      case ValueType::kInt64:
+        for (size_t i = 0; i < n; ++i) {
+          if (conforming[i]) w.VarI64(*std::get_if<int64_t>(&batch[i].fields[j]));
+        }
+        break;
+      case ValueType::kDouble:
+        for (size_t i = 0; i < n; ++i) {
+          if (conforming[i]) w.Double(*std::get_if<double>(&batch[i].fields[j]));
+        }
+        break;
+      case ValueType::kString:
+        for (size_t i = 0; i < n; ++i) {
+          if (conforming[i]) {
+            w.String(*std::get_if<std::string>(&batch[i].fields[j]));
+          }
+        }
+        break;
+    }
+  }
+
+  // Non-conforming records (kPartial accumulator rows, schema-divergent
+  // arities) carry their own tags, exactly like the record-at-a-time format.
+  for (size_t i = 0; i < n; ++i) {
+    if (conforming[i]) continue;
+    w.VarU64(batch[i].fields.size());
+    for (const Value& v : batch[i].fields) WriteTaggedValue(v, &w);
+  }
+  w.Flush();
+  return out->size() - start;
+}
+
+Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
+  uint8_t version;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version != kBatchFormatVersion) {
+    return Status::SerializationError("bad batch format version");
+  }
+  uint64_t n;
+  JARVIS_RETURN_IF_ERROR(in->GetVarU64(&n));
+  // Every record costs at least a flag byte plus two time varints, so a
+  // count beyond the remaining bytes is corrupt (and a DoS guard).
+  if (n > in->remaining()) {
+    return Status::SerializationError("implausible batch record count");
+  }
+  uint64_t nf;
+  JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nf));
+  if (nf > (1u << 20)) {
+    return Status::SerializationError("implausible schema field count");
+  }
+  std::vector<ValueType> tags(nf);
+  for (uint64_t j = 0; j < nf; ++j) {
+    uint8_t tag;
+    JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+    if (tag > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::SerializationError("bad schema type tag");
+    }
+    tags[j] = static_cast<ValueType>(tag);
+  }
+
+  // resize() keeps already-present elements, so a reused output batch
+  // retains its field vectors' capacities; clearing per record below makes
+  // steady-state decoding allocation-free for numeric columns.
+  out->resize(n);
+  std::vector<uint8_t> flags(n);
+  uint64_t prev_et = 0, prev_ws = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    Record& rec = (*out)[i];
+    JARVIS_RETURN_IF_ERROR(in->GetU8(&flags[i]));
+    if ((flags[i] & ~kFlagKnownMask) != 0) {
+      return Status::SerializationError("bad batch record flags");
+    }
+    rec.kind = (flags[i] & kFlagPartial) ? RecordKind::kPartial
+                                         : RecordKind::kData;
+    int64_t et_delta, ws_delta;
+    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&et_delta));
+    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&ws_delta));
+    prev_et += static_cast<uint64_t>(et_delta);
+    prev_ws += static_cast<uint64_t>(ws_delta);
+    rec.event_time = static_cast<int64_t>(prev_et);
+    rec.window_start = static_cast<int64_t>(prev_ws);
+    rec.fields.clear();
+    if (flags[i] & kFlagConforming) rec.fields.reserve(nf);
+  }
+  for (uint64_t j = 0; j < nf; ++j) {
+    switch (tags[j]) {
+      case ValueType::kInt64:
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!(flags[i] & kFlagConforming)) continue;
+          int64_t v;
+          JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
+          (*out)[i].fields.emplace_back(v);
+        }
+        break;
+      case ValueType::kDouble:
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!(flags[i] & kFlagConforming)) continue;
+          double v;
+          JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
+          (*out)[i].fields.emplace_back(v);
+        }
+        break;
+      case ValueType::kString:
+        for (uint64_t i = 0; i < n; ++i) {
+          if (!(flags[i] & kFlagConforming)) continue;
+          std::string v;
+          JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+          (*out)[i].fields.emplace_back(std::move(v));
+        }
+        break;
+    }
+  }
+
+  for (uint64_t i = 0; i < n; ++i) {
+    if (flags[i] & kFlagConforming) continue;
+    Record& rec = (*out)[i];
+    uint64_t nfields;
+    JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nfields));
+    if (nfields > (1u << 20)) {
+      return Status::SerializationError("implausible field count");
+    }
+    rec.fields.reserve(nfields);
+    for (uint64_t f = 0; f < nfields; ++f) {
+      uint8_t tag;
+      JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+      switch (static_cast<ValueType>(tag)) {
+        case ValueType::kInt64: {
+          int64_t v;
+          JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
+          rec.fields.emplace_back(v);
+          break;
+        }
+        case ValueType::kDouble: {
+          double v;
+          JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
+          rec.fields.emplace_back(v);
+          break;
+        }
+        case ValueType::kString: {
+          std::string v;
+          JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+          rec.fields.emplace_back(std::move(v));
+          break;
+        }
+        default:
+          return Status::SerializationError("bad value tag");
+      }
     }
   }
   return Status::OK();

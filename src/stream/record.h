@@ -1,9 +1,11 @@
 #ifndef JARVIS_STREAM_RECORD_H_
 #define JARVIS_STREAM_RECORD_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <variant>
 #include <vector>
 
@@ -19,7 +21,9 @@ using Value = std::variant<int64_t, double, std::string>;
 
 enum class ValueType : uint8_t { kInt64 = 0, kDouble = 1, kString = 2 };
 
-ValueType TypeOf(const Value& v);
+inline ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
 
 /// Renders a value for debugging and golden tests.
 std::string ValueToString(const Value& v);
@@ -55,6 +59,32 @@ struct Record {
 };
 
 using RecordBatch = std::vector<Record>;
+
+/// Grows `out` so `extra` more elements fit, preserving vector-style
+/// geometric growth. A bare reserve(size()+extra) per appended chunk caps
+/// capacity at the exact requested size, which turns chunked appends
+/// quadratic; this helper is what every batch hot loop must use instead.
+/// Templated so drain-record vectors share the one definition.
+template <typename T>
+inline void GrowForAppend(std::vector<T>* out, size_t extra) {
+  const size_t need = out->size() + extra;
+  if (need > out->capacity()) {
+    out->reserve(std::max(need, out->capacity() * 2));
+  }
+}
+
+/// Moves every record of `batch` onto the end of `out`. When `out` is empty
+/// and has less capacity than the batch, the buffers are swapped (O(1))
+/// instead of moved element-wise; swapping rather than move-assigning keeps
+/// the donor's buffer alive for reuse by the caller's scratch.
+inline void MoveAppend(RecordBatch&& batch, RecordBatch* out) {
+  if (out->empty() && out->capacity() < batch.size()) {
+    std::swap(*out, batch);
+    return;
+  }
+  GrowForAppend(out, batch.size());
+  for (Record& rec : batch) out->push_back(std::move(rec));
+}
 
 /// Named, typed columns. Operators validate inputs against schemas at plan
 /// compile time, not per record.
@@ -94,9 +124,10 @@ class Schema {
   std::vector<Field> fields_;
 };
 
-/// Estimated wire size of a record in bytes without serializing it; used for
-/// network accounting on hot paths. Matches SerializeRecord output to within
-/// varint width.
+/// Exact wire size of a record in bytes without serializing it (varint widths
+/// are computed, not estimated): WireSize(r) == SerializeRecord(r) output
+/// size, always. Used for drain-byte accounting on hot paths so reported
+/// network bytes never drift from what serialization would actually ship.
 size_t WireSize(const Record& rec);
 
 /// Serializes a record to the drain-path wire format.
@@ -104,6 +135,42 @@ void SerializeRecord(const Record& rec, ser::BufferWriter* out);
 
 /// Decodes a record previously written by SerializeRecord.
 Status DeserializeRecord(ser::BufferReader* in, Record* out);
+
+// ---------------------------------------------------------------------------
+// Schema-elided batch wire format
+// ---------------------------------------------------------------------------
+// The record-at-a-time format repeats a type tag per field per record even
+// though the schema is fixed at query-compile time. The batch format writes
+// the schema's type tags once per batch and the payload as packed columns
+// (zigzag varints for int64, 8-byte LE doubles, length-prefixed strings), so
+// the per-record overhead drops to one flag byte plus the two time varints.
+// Records that do not match the schema — kPartial accumulator rows have a
+// different arity — are flagged and serialized with inline tags after the
+// columns, so any batch round-trips losslessly.
+
+inline constexpr uint8_t kBatchFormatVersion = 1;
+
+/// True when the record's fields match the schema's arity and types exactly
+/// (such records serialize tag-free in the columnar section). Inline: called
+/// once per record on the drain serialization path.
+inline bool ConformsToSchema(const Record& rec, const Schema& schema) {
+  if (rec.fields.size() != schema.num_fields()) return false;
+  for (size_t j = 0; j < rec.fields.size(); ++j) {
+    if (TypeOf(rec.fields[j]) != schema.field(j).type) return false;
+  }
+  return true;
+}
+
+/// Serializes a whole batch in the schema-elided format and returns the
+/// number of bytes written, so callers get network-byte accounting from the
+/// serialization pass itself instead of a separate WireSize walk.
+size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
+                      ser::BufferWriter* out);
+
+/// Decodes a batch previously written by SerializeBatch. The format is
+/// self-describing (type tags ride in the batch header), so no schema is
+/// needed on the read side.
+Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out);
 
 }  // namespace jarvis::stream
 

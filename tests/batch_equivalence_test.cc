@@ -1,0 +1,439 @@
+// Batch-vs-record equivalence: for every operator kind, ProcessBatch and
+// ProcessBatchInPlace must produce exactly the outputs AND stats counters of
+// record-at-a-time Process, for fuzzed batches (including kPartial records
+// and awkward chunk boundaries); Pipeline::PushBatch must match Push; and
+// the schema-elided batch wire format must round-trip arbitrary batches —
+// empty, partial-bearing, and schema-divergent — byte-exactly.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "stream/group_aggregate.h"
+#include "stream/join.h"
+#include "stream/ops.h"
+#include "stream/pipeline.h"
+#include "stream/record.h"
+#include "testing/test_util.h"
+
+namespace jarvis::stream {
+namespace {
+
+using OpFactory = std::function<std::unique_ptr<Operator>()>;
+
+Value RandomValueOfType(Rng& rng, ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return Value(
+          static_cast<int64_t>(rng.NextU64() >> rng.NextBounded(64)) - 500);
+    case ValueType::kDouble:
+      return Value(rng.NextGaussian() * 1e3);
+    case ValueType::kString: {
+      std::string s(rng.NextBounded(12), ' ');
+      for (char& c : s) c = static_cast<char>('a' + rng.NextBounded(26));
+      return Value(std::move(s));
+    }
+  }
+  return Value(int64_t{0});
+}
+
+/// {i64 key in [0,8), f64 value} data record, optionally windowed.
+Record RandomKvRecord(Rng& rng, bool windowed) {
+  Record r;
+  r.event_time = static_cast<Micros>(rng.NextBounded(1 << 20)) * 100;
+  if (windowed) r.window_start = r.event_time - r.event_time % Seconds(1);
+  r.fields.emplace_back(static_cast<int64_t>(rng.NextBounded(8)));
+  r.fields.emplace_back(rng.NextDouble() * 100.0);
+  return r;
+}
+
+/// Opaque partial-state record (stateless operators forward these untouched).
+Record RandomOpaquePartial(Rng& rng) {
+  Record r;
+  r.kind = RecordKind::kPartial;
+  r.event_time = static_cast<Micros>(rng.NextBounded(1 << 20));
+  r.window_start =
+      rng.NextBernoulli(0.5) ? -1 : static_cast<Micros>(rng.NextBounded(1000));
+  const size_t nf = rng.NextBounded(5);
+  for (size_t i = 0; i < nf; ++i) {
+    r.fields.push_back(
+        RandomValueOfType(rng, static_cast<ValueType>(rng.NextBounded(3))));
+  }
+  return r;
+}
+
+RecordBatch RandomKvBatch(Rng& rng, size_t n, bool windowed,
+                          double partial_p) {
+  RecordBatch batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (rng.NextBernoulli(partial_p)) {
+      batch.push_back(RandomOpaquePartial(rng));
+    } else {
+      batch.push_back(RandomKvRecord(rng, windowed));
+    }
+  }
+  return batch;
+}
+
+/// Valid GroupAggregate partial-state row for nk keys / naggs aggregations.
+Record RandomGaPartial(Rng& rng, size_t nk, size_t naggs) {
+  Record r;
+  r.kind = RecordKind::kPartial;
+  r.window_start = static_cast<Micros>(rng.NextBounded(3)) * Seconds(1);
+  r.event_time = r.window_start + Seconds(1);
+  for (size_t k = 0; k < nk; ++k) {
+    r.fields.emplace_back(static_cast<int64_t>(rng.NextBounded(4)));
+  }
+  for (size_t a = 0; a < naggs; ++a) {
+    const double x = rng.NextDouble() * 10.0;
+    r.fields.emplace_back(static_cast<int64_t>(1 + rng.NextBounded(5)));
+    r.fields.emplace_back(x * 3);
+    r.fields.emplace_back(x);
+    r.fields.emplace_back(x * 2);
+  }
+  return r;
+}
+
+std::vector<RecordBatch> SliceInto(RecordBatch&& input, size_t chunk_size) {
+  std::vector<RecordBatch> chunks;
+  RecordBatch chunk;
+  for (Record& r : input) {
+    chunk.push_back(std::move(r));
+    if (chunk.size() == chunk_size) {
+      chunks.push_back(std::move(chunk));
+      chunk = RecordBatch();
+    }
+  }
+  if (!chunk.empty()) chunks.push_back(std::move(chunk));
+  return chunks;
+}
+
+void ExpectStatsEq(const OperatorStats& got, const OperatorStats& want,
+                   const char* what) {
+  EXPECT_EQ(got.records_in, want.records_in) << what;
+  EXPECT_EQ(got.records_out, want.records_out) << what;
+  EXPECT_EQ(got.bytes_in, want.bytes_in) << what;
+  EXPECT_EQ(got.bytes_out, want.bytes_out) << what;
+}
+
+enum class Mode { kRecord, kBatch, kInPlace };
+
+/// Feeds `input` through a fresh operator in the given mode, then flushes
+/// via watermark + ExportPartialState; returns all outputs in order.
+RecordBatch RunOp(Operator& op, RecordBatch&& input, Mode mode,
+                  size_t chunk_size) {
+  RecordBatch out;
+  switch (mode) {
+    case Mode::kRecord:
+      for (Record& r : input) {
+        EXPECT_TRUE(op.Process(std::move(r), &out).ok());
+      }
+      break;
+    case Mode::kBatch:
+      for (RecordBatch& chunk : SliceInto(std::move(input), chunk_size)) {
+        EXPECT_TRUE(op.ProcessBatch(std::move(chunk), &out).ok());
+      }
+      break;
+    case Mode::kInPlace:
+      for (RecordBatch& chunk : SliceInto(std::move(input), chunk_size)) {
+        EXPECT_TRUE(op.ProcessBatchInPlace(&chunk).ok());
+        for (Record& r : chunk) out.push_back(std::move(r));
+      }
+      break;
+  }
+  EXPECT_TRUE(op.OnWatermark(Seconds(1e9), &out).ok());
+  EXPECT_TRUE(op.ExportPartialState(&out).ok());
+  return out;
+}
+
+void CheckOperatorEquivalence(const OpFactory& make, const RecordBatch& input,
+                              size_t chunk_size) {
+  auto ref_op = make();
+  RecordBatch ref_in = input;
+  const RecordBatch ref_out = RunOp(*ref_op, std::move(ref_in), Mode::kRecord,
+                                    chunk_size);
+
+  auto batch_op = make();
+  RecordBatch batch_in = input;
+  const RecordBatch batch_out =
+      RunOp(*batch_op, std::move(batch_in), Mode::kBatch, chunk_size);
+  EXPECT_EQ(batch_out, ref_out) << "ProcessBatch output diverges";
+  ExpectStatsEq(batch_op->stats(), ref_op->stats(), "ProcessBatch stats");
+
+  if (ref_op->HasInPlaceBatch()) {
+    auto ip_op = make();
+    RecordBatch ip_in = input;
+    const RecordBatch ip_out =
+        RunOp(*ip_op, std::move(ip_in), Mode::kInPlace, chunk_size);
+    EXPECT_EQ(ip_out, ref_out) << "ProcessBatchInPlace output diverges";
+    ExpectStatsEq(ip_op->stats(), ref_op->stats(),
+                  "ProcessBatchInPlace stats");
+  }
+}
+
+Schema KvSchema() {
+  return Schema::Of(
+      {{"k", ValueType::kInt64}, {"v", ValueType::kDouble}});
+}
+
+class BatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BatchEquivalenceTest, WindowMatchesRecordPath) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    CheckOperatorEquivalence(
+        [&] {
+          return std::make_unique<WindowOp>("w", KvSchema(), Seconds(1));
+        },
+        RandomKvBatch(rng, n, false, 0.15), chunk);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, FilterMatchesRecordPath) {
+  Rng rng(GetParam() * 31);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    CheckOperatorEquivalence(
+        [&] {
+          return std::make_unique<FilterOp>(
+              "f", KvSchema(),
+              [](const Record& r) { return r.i64(0) % 3 != 0; });
+        },
+        RandomKvBatch(rng, n, false, 0.15), chunk);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, MapMatchesRecordPath) {
+  Rng rng(GetParam() * 97);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    // 1->N map: key 0 drops, key 1 duplicates, others transform in place.
+    CheckOperatorEquivalence(
+        [&] {
+          return std::make_unique<MapOp>(
+              "m", KvSchema(), [](Record&& r, RecordBatch* out) {
+                const int64_t k = r.i64(0);
+                if (k == 0) return Status::OK();
+                if (k == 1) {
+                  out->push_back(r);
+                  out->push_back(std::move(r));
+                  return Status::OK();
+                }
+                r.fields[1] = Value(r.f64(1) * 2.0);
+                out->push_back(std::move(r));
+                return Status::OK();
+              });
+        },
+        RandomKvBatch(rng, n, false, 0.15), chunk);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ProjectMatchesRecordPath) {
+  Rng rng(GetParam() * 131);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    CheckOperatorEquivalence(
+        [&] {
+          return std::make_unique<ProjectOp>("p", KvSchema(),
+                                             std::vector<size_t>{1, 0});
+        },
+        RandomKvBatch(rng, n, false, 0.0), chunk);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, JoinMatchesRecordPath) {
+  Rng rng(GetParam() * 173);
+  auto table = std::make_shared<StaticTable>(
+      "k", Schema::Field{"t", ValueType::kString});
+  for (int64_t k = 0; k < 5; ++k) {
+    table->Insert(k, Value(std::string("tor-") + std::to_string(k)));
+  }
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    const RecordBatch input = RandomKvBatch(rng, n, false, 0.15);
+    CheckOperatorEquivalence(
+        [&] { return std::make_unique<JoinOp>("j", KvSchema(), table, 0); },
+        input, chunk);
+    // misses() must agree as well (keys in [0,8) vs table keys [0,5)).
+    auto a = std::make_unique<JoinOp>("j", KvSchema(), table, 0);
+    auto b = std::make_unique<JoinOp>("j", KvSchema(), table, 0);
+    RecordBatch in_a = input, in_b = input, out;
+    for (Record& r : in_a) ASSERT_TRUE(a->Process(std::move(r), &out).ok());
+    ASSERT_TRUE(b->ProcessBatch(std::move(in_b), &out).ok());
+    EXPECT_EQ(a->misses(), b->misses());
+  }
+}
+
+TEST_P(BatchEquivalenceTest, GroupAggregateMatchesRecordPath) {
+  Rng rng(GetParam() * 211);
+  const std::vector<AggSpec> aggs = {{AggKind::kCount, 0, "cnt"},
+                                     {AggKind::kSum, 1, "sum_v"},
+                                     {AggKind::kMin, 1, "min_v"},
+                                     {AggKind::kAvg, 1, "avg_v"}};
+  for (const bool emit_partials : {false, true}) {
+    for (int round = 0; round < 3; ++round) {
+      const size_t n = rng.NextBounded(200);
+      const size_t chunk = 1 + rng.NextBounded(17);
+      RecordBatch input;
+      input.reserve(n);
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextBernoulli(0.2)) {
+          input.push_back(RandomGaPartial(rng, 1, aggs.size()));
+        } else {
+          input.push_back(RandomKvRecord(rng, true));
+        }
+      }
+      CheckOperatorEquivalence(
+          [&] {
+            return std::make_unique<GroupAggregateOp>(
+                "g", KvSchema(), std::vector<size_t>{0}, aggs, Seconds(1),
+                emit_partials);
+          },
+          input, chunk);
+    }
+  }
+}
+
+TEST_P(BatchEquivalenceTest, PipelinePushBatchMatchesPush) {
+  Rng rng(GetParam() * 257);
+  const Schema schema = KvSchema();
+  auto make_pipeline = [&] {
+    auto p = std::make_unique<Pipeline>();
+    p->Add(std::make_unique<WindowOp>("w", schema, Seconds(1)));
+    p->Add(std::make_unique<FilterOp>(
+        "f", schema, [](const Record& r) { return r.i64(0) % 4 != 0; }));
+    // Map stage forces a hop off the in-place path mid-chain.
+    p->Add(std::make_unique<MapOp>(
+        "m", schema, [](Record&& r, RecordBatch* out) {
+          r.fields[1] = Value(r.f64(1) + 1.0);
+          out->push_back(std::move(r));
+          return Status::OK();
+        }));
+    p->Add(std::make_unique<ProjectOp>("p", schema,
+                                       std::vector<size_t>{1, 0}));
+    return p;
+  };
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(300);
+    const size_t chunk = 1 + rng.NextBounded(33);
+    RecordBatch input = RandomKvBatch(rng, n, false, 0.1);
+
+    auto pipe_a = make_pipeline();
+    RecordBatch in_a = input, out_a;
+    for (Record& r : in_a) {
+      ASSERT_TRUE(pipe_a->Push(std::move(r), &out_a).ok());
+    }
+
+    auto pipe_b = make_pipeline();
+    RecordBatch out_b;
+    for (RecordBatch& c : SliceInto(std::move(input), chunk)) {
+      ASSERT_TRUE(pipe_b->PushBatch(std::move(c), &out_b).ok());
+    }
+
+    EXPECT_EQ(out_b, out_a);
+    for (size_t i = 0; i < pipe_a->size(); ++i) {
+      ExpectStatsEq(pipe_b->op(i).stats(), pipe_a->op(i).stats(),
+                    "pipeline op stats");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Schema-elided batch wire format round trips
+// ---------------------------------------------------------------------------
+
+Schema RandomSchema(Rng& rng) {
+  std::vector<Schema::Field> fields;
+  const size_t nf = rng.NextBounded(6);
+  for (size_t i = 0; i < nf; ++i) {
+    fields.push_back({std::string("f") + std::to_string(i),
+                      static_cast<ValueType>(rng.NextBounded(3))});
+  }
+  return Schema(std::move(fields));
+}
+
+Record RandomRecordForSchema(Rng& rng, const Schema& schema) {
+  Record r;
+  r.event_time = static_cast<Micros>(rng.NextBounded(1ull << 40));
+  r.window_start =
+      rng.NextBernoulli(0.4) ? -1
+                             : static_cast<Micros>(rng.NextBounded(1ull << 40));
+  r.kind = rng.NextBernoulli(0.25) ? RecordKind::kPartial : RecordKind::kData;
+  if (rng.NextBernoulli(0.7)) {
+    // Conforming: fields match the schema exactly.
+    for (size_t j = 0; j < schema.num_fields(); ++j) {
+      r.fields.push_back(RandomValueOfType(rng, schema.field(j).type));
+    }
+  } else {
+    // Divergent arity/types: must still round-trip via the exception path.
+    const size_t nf = rng.NextBounded(8);
+    for (size_t j = 0; j < nf; ++j) {
+      r.fields.push_back(
+          RandomValueOfType(rng, static_cast<ValueType>(rng.NextBounded(3))));
+    }
+  }
+  return r;
+}
+
+TEST_P(BatchEquivalenceTest, BatchSerdeRoundTripsFuzzedBatches) {
+  Rng rng(GetParam() * 313);
+  RecordBatch decoded;  // reused across rounds to exercise buffer reuse
+  for (int round = 0; round < 8; ++round) {
+    const Schema schema = RandomSchema(rng);
+    RecordBatch batch;
+    const size_t n = rng.NextBounded(60);  // 0 == empty batch
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(RandomRecordForSchema(rng, schema));
+    }
+    ser::BufferWriter w;
+    w.PutU8(0xEE);  // leading sentinel: batch bytes must be position-exact
+    const size_t before = w.size();
+    const size_t bytes = SerializeBatch(batch, schema, &w);
+    EXPECT_EQ(bytes, w.size() - before);
+
+    ser::BufferReader r(w.data());
+    uint8_t sentinel = 0;
+    ASSERT_TRUE(r.GetU8(&sentinel).ok());
+    EXPECT_EQ(sentinel, 0xEE);
+    ASSERT_TRUE(DeserializeBatch(&r, &decoded).ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(decoded, batch);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, TruncatedBatchFailsCleanly) {
+  Rng rng(GetParam() * 401);
+  const Schema schema = RandomSchema(rng);
+  RecordBatch batch;
+  for (size_t i = 0; i < 20; ++i) {
+    batch.push_back(RandomRecordForSchema(rng, schema));
+  }
+  ser::BufferWriter w;
+  SerializeBatch(batch, schema, &w);
+  ASSERT_GT(w.size(), 4u);
+  RecordBatch decoded;
+  for (int i = 0; i < 16; ++i) {
+    const size_t cut = rng.NextBounded(w.size());
+    ser::BufferReader r(w.data().data(), cut);
+    // Must fail (or in rare prefix-valid cases succeed) without UB; ASan/
+    // UBSan builds verify no out-of-bounds access.
+    (void)DeserializeBatch(&r, &decoded);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchEquivalenceTest,
+                         ::testing::ValuesIn(jarvis::testing::FuzzSeeds()));
+
+}  // namespace
+}  // namespace jarvis::stream

@@ -149,5 +149,144 @@ TEST_P(SerdePropertyTest, RandomRecordsRoundTripAndSizeMatches) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SerdePropertyTest,
                          ::testing::Values(101, 202, 303, 404, 505));
 
+// ---------------------------------------------------------------------------
+// Schema-elided batch wire format (deterministic cases; fuzz coverage lives
+// in batch_equivalence_test)
+// ---------------------------------------------------------------------------
+
+Schema TestSchema() {
+  return Schema::Of({{"k", ValueType::kInt64},
+                     {"v", ValueType::kDouble},
+                     {"h", ValueType::kString}});
+}
+
+RecordBatch MakeConformingBatch() {
+  RecordBatch b;
+  for (int64_t i = 0; i < 5; ++i) {
+    Record r;
+    r.event_time = 1000000 + i * 100;
+    r.window_start = 1000000;
+    r.fields = {Value(i), Value(0.5 * static_cast<double>(i)),
+                Value(std::string("h-") + std::to_string(i))};
+    b.push_back(std::move(r));
+  }
+  return b;
+}
+
+TEST(BatchSerdeTest, ConformingBatchRoundTrips) {
+  const Schema schema = TestSchema();
+  RecordBatch batch = MakeConformingBatch();
+  ser::BufferWriter w;
+  const size_t bytes = SerializeBatch(batch, schema, &w);
+  EXPECT_EQ(bytes, w.size());
+  ser::BufferReader r(w.data());
+  RecordBatch out;
+  ASSERT_TRUE(DeserializeBatch(&r, &out).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(out, batch);
+}
+
+TEST(BatchSerdeTest, SchemaElisionBeatsRecordFormat) {
+  const Schema schema = TestSchema();
+  RecordBatch batch = MakeConformingBatch();
+  ser::BufferWriter w_rec;
+  for (const Record& rec : batch) SerializeRecord(rec, &w_rec);
+  ser::BufferWriter w_bat;
+  SerializeBatch(batch, schema, &w_bat);
+  // Five 3-field records: per-record tags + counts outweigh the one-time
+  // batch header.
+  EXPECT_LT(w_bat.size(), w_rec.size());
+}
+
+TEST(BatchSerdeTest, PartialAndDivergentRecordsRoundTrip) {
+  const Schema schema = TestSchema();
+  RecordBatch batch = MakeConformingBatch();
+  Record partial;
+  partial.kind = RecordKind::kPartial;
+  partial.event_time = 2000000;
+  partial.window_start = 1000000;
+  partial.fields = {Value(int64_t{7}), Value(int64_t{3}), Value(21.0),
+                    Value(5.0), Value(9.0)};  // arity diverges from schema
+  batch.insert(batch.begin() + 2, partial);
+  Record empty_fields;
+  empty_fields.event_time = -12345;  // negative times must zigzag fine
+  batch.push_back(empty_fields);
+
+  ser::BufferWriter w;
+  SerializeBatch(batch, schema, &w);
+  ser::BufferReader r(w.data());
+  RecordBatch out;
+  ASSERT_TRUE(DeserializeBatch(&r, &out).ok());
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(out, batch);
+  EXPECT_EQ(out[2].kind, RecordKind::kPartial);
+}
+
+TEST(BatchSerdeTest, EmptyBatchRoundTrips) {
+  const Schema schema = TestSchema();
+  ser::BufferWriter w;
+  const size_t bytes = SerializeBatch(RecordBatch{}, schema, &w);
+  EXPECT_EQ(bytes, w.size());
+  ser::BufferReader r(w.data());
+  RecordBatch out = MakeConformingBatch();  // must be cleared by decode
+  ASSERT_TRUE(DeserializeBatch(&r, &out).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(BatchSerdeTest, BadVersionRejected) {
+  ser::BufferWriter w;
+  w.PutU8(99);
+  w.PutVarU64(0);
+  ser::BufferReader r(w.data());
+  RecordBatch out;
+  EXPECT_EQ(DeserializeBatch(&r, &out).code(),
+            StatusCode::kSerializationError);
+}
+
+TEST(BatchSerdeTest, ImplausibleRecordCountRejected) {
+  ser::BufferWriter w;
+  w.PutU8(kBatchFormatVersion);
+  w.PutVarU64(1u << 30);  // far more records than remaining bytes
+  ser::BufferReader r(w.data());
+  RecordBatch out;
+  EXPECT_EQ(DeserializeBatch(&r, &out).code(),
+            StatusCode::kSerializationError);
+}
+
+TEST(BatchSerdeTest, BadFlagsRejected) {
+  ser::BufferWriter w;
+  w.PutU8(kBatchFormatVersion);
+  w.PutVarU64(1);  // one record
+  w.PutVarU64(0);  // zero schema fields
+  w.PutU8(0x80);   // unknown flag bit
+  ser::BufferReader r(w.data());
+  RecordBatch out;
+  EXPECT_EQ(DeserializeBatch(&r, &out).code(),
+            StatusCode::kSerializationError);
+}
+
+TEST(BatchSerdeTest, TruncatedBatchRejected) {
+  const Schema schema = TestSchema();
+  RecordBatch batch = MakeConformingBatch();
+  ser::BufferWriter w;
+  SerializeBatch(batch, schema, &w);
+  RecordBatch out;
+  for (size_t cut : {w.size() - 1, w.size() / 2, size_t{3}}) {
+    ser::BufferReader r(w.data().data(), cut);
+    EXPECT_FALSE(DeserializeBatch(&r, &out).ok()) << cut;
+  }
+}
+
+TEST(BatchSerdeTest, ConformsToSchemaChecksArityAndTypes) {
+  const Schema schema = TestSchema();
+  Record r = MakeConformingBatch()[0];
+  EXPECT_TRUE(ConformsToSchema(r, schema));
+  r.fields.pop_back();
+  EXPECT_FALSE(ConformsToSchema(r, schema));  // arity
+  r.fields.emplace_back(int64_t{1});
+  EXPECT_FALSE(ConformsToSchema(r, schema));  // type
+}
+
 }  // namespace
 }  // namespace jarvis::stream

@@ -138,6 +138,33 @@ TEST(BufferTest, ClearResets) {
   EXPECT_EQ(w.size(), 0u);
 }
 
+TEST(BufferTest, VarIntSizeMatchesEncodedLength) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{127}, uint64_t{128},
+                     uint64_t{16383}, uint64_t{16384}, uint64_t{1} << 35,
+                     std::numeric_limits<uint64_t>::max()}) {
+    BufferWriter w;
+    w.PutVarU64(v);
+    EXPECT_EQ(VarIntSize(v), w.size()) << v;
+    uint8_t tmp[10];
+    EXPECT_EQ(EncodeVarU64(v, tmp), w.size()) << v;
+    EXPECT_EQ(0, std::memcmp(tmp, w.data().data(), w.size())) << v;
+  }
+}
+
+TEST(BufferTest, ReserveDoesNotChangeContents) {
+  BufferWriter w;
+  w.PutU32(0xdeadbeef);
+  w.Reserve(1 << 16);
+  EXPECT_EQ(w.size(), 4u);
+  w.PutU32(0xfeedface);
+  BufferReader r(w.data());
+  uint32_t a, b;
+  ASSERT_TRUE(r.GetU32(&a).ok());
+  ASSERT_TRUE(r.GetU32(&b).ok());
+  EXPECT_EQ(a, 0xdeadbeefu);
+  EXPECT_EQ(b, 0xfeedfaceu);
+}
+
 // Property sweep: random mixed payloads round-trip exactly.
 class SerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
 

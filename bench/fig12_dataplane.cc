@@ -2,17 +2,25 @@
 // measured in the same binary so the speedup is attributable to the batch
 // API and the schema-elided wire format, not compiler or flag drift.
 //
-// Three sections:
+// Four sections:
 //   (a) per-operator micro-throughput: Process loop vs ProcessBatch
 //   (b) stateless pipeline push: Pipeline::Push vs Pipeline::PushBatch
 //   (c) wire format: per-record SerializeRecord/DeserializeRecord vs
 //       SerializeBatch/DeserializeBatch (MB/s of record-format payload
 //       bytes, so both paths are normalized to the same data volume)
+//   (d) columnar data plane: the row-batch pipeline + schema-elided wire
+//       format (the PR 2 configuration) vs the ColumnarBatch route —
+//       vectorized stateless operators with typed branch-free predicates,
+//       and true column-wise drain emission (delta varint int64 columns,
+//       RLE'd flags, dictionary strings)
 //
-// Output lines are machine-parseable ("op ...", "pipeline ...", "wire ...");
-// scripts/run_benches.sh folds them into the BENCH_<label>.json snapshot.
+// Output lines are machine-parseable ("op ...", "pipeline ...", "wire ...",
+// "columnar ..."); scripts/run_benches.sh folds them into the
+// BENCH_<label>.json snapshot.
 //
-// Usage: fig12_dataplane [--smoke]   (--smoke: 1 tiny trial, for CI)
+// Usage: fig12_dataplane [--smoke] [--columnar]
+//   --smoke     1 tiny trial, for CI
+//   --columnar  run only section (d) (the CI columnar smoke step)
 
 #include <chrono>
 #include <cstdio>
@@ -25,16 +33,20 @@
 #include "bench/bench_util.h"
 #include "common/rng.h"
 #include "ser/buffer.h"
+#include "stream/columnar.h"
 #include "stream/group_aggregate.h"
 #include "stream/join.h"
 #include "stream/ops.h"
 #include "stream/pipeline.h"
+#include "stream/predicate.h"
 #include "stream/record.h"
 
 namespace {
 
 using namespace jarvis;
 using stream::AggKind;
+using stream::CmpOp;
+using stream::ColumnarBatch;
 using stream::FilterOp;
 using stream::GroupAggregateOp;
 using stream::JoinOp;
@@ -347,14 +359,270 @@ void BenchWireFormat(Rng* rng, const Config& cfg, const Schema& schema,
       static_cast<double>(batch_wire_bytes) / record_wire_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// (d) columnar data plane
+// ---------------------------------------------------------------------------
+
+/// The PR 2 row-batch configuration of the stateless probe pipeline after
+/// filter fusion (the optimizer fuses adjacent filters, so compiled plans
+/// have one filter stage): std::function predicate, in-place batch stages.
+/// Selectivity ~56% (75% per conjunct), matching the typed pipeline exactly.
+std::unique_ptr<Pipeline> MakeRowProbePipeline() {
+  const Schema schema = ProbeSchema();
+  auto pipe = std::make_unique<Pipeline>();
+  pipe->Add(std::make_unique<WindowOp>("window", schema, Seconds(1)));
+  pipe->Add(std::make_unique<FilterOp>("filter", schema,
+                                       [](const Record& r) {
+                                         return r.i64(0) < 48 &&  // ~75%
+                                                r.f64(2) < 30.0;  // ~75%
+                                       }));
+  pipe->Add(std::make_unique<ProjectOp>("project", schema,
+                                        std::vector<size_t>{0, 1, 2}));
+  return pipe;
+}
+
+/// The same logical pipeline compiled from typed predicates: every stage has
+/// a native ColumnarBatch path (branch-free fused filter, column-swap
+/// project).
+std::unique_ptr<Pipeline> MakeColumnarProbePipeline() {
+  const Schema schema = ProbeSchema();
+  auto pipe = std::make_unique<Pipeline>();
+  pipe->Add(std::make_unique<WindowOp>("window", schema, Seconds(1)));
+  pipe->Add(std::make_unique<FilterOp>(
+      "filter", schema,
+      stream::PredAnd({stream::PredI64(0, CmpOp::kLt, 48),
+                       stream::PredF64(2, CmpOp::kLt, 30.0)})));
+  pipe->Add(std::make_unique<ProjectOp>("project", schema,
+                                        std::vector<size_t>{0, 1, 2}));
+  return pipe;
+}
+
+/// Row-batch route vs columnar route through the stateless pipeline,
+/// end-to-end from ingest to drain bytes (the path the columnar plane
+/// optimizes: operators plus wire emission, no row materialization between).
+///
+/// Two ingest configurations:
+///  - "stateless":        input arrives as rows (the batch data plane's
+///                        ingest format); the columnar side pays the
+///                        row->column conversion inside the timed region.
+///  - "stateless_native": each plane ingests its native representation of
+///                        the same records — the columnar plane's steady
+///                        state, where sources append metric columns
+///                        directly and stage queues stay columnar across
+///                        epochs (SourceExecutor's columnar mode), so no
+///                        conversion is on the path.
+void BenchColumnarPipeline(Rng* rng, const Config& cfg) {
+  const Schema schema = ProbeSchema();
+  PathResult rows_born, native_born;
+  for (int t = 0; t < cfg.trials; ++t) {
+    RecordBatch input = MakeInput(rng, cfg.records, false);
+    RecordBatch input_copy = input;
+    RecordBatch input_copy2 = input;
+
+    // Row plane: PushBatch chunks + schema-elided batch serialization.
+    auto row_pipe = MakeRowProbePipeline();
+    row_pipe->SetByteAccounting(false);
+    const Schema out_schema = row_pipe->output_schema();
+    RecordBatch out;
+    out.reserve(cfg.batch_size);
+    ser::BufferWriter wire;
+    std::vector<RecordBatch> chunks = Slice(std::move(input), cfg.batch_size);
+    double t0 = NowSeconds();
+    for (RecordBatch& chunk : chunks) {
+      out.clear();
+      if (!row_pipe->PushBatch(std::move(chunk), &out).ok()) std::abort();
+      stream::SerializeBatch(out, out_schema, &wire);
+    }
+    const double row_s = NowSeconds() - t0;
+    rows_born.record_s = std::min(rows_born.record_s, row_s);
+    native_born.record_s = std::min(native_born.record_s, row_s);
+    const size_t row_wire_bytes = wire.size();
+    wire.Clear();
+
+    // Columnar plane, rows-born ingest: conversion in the timed region.
+    auto col_pipe = MakeColumnarProbePipeline();
+    col_pipe->SetByteAccounting(false);
+    if (!col_pipe->FullyColumnar()) std::abort();
+    std::vector<RecordBatch> col_chunks =
+        Slice(std::move(input_copy), cfg.batch_size);
+    ColumnarBatch cb(schema);
+    t0 = NowSeconds();
+    for (RecordBatch& chunk : col_chunks) {
+      cb.Reset(schema);
+      cb.AppendRows(std::move(chunk));
+      if (!col_pipe->PushColumnar(&cb).ok()) std::abort();
+      stream::SerializeColumnar(cb, &wire);
+    }
+    rows_born.batch_s = std::min(rows_born.batch_s, NowSeconds() - t0);
+    if (wire.size() >= row_wire_bytes) {  // drain must shrink
+      std::fprintf(stderr,
+                   "columnar drain regression: columnar wire %zu bytes >= "
+                   "batch wire %zu bytes\n",
+                   wire.size(), row_wire_bytes);
+      std::abort();
+    }
+    wire.Clear();
+
+    // Columnar plane, columnar-born ingest: batches pre-built outside the
+    // timed region, exactly as the row plane's chunks are.
+    auto col_pipe2 = MakeColumnarProbePipeline();
+    col_pipe2->SetByteAccounting(false);
+    std::vector<ColumnarBatch> native_chunks;
+    for (RecordBatch& chunk : Slice(std::move(input_copy2), cfg.batch_size)) {
+      native_chunks.push_back(
+          ColumnarBatch::FromRows(std::move(chunk), schema));
+    }
+    t0 = NowSeconds();
+    for (ColumnarBatch& chunk : native_chunks) {
+      if (!col_pipe2->PushColumnar(&chunk).ok()) std::abort();
+      stream::SerializeColumnar(chunk, &wire);
+    }
+    native_born.batch_s = std::min(native_born.batch_s, NowSeconds() - t0);
+    wire.Clear();
+
+    rows_born.records = cfg.records;
+    native_born.records = cfg.records;
+  }
+  const auto print_line = [](const char* label, const PathResult& r) {
+    const double row_rps = static_cast<double>(r.records) / r.record_s;
+    const double col_rps = static_cast<double>(r.records) / r.batch_s;
+    std::printf(
+        "columnar pipeline %s batch_rps %.6g columnar_rps %.6g "
+        "speedup %.2f\n",
+        label, row_rps, col_rps, row_rps > 0 ? col_rps / row_rps : 0.0);
+  };
+  print_line("stateless", rows_born);
+  print_line("stateless_native", native_born);
+}
+
+/// Schema-elided batch wire format (PR 2) vs column-wise emission. The
+/// columnar side serializes from already-columnar batches — on the columnar
+/// plane the data reaches the drain in column form — and both sides decode
+/// back to rows (the stream processor consumes rows). Throughput is
+/// normalized to the batch-format byte volume so both paths divide the same
+/// numerator; bytes_per_record reports the actual per-format wire sizes.
+void BenchColumnarWire(Rng* rng, const Config& cfg, const Schema& schema,
+                       bool numeric, const char* suffix) {
+  double best_ser_bat = 0, best_ser_col = 0, best_de_bat = 0, best_de_col = 0;
+  size_t batch_wire_bytes = 0, col_wire_bytes = 0, total_records = 0;
+  for (int t = 0; t < cfg.trials; ++t) {
+    std::vector<RecordBatch> chunks =
+        Slice(numeric ? MakeNumericInput(rng, cfg.records)
+                      : MakeInput(rng, cfg.records, true),
+              cfg.batch_size);
+    std::vector<ColumnarBatch> col_chunks;
+    col_chunks.reserve(chunks.size());
+    for (const RecordBatch& chunk : chunks) {
+      RecordBatch copy = chunk;
+      col_chunks.push_back(ColumnarBatch::FromRows(std::move(copy), schema));
+    }
+    double ser_bat = 0, ser_col = 0, de_bat = 0, de_col = 0;
+    size_t bat_bytes = 0, col_bytes = 0;
+    ser::BufferWriter w_bat, w_col;
+    RecordBatch decoded;
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      const RecordBatch& chunk = chunks[c];
+      w_bat.Clear();
+      w_col.Clear();
+      const auto ser_batch_path = [&] {
+        const double t0 = NowSeconds();
+        stream::SerializeBatch(chunk, schema, &w_bat);
+        ser_bat += NowSeconds() - t0;
+      };
+      const auto ser_col_path = [&] {
+        const double t0 = NowSeconds();
+        if (stream::SerializeColumnar(col_chunks[c], &w_col) !=
+            w_col.size()) {
+          std::abort();
+        }
+        ser_col += NowSeconds() - t0;
+      };
+      // Alternate path order per chunk to cancel cache-warming bias.
+      if (c % 2 == 0) {
+        ser_batch_path();
+        ser_col_path();
+      } else {
+        ser_col_path();
+        ser_batch_path();
+      }
+      bat_bytes += w_bat.size();
+      col_bytes += w_col.size();
+
+      const auto de_batch_path = [&] {
+        const double t0 = NowSeconds();
+        ser::BufferReader r(w_bat.data());
+        if (!stream::DeserializeBatch(&r, &decoded).ok()) std::abort();
+        if (decoded.size() != chunk.size() || !r.AtEnd()) std::abort();
+        de_bat += NowSeconds() - t0;
+      };
+      const auto de_col_path = [&] {
+        const double t0 = NowSeconds();
+        ser::BufferReader r(w_col.data());
+        if (!stream::DeserializeColumnar(&r, &decoded).ok()) std::abort();
+        if (decoded.size() != chunk.size() || !r.AtEnd()) std::abort();
+        de_col += NowSeconds() - t0;
+      };
+      if (c % 2 == 0) {
+        de_batch_path();
+        de_col_path();
+      } else {
+        de_col_path();
+        de_batch_path();
+      }
+    }
+    const double mb = static_cast<double>(bat_bytes) / 1e6;
+    best_ser_bat = std::max(best_ser_bat, mb / ser_bat);
+    best_ser_col = std::max(best_ser_col, mb / ser_col);
+    best_de_bat = std::max(best_de_bat, mb / de_bat);
+    best_de_col = std::max(best_de_col, mb / de_col);
+    batch_wire_bytes += bat_bytes;
+    col_wire_bytes += col_bytes;
+    total_records += cfg.records;
+  }
+  std::printf(
+      "columnar wire serialize%s batch_mbps %.6g columnar_mbps %.6g "
+      "speedup %.2f\n",
+      suffix, best_ser_bat, best_ser_col, best_ser_col / best_ser_bat);
+  std::printf(
+      "columnar wire deserialize%s batch_mbps %.6g columnar_mbps %.6g "
+      "speedup %.2f\n",
+      suffix, best_de_bat, best_de_col, best_de_col / best_de_bat);
+  std::printf(
+      "columnar wire bytes_per_record%s batch %.2f columnar %.2f "
+      "ratio %.3f\n",
+      suffix, static_cast<double>(batch_wire_bytes) / total_records,
+      static_cast<double>(col_wire_bytes) / total_records,
+      static_cast<double>(col_wire_bytes) / batch_wire_bytes);
+}
+
+void RunColumnarSection(Rng* rng, const Config& cfg) {
+  std::printf(
+      "\n(d) columnar data plane (row-batch route vs ColumnarBatch route,\n"
+      "    ingest -> operators -> drain bytes, fused-filter pipelines)\n"
+      "    stateless:        rows-born ingest; the columnar side pays the\n"
+      "                      row->column conversion in the timed region\n"
+      "    stateless_native: each plane ingests its native representation\n"
+      "                      (the columnar plane's steady state: sources\n"
+      "                      append metric columns, stage queues stay\n"
+      "                      columnar across epochs)\n"
+      "    wire:             schema-elided batch format vs column-wise\n"
+      "                      emission (MB/s of batch-format payload)\n");
+  BenchColumnarPipeline(rng, cfg);
+  BenchColumnarWire(rng, cfg, NumericProbeSchema(), /*numeric=*/true, "");
+  BenchColumnarWire(rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Config cfg;
+  bool columnar_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       cfg.records = 2000;
       cfg.trials = 1;
+    } else if (std::strcmp(argv[i], "--columnar") == 0) {
+      columnar_only = true;
     }
   }
   Rng rng(20220707);
@@ -363,6 +631,11 @@ int main(int argc, char** argv) {
       "fig12: batch-at-a-time data plane vs record-at-a-time (same build)");
   std::printf("records/trial %zu  batch_size %zu  trials %d\n\n", cfg.records,
               cfg.batch_size, cfg.trials);
+
+  if (columnar_only) {
+    RunColumnarSection(&rng, cfg);
+    return 0;
+  }
 
   std::printf("(a) operator micro-throughput (records/sec)\n");
   const Schema schema = ProbeSchema();
@@ -420,5 +693,7 @@ int main(int argc, char** argv) {
       "(MB/s of record-format payload)\n");
   BenchWireFormat(&rng, cfg, NumericProbeSchema(), /*numeric=*/true, "");
   BenchWireFormat(&rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
+
+  RunColumnarSection(&rng, cfg);
   return 0;
 }

@@ -89,10 +89,38 @@ def parse_fig7(text):
 def parse_fig12(text):
     """Machine-parseable rows: 'op <Name> record_rps X batch_rps Y speedup Z',
     'pipeline <label> ...', 'wire <what> record_mbps X batch_mbps Y speedup Z',
-    'wire bytes_per_record[<suffix>] record X batch Y ratio Z'."""
+    'wire bytes_per_record[<suffix>] record X batch Y ratio Z', plus the
+    columnar section: 'columnar pipeline <label> batch_rps X columnar_rps Y
+    speedup Z', 'columnar wire <what> batch_mbps X columnar_mbps Y speedup Z',
+    'columnar wire bytes_per_record[<suffix>] batch X columnar Y ratio Z'."""
     data = {"operator_rps": {}, "pipeline_rps": {}, "wire_mbps": {},
-            "wire_bytes_per_record": {}}
+            "wire_bytes_per_record": {}, "columnar_pipeline_rps": {},
+            "columnar_wire_mbps": {}, "columnar_wire_bytes_per_record": {}}
     for line in text.splitlines():
+        m = re.match(
+            r"columnar\s+pipeline\s+(\S+)\s+batch_rps\s+(\S+)"
+            r"\s+columnar_rps\s+(\S+)\s+speedup\s+(\S+)", line)
+        if m:
+            data["columnar_pipeline_rps"][m.group(1)] = {
+                "batch": float(m.group(2)), "columnar": float(m.group(3)),
+                "speedup": float(m.group(4))}
+            continue
+        m = re.match(
+            r"columnar\s+wire\s+(serialize\S*|deserialize\S*)\s+batch_mbps"
+            r"\s+(\S+)\s+columnar_mbps\s+(\S+)\s+speedup\s+(\S+)", line)
+        if m:
+            data["columnar_wire_mbps"][m.group(1)] = {
+                "batch": float(m.group(2)), "columnar": float(m.group(3)),
+                "speedup": float(m.group(4))}
+            continue
+        m = re.match(
+            r"columnar\s+wire\s+(bytes_per_record\S*)\s+batch\s+(\S+)"
+            r"\s+columnar\s+(\S+)\s+ratio\s+(\S+)", line)
+        if m:
+            data["columnar_wire_bytes_per_record"][m.group(1)] = {
+                "batch": float(m.group(2)), "columnar": float(m.group(3)),
+                "ratio": float(m.group(4))}
+            continue
         m = re.match(
             r"(op|pipeline)\s+(\S+)\s+record_rps\s+(\S+)\s+batch_rps\s+(\S+)"
             r"\s+speedup\s+(\S+)", line)
@@ -165,6 +193,9 @@ assert snapshot["latency"], "latency parse produced no data"
 dp = snapshot["dataplane"]
 assert dp["operator_rps"] and dp["pipeline_rps"] and dp["wire_mbps"], \
     "fig12 parse produced no data"
+assert dp["columnar_pipeline_rps"] and dp["columnar_wire_mbps"] and \
+    dp["columnar_wire_bytes_per_record"], \
+    "fig12 columnar section parse produced no data"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

@@ -20,6 +20,19 @@ SourceExecutor::SourceExecutor(const query::CompiledQuery& query,
   for (size_t i = 0; i < pipeline_->size(); ++i) {
     proxies_.emplace_back(i);
   }
+  // Columnar plane: every stage queue holds its operator's *input* rows in
+  // column form — stage 0 the query's input schema, stage i the output
+  // schema of operator i-1. Divergent rows ride each batch's fallback lane,
+  // so a schema mismatch in the data never disables the plane.
+  columnar_mode_ = options_.enable_columnar && pipeline_->size() > 0 &&
+                   pipeline_->FullyColumnar();
+  if (columnar_mode_) {
+    col_queues_.reserve(pipeline_->size());
+    col_queues_.emplace_back(query.plan().plan.input_schema);
+    for (size_t i = 1; i < pipeline_->size(); ++i) {
+      col_queues_.emplace_back(pipeline_->op(i - 1).output_schema());
+    }
+  }
 }
 
 void SourceExecutor::Ingest(stream::RecordBatch batch) {
@@ -51,11 +64,33 @@ void SourceExecutor::DrainBatch(size_t entry_op, stream::RecordBatch&& batch,
   out->drained_bytes += bytes;
 }
 
+void SourceExecutor::RouteRowsIntoColumnarStage(size_t stage,
+                                                stream::RecordBatch&& batch,
+                                                SourceEpochOutput* out) {
+  // Same decision sequence as RouteBatch, but forwarded rows enter the
+  // stage's columnar queue instead of a row queue.
+  route_decisions_.clear();
+  proxies_[stage].RouteDecisions(batch.size(), &route_decisions_);
+  drained_scratch_.clear();
+  for (size_t k = 0; k < batch.size(); ++k) {
+    if (route_decisions_[k]) {
+      col_queues_[stage].AppendRow(std::move(batch[k]));
+    } else {
+      drained_scratch_.push_back(std::move(batch[k]));
+    }
+  }
+  DrainBatch(stage, std::move(drained_scratch_), out);
+}
+
 void SourceExecutor::RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
                                   SourceEpochOutput* out) {
   if (batch.empty()) return;
   const size_t next = emitter + 1;
   if (next < proxies_.size()) {
+    if (columnar_mode_) {
+      RouteRowsIntoColumnarStage(next, std::move(batch), out);
+      return;
+    }
     drained_scratch_.clear();
     proxies_[next].RouteBatch(std::move(batch), &drained_scratch_);
     DrainBatch(next, std::move(drained_scratch_), out);
@@ -72,8 +107,59 @@ void SourceExecutor::RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
   }
 }
 
+void SourceExecutor::RouteColumnarOutputs(size_t emitter,
+                                          stream::ColumnarBatch* batch,
+                                          SourceEpochOutput* out) {
+  if (batch->empty()) return;
+  const size_t next = emitter + 1;
+  if (next < proxies_.size()) {
+    // The batch's schema equals the next stage queue's schema (both are
+    // operator `emitter`'s output schema), so Partition appends forwarded
+    // rows column-to-column; drained rows materialize here — the wire.
+    route_decisions_.clear();
+    proxies_[next].RouteDecisions(batch->num_rows(), &route_decisions_);
+    drained_scratch_.clear();
+    batch->Partition(route_decisions_.data(), &col_queues_[next],
+                     &drained_scratch_);
+    DrainBatch(next, std::move(drained_scratch_), out);
+    return;
+  }
+  // Output of the last source operator: same entry tagging as the row path.
+  drained_scratch_.clear();
+  batch->MoveToRows(&drained_scratch_);
+  for (stream::Record& rec : drained_scratch_) {
+    const size_t entry = rec.kind == stream::RecordKind::kPartial
+                             ? emitter
+                             : std::min(next, total_ops_);
+    Drain(entry, std::move(rec), out);
+  }
+}
+
+Status SourceExecutor::ProcessStageColumnar(size_t i, double* budget_left,
+                                            double* spent,
+                                            SourceEpochOutput* out) {
+  const double cost = cost_model_->CostPerRecord(i);
+  ControlProxy& proxy = proxies_[i];
+  stream::ColumnarBatch& queue = col_queues_[i];
+  // Identical per-record budget arithmetic to the row plane, so borderline
+  // epochs process identical record counts.
+  size_t n = 0;
+  while (n < queue.num_rows() && *budget_left >= cost) {
+    *budget_left -= cost;
+    *spent += cost;
+    ++n;
+  }
+  if (n == 0) return Status::OK();
+  queue.SplitFront(n, &col_run_);
+  JARVIS_RETURN_IF_ERROR(pipeline_->op(i).ProcessColumnar(&col_run_));
+  proxy.CountProcessed(n);
+  RouteColumnarOutputs(i, &col_run_, out);
+  return Status::OK();
+}
+
 Status SourceExecutor::ProcessStage(size_t i, double* budget_left,
                                     double* spent, SourceEpochOutput* out) {
+  if (columnar_mode_) return ProcessStageColumnar(i, budget_left, spent, out);
   const double cost = cost_model_->CostPerRecord(i);
   ControlProxy& proxy = proxies_[i];
   auto& queue = proxy.queue();
@@ -114,17 +200,27 @@ Status SourceExecutor::ProcessStage(size_t i, double* budget_left,
   return Status::OK();
 }
 
+void SourceExecutor::DrainPendingStage(size_t i, SourceEpochOutput* out) {
+  if (columnar_mode_ && !col_queues_[i].empty()) {
+    drained_scratch_.clear();
+    col_queues_[i].MoveToRows(&drained_scratch_);
+    DrainBatch(i, std::move(drained_scratch_), out);
+  }
+  ControlProxy& p = proxies_[i];
+  while (!p.queue().empty()) {
+    stream::Record rec = std::move(p.queue().front());
+    p.queue().pop_front();
+    Drain(i, std::move(rec), out);
+  }
+}
+
 Result<SourceEpochOutput> SourceExecutor::Checkpoint(Micros watermark) {
   JARVIS_RETURN_IF_ERROR(init_status_);
   SourceEpochOutput out;
   out.watermark = watermark;
   // Pending (unprocessed) records resume at their own operator.
-  for (ControlProxy& p : proxies_) {
-    while (!p.queue().empty()) {
-      stream::Record rec = std::move(p.queue().front());
-      p.queue().pop_front();
-      Drain(p.op_index(), std::move(rec), &out);
-    }
+  for (size_t i = 0; i < proxies_.size(); ++i) {
+    DrainPendingStage(i, &out);
   }
   // Accumulated operator state merges into the replicated operator.
   for (size_t i = 0; i < proxies_.size(); ++i) {
@@ -151,12 +247,8 @@ Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
   if (flush_pending_) {
     // Reconfiguration: ship backlog accumulated under the old plan to the
     // stream processor (resumed at each record's tagged operator).
-    for (ControlProxy& p : proxies_) {
-      while (!p.queue().empty()) {
-        stream::Record rec = std::move(p.queue().front());
-        p.queue().pop_front();
-        Drain(p.op_index(), std::move(rec), &out);
-      }
+    for (size_t i = 0; i < proxies_.size(); ++i) {
+      DrainPendingStage(i, &out);
     }
     flush_pending_ = false;
   }
@@ -173,6 +265,11 @@ Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
     }
     if (proxies_.empty()) {
       DrainBatch(0, std::move(stage_input_), &out);
+    } else if (columnar_mode_) {
+      // Ingest boundary of the columnar plane: forwarded rows convert to
+      // column form once, here, and stay columnar until the drain wire.
+      RouteRowsIntoColumnarStage(0, std::move(stage_input_), &out);
+      stage_input_.clear();
     } else {
       drained_scratch_.clear();
       proxies_[0].RouteBatch(std::move(stage_input_), &drained_scratch_);
@@ -215,6 +312,14 @@ Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
   obs.proxies.reserve(proxies_.size());
   for (const ControlProxy& p : proxies_) {
     obs.proxies.push_back(p.Observe());
+  }
+  if (columnar_mode_) {
+    // Pending backpressure lives in the columnar stage queues, not the
+    // proxies' row queues; fold it into the observation so the control
+    // plane sees identical queue depths on either plane.
+    for (size_t i = 0; i < proxies_.size(); ++i) {
+      obs.proxies[i].pending += col_queues_[i].num_rows();
+    }
   }
   obs.cpu_budget_seconds = budget;
   obs.cpu_spent_seconds = spent;

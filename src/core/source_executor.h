@@ -9,6 +9,7 @@
 #include "core/cost_model.h"
 #include "core/types.h"
 #include "query/compile.h"
+#include "stream/columnar.h"
 #include "stream/pipeline.h"
 
 namespace jarvis::core {
@@ -24,6 +25,12 @@ struct SourceExecutorOptions {
   /// degrade as coverage drops; Section VI-C attributes the extra Jarvis
   /// convergence epochs and the LP-only oscillation to exactly this).
   double profile_error_magnitude = 0.0;
+  /// When the whole source pipeline is columnar-capable (stateless chains of
+  /// Window / typed Filter / Project), run the epoch on the columnar data
+  /// plane: stage queues hold ColumnarBatches, operators run their
+  /// vectorized paths, and rows materialize only at the drain wire. Routing
+  /// decisions, budgets, stats, and outputs are identical to the row plane.
+  bool enable_columnar = true;
 };
 
 /// Everything a data source ships to its parent stream processor for one
@@ -87,9 +94,21 @@ class SourceExecutor {
 
  private:
   /// Routes a batch emitted by operator `emitter` onwards: through proxy
-  /// `emitter+1` when one exists, otherwise to the stream processor.
+  /// `emitter+1` when one exists, otherwise to the stream processor. In
+  /// columnar mode forwarded rows enter the next stage's columnar queue.
   void RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
                     SourceEpochOutput* out);
+  /// Columnar analogue of RouteOutputs: the batch is split between the next
+  /// stage's columnar queue and the drain path without a row detour (rows
+  /// materialize only on the drain side, which is the wire boundary).
+  void RouteColumnarOutputs(size_t emitter, stream::ColumnarBatch* batch,
+                            SourceEpochOutput* out);
+  /// Routes an arriving row batch into columnar stage `stage` with the row
+  /// plane's exact decision sequence: forwarded rows convert into the
+  /// stage's columnar queue, drained rows ship to the stream processor.
+  /// Shared by the ingest boundary and row-form emissions (watermarks).
+  void RouteRowsIntoColumnarStage(size_t stage, stream::RecordBatch&& batch,
+                                  SourceEpochOutput* out);
   void Drain(size_t entry_op, stream::Record&& rec, SourceEpochOutput* out);
   /// Drains a whole batch to the same entry operator (one reserve, one
   /// accounting pass).
@@ -99,6 +118,13 @@ class SourceExecutor {
   /// affordable run of records as one batch through the operator.
   Status ProcessStage(size_t i, double* budget_left, double* spent,
                       SourceEpochOutput* out);
+  /// Columnar-plane ProcessStage: pops the affordable run off the stage's
+  /// columnar queue and runs the operator's vectorized path on it.
+  Status ProcessStageColumnar(size_t i, double* budget_left, double* spent,
+                              SourceEpochOutput* out);
+  /// Ships every record still queued at stage `i` (columnar and row queues)
+  /// to the stream processor, tagged to resume at operator `i`.
+  void DrainPendingStage(size_t i, SourceEpochOutput* out);
 
   std::unique_ptr<stream::Pipeline> pipeline_;
   std::vector<ControlProxy> proxies_;
@@ -108,6 +134,12 @@ class SourceExecutor {
   std::deque<stream::Record> input_buffer_;
   bool flush_pending_ = false;
   Status init_status_;
+  // Columnar data plane (enabled when the whole pipeline is columnar):
+  // per-stage queues of pending rows in column form, plus the in-flight run.
+  bool columnar_mode_ = false;
+  std::vector<stream::ColumnarBatch> col_queues_;
+  stream::ColumnarBatch col_run_;
+  std::vector<uint8_t> route_decisions_;
   // Hot-loop scratch, reused every epoch so the steady state allocates
   // nothing: stage input, operator emissions, and proxy-drained records.
   stream::RecordBatch stage_input_;

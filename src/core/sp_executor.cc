@@ -10,6 +10,10 @@ SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
     return;
   }
   pipeline_ = std::move(pipeline).value();
+  // Relay-byte ratios of the replica chain feed nothing by default (the
+  // partitioning LP profiles on the source side); start with byte stats off
+  // and let profiling turn them on explicitly.
+  pipeline_->SetByteAccounting(false);
 }
 
 Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,

@@ -33,6 +33,15 @@ class SpExecutor {
   /// End-of-run flush of any remaining operator state.
   Status Flush(stream::RecordBatch* results);
 
+  /// Toggles byte-level stats on the replica pipeline. Off by default: the
+  /// control plane's LP consumes only source-side relay ratios, so the SP
+  /// replica was paying a per-record WireSize walk for counters nobody
+  /// read. Enable for profiling epochs (or diagnostics) the same way the
+  /// source executor does — byte ratios are exact whenever they're on.
+  void SetByteAccounting(bool enabled) {
+    if (pipeline_) pipeline_->SetByteAccounting(enabled);
+  }
+
   Micros merged_watermark() const { return merger_.Merged(); }
 
  private:

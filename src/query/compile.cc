@@ -11,6 +11,13 @@ Result<stream::OperatorPtr> MakeOperator(const LogicalOp& op,
       return stream::OperatorPtr(std::make_unique<stream::WindowOp>(
           op.name, op.output_schema, op.window_width));
     case OpKind::kFilter:
+      // The typed form (when the builder could express the predicate in the
+      // mini-language) compiles to the branch-free columnar path; the
+      // std::function form stays as the fully general fallback.
+      if (op.typed_predicate) {
+        return stream::OperatorPtr(std::make_unique<stream::FilterOp>(
+            op.name, op.output_schema, *op.typed_predicate));
+      }
       return stream::OperatorPtr(std::make_unique<stream::FilterOp>(
           op.name, op.output_schema, op.predicate));
     case OpKind::kMap:

@@ -2,12 +2,14 @@
 #define JARVIS_QUERY_LOGICAL_PLAN_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "stream/group_aggregate.h"
 #include "stream/join.h"
 #include "stream/ops.h"
+#include "stream/predicate.h"
 
 namespace jarvis::query {
 
@@ -47,8 +49,12 @@ struct LogicalOp {
   // Window.
   Micros window_width = 0;
 
-  // Filter.
+  // Filter. `predicate` is always populated (it is what the record paths
+  // evaluate); `typed_predicate` is additionally set when the filter was
+  // built from the typed mini-language, which lets compilation pick
+  // FilterOp's branch-free columnar path.
   stream::FilterOp::Predicate predicate;
+  std::optional<stream::TypedPredicate> typed_predicate;
 
   // Map.
   stream::MapOp::MapFn map_fn;

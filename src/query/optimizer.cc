@@ -76,6 +76,18 @@ void FuseAdjacentFilters(LogicalPlan* plan) {
       prev.predicate = [a, b](const stream::Record& r) {
         return a(r) && b(r);
       };
+      // Typed forms fuse losslessly into one conjunction, so the fused
+      // filter stays on the branch-free columnar path; one opaque operand
+      // makes the fusion opaque.
+      if (prev.typed_predicate && op.typed_predicate) {
+        std::vector<stream::TypedPredicate> conjuncts;
+        conjuncts.reserve(2);
+        conjuncts.push_back(*std::move(prev.typed_predicate));
+        conjuncts.push_back(*std::move(op.typed_predicate));
+        prev.typed_predicate = stream::PredAnd(std::move(conjuncts));
+      } else {
+        prev.typed_predicate.reset();
+      }
       prev.name = prev.name + "&&" + op.name;
       prev.output_schema = op.output_schema;
       continue;

@@ -53,19 +53,58 @@ QueryBuilder& QueryBuilder::Filter(std::string name,
   return *this;
 }
 
-QueryBuilder& QueryBuilder::FilterI64Eq(const std::string& field,
-                                        int64_t value) {
+QueryBuilder& QueryBuilder::Filter(std::string name,
+                                   stream::TypedPredicate pred) {
+  if (!error_.ok()) return *this;
+  Status valid = stream::ValidatePredicate(pred, current_schema_);
+  if (!valid.ok()) {
+    Fail(std::move(valid));
+    return *this;
+  }
+  LogicalOp op;
+  op.kind = OpKind::kFilter;
+  op.name = std::move(name);
+  // The record paths evaluate the same tree the columnar path compiles, so
+  // both physical forms agree record for record.
+  op.predicate = [p = pred](const stream::Record& r) {
+    return stream::EvalPredicate(p, r);
+  };
+  op.typed_predicate = std::move(pred);
+  op.input_schema = current_schema_;
+  op.output_schema = current_schema_;
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::FilterI64Cmp(const std::string& field,
+                                         stream::CmpOp cmp, int64_t value) {
   if (!error_.ok()) return *this;
   auto idx = ResolveField(field);
   if (!idx.ok()) {
     Fail(idx.status());
     return *this;
   }
-  const size_t i = idx.value();
-  return Filter("filter(" + field + "==" + std::to_string(value) + ")",
-                [i, value](const stream::Record& r) {
-                  return r.i64(i) == value;
-                });
+  return Filter("filter(" + field + std::string(stream::CmpOpToString(cmp)) +
+                    std::to_string(value) + ")",
+                stream::PredI64(idx.value(), cmp, value));
+}
+
+QueryBuilder& QueryBuilder::FilterF64Cmp(const std::string& field,
+                                         stream::CmpOp cmp, double value) {
+  if (!error_.ok()) return *this;
+  auto idx = ResolveField(field);
+  if (!idx.ok()) {
+    Fail(idx.status());
+    return *this;
+  }
+  return Filter("filter(" + field + std::string(stream::CmpOpToString(cmp)) +
+                    std::to_string(value) + ")",
+                stream::PredF64(idx.value(), cmp, value));
+}
+
+QueryBuilder& QueryBuilder::FilterI64Eq(const std::string& field,
+                                        int64_t value) {
+  return FilterI64Cmp(field, stream::CmpOp::kEq, value);
 }
 
 QueryBuilder& QueryBuilder::Map(std::string name, Schema output_schema,

@@ -30,8 +30,21 @@ class QueryBuilder {
   /// Tumbling window of the given width. Must precede stateful operators.
   QueryBuilder& Window(Micros width);
 
-  /// Generic predicate filter.
+  /// Generic predicate filter (opaque std::function form; the fully general
+  /// fallback for predicates the typed mini-language cannot express).
   QueryBuilder& Filter(std::string name, stream::FilterOp::Predicate pred);
+
+  /// Typed predicate filter ({field, cmp_op, constant} composition with
+  /// field indices resolved against the current schema). Validated here at
+  /// build time; compiles to FilterOp's branch-free columnar path.
+  QueryBuilder& Filter(std::string name, stream::TypedPredicate pred);
+
+  /// Convenience: keep records whose named field compares against `value`
+  /// (typed predicates; the field must have the matching type).
+  QueryBuilder& FilterI64Cmp(const std::string& field, stream::CmpOp cmp,
+                             int64_t value);
+  QueryBuilder& FilterF64Cmp(const std::string& field, stream::CmpOp cmp,
+                             double value);
 
   /// Convenience: keep records whose int64 field equals `value`.
   QueryBuilder& FilterI64Eq(const std::string& field, int64_t value);

@@ -1,0 +1,659 @@
+#include "stream/columnar.h"
+
+#include <algorithm>
+#include <iterator>
+#include <unordered_map>
+#include <utility>
+
+#include "ser/chunk_writer.h"
+
+namespace jarvis::stream {
+
+namespace {
+
+/// True when the record can live in the dense columns: kData kind and an
+/// exact arity/type match against the schema. kPartial rows always take the
+/// fallback lane even when their fields happen to match — their kind bit
+/// must survive every structural edit, and the row lane does that for free.
+bool IsDenseRow(const Record& rec, const Schema& schema) {
+  return rec.kind == RecordKind::kData && ConformsToSchema(rec, schema);
+}
+
+}  // namespace
+
+void ColumnarBatch::Reset(Schema schema) {
+  schema_ = std::move(schema);
+  const size_t nf = schema_.num_fields();
+  // Growing back past a projection: refill from recycled columns, matching
+  // types so the reclaimed buffer is the one with useful capacity.
+  while (columns_.size() < nf && !spares_.empty()) {
+    const ValueType want = schema_.field(columns_.size()).type;
+    size_t pick = spares_.size() - 1;  // any spare if no type match
+    for (size_t s = 0; s < spares_.size(); ++s) {
+      if (spares_[s].type == want) {
+        pick = s;
+        break;
+      }
+    }
+    columns_.push_back(std::move(spares_[pick]));
+    spares_.erase(spares_.begin() + pick);
+  }
+  columns_.resize(nf);
+  for (size_t j = 0; j < nf; ++j) {
+    columns_[j].type = schema_.field(j).type;
+    columns_[j].Clear();
+  }
+  event_time_.clear();
+  window_start_.clear();
+  is_dense_.clear();
+  fallback_.clear();
+}
+
+void ColumnarBatch::Clear() {
+  for (Column& c : columns_) c.Clear();
+  event_time_.clear();
+  window_start_.clear();
+  is_dense_.clear();
+  fallback_.clear();
+}
+
+void ColumnarBatch::AppendRow(Record&& rec) {
+  if (!IsDenseRow(rec, schema_)) {
+    is_dense_.push_back(0);
+    fallback_.push_back(std::move(rec));
+    return;
+  }
+  event_time_.push_back(rec.event_time);
+  window_start_.push_back(rec.window_start);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& col = columns_[j];
+    switch (col.type) {
+      case ValueType::kInt64:
+        col.i64.push_back(*std::get_if<int64_t>(&rec.fields[j]));
+        break;
+      case ValueType::kDouble:
+        col.f64.push_back(*std::get_if<double>(&rec.fields[j]));
+        break;
+      case ValueType::kString:
+        col.str.push_back(std::move(*std::get_if<std::string>(&rec.fields[j])));
+        break;
+    }
+  }
+  is_dense_.push_back(1);
+}
+
+void ColumnarBatch::AppendRows(RecordBatch&& rows) {
+  // Row-major transfer: each record's fields are touched while the record
+  // is cache-hot (a column-major second pass re-walks ~200B/record of
+  // pointer-chasing layout per column and loses more to misses than the
+  // hoisted type switch saves — measured, not guessed).
+  GrowForAppend(&is_dense_, rows.size());
+  GrowForAppend(&event_time_, rows.size());
+  GrowForAppend(&window_start_, rows.size());
+  for (Record& rec : rows) AppendRow(std::move(rec));
+  rows.clear();
+}
+
+ColumnarBatch ColumnarBatch::FromRows(RecordBatch&& rows, Schema schema) {
+  ColumnarBatch batch(std::move(schema));
+  batch.AppendRows(std::move(rows));
+  return batch;
+}
+
+Record ColumnarBatch::MaterializeDense(size_t d) {
+  Record rec;
+  rec.event_time = event_time_[d];
+  rec.window_start = window_start_[d];
+  rec.fields.reserve(columns_.size());
+  for (Column& col : columns_) {
+    switch (col.type) {
+      case ValueType::kInt64:
+        rec.fields.emplace_back(col.i64[d]);
+        break;
+      case ValueType::kDouble:
+        rec.fields.emplace_back(col.f64[d]);
+        break;
+      case ValueType::kString:
+        rec.fields.emplace_back(std::move(col.str[d]));
+        break;
+    }
+  }
+  return rec;
+}
+
+void ColumnarBatch::MoveToRows(RecordBatch* out) {
+  GrowForAppend(out, num_rows());
+  size_t d = 0, fb = 0;
+  for (uint8_t dense : is_dense_) {
+    if (dense) {
+      out->push_back(MaterializeDense(d++));
+    } else {
+      out->push_back(std::move(fallback_[fb++]));
+    }
+  }
+  Clear();
+}
+
+namespace {
+
+/// Stable in-place compaction of one array: keeps a[d] iff keep[d]. The
+/// type-specific instantiations keep the per-element loop free of dispatch.
+template <typename T>
+void CompactArray(std::vector<T>* a, const uint8_t* keep, size_t n) {
+  size_t w = 0;
+  for (size_t d = 0; d < n; ++d) {
+    if (!keep[d]) continue;
+    if (w != d) (*a)[w] = std::move((*a)[d]);
+    ++w;
+  }
+  a->resize(w);
+}
+
+}  // namespace
+
+void ColumnarBatch::Retain(const uint8_t* keep_dense,
+                           const uint8_t* keep_fallback) {
+  // Column-major stable compaction: each array gets its own tight pass, so
+  // the hot loops carry no per-element type dispatch and stay in one cache
+  // stream. All linear, no allocation.
+  const size_t nd = num_dense();
+  CompactArray(&event_time_, keep_dense, nd);
+  CompactArray(&window_start_, keep_dense, nd);
+  for (Column& col : columns_) {
+    switch (col.type) {
+      case ValueType::kInt64:
+        CompactArray(&col.i64, keep_dense, nd);
+        break;
+      case ValueType::kDouble:
+        CompactArray(&col.f64, keep_dense, nd);
+        break;
+      case ValueType::kString:
+        CompactArray(&col.str, keep_dense, nd);
+        break;
+    }
+  }
+
+  size_t wf = 0;
+  const size_t nf = fallback_.size();
+  for (size_t f = 0; f < nf; ++f) {
+    if (!keep_fallback[f]) continue;
+    if (wf != f) fallback_[wf] = std::move(fallback_[f]);
+    ++wf;
+  }
+  fallback_.resize(wf);
+
+  size_t wr = 0, d = 0, f = 0;
+  for (size_t r = 0; r < is_dense_.size(); ++r) {
+    const bool keep = is_dense_[r] ? keep_dense[d++] != 0 : keep_fallback[f++] != 0;
+    if (keep) is_dense_[wr++] = is_dense_[r];
+  }
+  is_dense_.resize(wr);
+}
+
+Status ColumnarBatch::SelectColumns(const std::vector<size_t>& indices) {
+  for (size_t i : indices) {
+    if (i >= columns_.size()) {
+      return Status::OutOfRange("project index out of range");
+    }
+  }
+  // Column-pointer swaps: each kept column moves once. An index that appears
+  // more than once copies so later uses see intact data.
+  std::vector<size_t> uses(columns_.size(), 0);
+  for (size_t i : indices) ++uses[i];
+  std::vector<Column> selected;
+  selected.reserve(indices.size());
+  for (size_t i : indices) {
+    if (uses[i] > 1) {
+      selected.push_back(columns_[i]);
+    } else {
+      selected.push_back(std::move(columns_[i]));
+    }
+  }
+  // Dropped columns keep their buffers in the spare pool; the next Reset
+  // back to a wider schema reclaims them instead of reallocating.
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    if (uses[j] == 0) {
+      columns_[j].Clear();
+      spares_.push_back(std::move(columns_[j]));
+    }
+  }
+  columns_ = std::move(selected);
+  schema_ = schema_.Select(indices);
+  return Status::OK();
+}
+
+void ColumnarBatch::Partition(const uint8_t* decisions,
+                              ColumnarBatch* forwarded, RecordBatch* drained) {
+  GrowForAppend(drained, num_rows());
+  size_t d = 0, fb = 0;
+  for (size_t r = 0; r < is_dense_.size(); ++r) {
+    if (is_dense_[r]) {
+      if (decisions[r]) {
+        forwarded->event_time_.push_back(event_time_[d]);
+        forwarded->window_start_.push_back(window_start_[d]);
+        for (size_t j = 0; j < columns_.size(); ++j) {
+          Column& src = columns_[j];
+          Column& dst = forwarded->columns_[j];
+          switch (src.type) {
+            case ValueType::kInt64:
+              dst.i64.push_back(src.i64[d]);
+              break;
+            case ValueType::kDouble:
+              dst.f64.push_back(src.f64[d]);
+              break;
+            case ValueType::kString:
+              dst.str.push_back(std::move(src.str[d]));
+              break;
+          }
+        }
+        forwarded->is_dense_.push_back(1);
+        ++d;
+      } else {
+        drained->push_back(MaterializeDense(d++));
+      }
+    } else {
+      if (decisions[r]) {
+        forwarded->is_dense_.push_back(0);
+        forwarded->fallback_.push_back(std::move(fallback_[fb++]));
+      } else {
+        drained->push_back(std::move(fallback_[fb++]));
+      }
+    }
+  }
+  Clear();
+}
+
+void ColumnarBatch::SplitFront(size_t n, ColumnarBatch* front) {
+  front->Reset(schema_);
+  if (n == 0) return;
+  if (n >= num_rows()) {
+    // Whole-queue take: swap the buffers so both sides keep their
+    // capacities for reuse.
+    std::swap(front->columns_, columns_);
+    std::swap(front->event_time_, event_time_);
+    std::swap(front->window_start_, window_start_);
+    std::swap(front->is_dense_, is_dense_);
+    std::swap(front->fallback_, fallback_);
+    return;
+  }
+  size_t nd = 0;
+  for (size_t r = 0; r < n; ++r) nd += is_dense_[r];
+  const size_t nf = n - nd;
+
+  front->event_time_.assign(event_time_.begin(), event_time_.begin() + nd);
+  front->window_start_.assign(window_start_.begin(),
+                              window_start_.begin() + nd);
+  event_time_.erase(event_time_.begin(), event_time_.begin() + nd);
+  window_start_.erase(window_start_.begin(), window_start_.begin() + nd);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& src = columns_[j];
+    Column& dst = front->columns_[j];
+    switch (src.type) {
+      case ValueType::kInt64:
+        dst.i64.assign(src.i64.begin(), src.i64.begin() + nd);
+        src.i64.erase(src.i64.begin(), src.i64.begin() + nd);
+        break;
+      case ValueType::kDouble:
+        dst.f64.assign(src.f64.begin(), src.f64.begin() + nd);
+        src.f64.erase(src.f64.begin(), src.f64.begin() + nd);
+        break;
+      case ValueType::kString:
+        dst.str.assign(std::make_move_iterator(src.str.begin()),
+                       std::make_move_iterator(src.str.begin() + nd));
+        src.str.erase(src.str.begin(), src.str.begin() + nd);
+        break;
+    }
+  }
+  front->fallback_.assign(std::make_move_iterator(fallback_.begin()),
+                          std::make_move_iterator(fallback_.begin() + nf));
+  fallback_.erase(fallback_.begin(), fallback_.begin() + nf);
+  front->is_dense_.assign(is_dense_.begin(), is_dense_.begin() + n);
+  is_dense_.erase(is_dense_.begin(), is_dense_.begin() + n);
+}
+
+uint64_t ColumnarBatch::RowWireBytes() const {
+  using ser::VarIntSize;
+  using ser::ZigZagEncode;
+  uint64_t total = 0;
+  const size_t nd = num_dense();
+  // Per dense row: kind byte + field-count varint + the two time varints.
+  total += nd * (1 + VarIntSize(columns_.size()));
+  for (size_t d = 0; d < nd; ++d) {
+    total += VarIntSize(ZigZagEncode(event_time_[d])) +
+             VarIntSize(ZigZagEncode(window_start_[d]));
+  }
+  for (const Column& col : columns_) {
+    switch (col.type) {
+      case ValueType::kInt64:
+        for (int64_t v : col.i64) total += 1 + VarIntSize(ZigZagEncode(v));
+        break;
+      case ValueType::kDouble:
+        total += nd * (1 + 8);
+        break;
+      case ValueType::kString:
+        for (const std::string& s : col.str) {
+          total += 1 + VarIntSize(s.size()) + s.size();
+        }
+        break;
+    }
+  }
+  for (const Record& rec : fallback_) total += WireSize(rec);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Columnar drain wire format
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-row flag values carried in the RLE section. Dense rows are kData by
+// construction, so the two bits are mutually exclusive.
+constexpr uint8_t kColFlagPartial = 0x01;
+constexpr uint8_t kColFlagDense = 0x02;
+
+// String columns: per-column encoding marker.
+constexpr uint8_t kStrPlain = 0;
+constexpr uint8_t kStrDict = 1;
+
+uint8_t RowFlags(const ColumnarBatch& batch, size_t row, size_t* fb) {
+  if (batch.density()[row]) return kColFlagDense;
+  const Record& rec = batch.fallback()[(*fb)++];
+  return rec.kind == RecordKind::kPartial ? kColFlagPartial : 0;
+}
+
+/// Emits one time column (over ALL rows in row order, merging the packed
+/// dense array with the fallback records) as delta + zigzag varints.
+/// Arithmetic goes through uint64_t so wraparound is well-defined and the
+/// decoder's addition inverts it exactly.
+template <typename GetFallbackTime>
+void WriteTimeColumn(const ColumnarBatch& batch,
+                     const std::vector<Micros>& dense_times,
+                     GetFallbackTime get_fb, ser::ChunkWriter* w) {
+  uint64_t prev = 0;
+  size_t d = 0, fb = 0;
+  for (uint8_t dense : batch.density()) {
+    const uint64_t t = static_cast<uint64_t>(
+        dense ? dense_times[d++] : get_fb(batch.fallback()[fb++]));
+    w->VarI64(static_cast<int64_t>(t - prev));
+    prev = t;
+  }
+}
+
+void WriteStringColumn(const std::vector<std::string>& values,
+                       ser::ChunkWriter* w) {
+  using ser::VarIntSize;
+  // First-occurrence dictionary, u8 codes. Worth it only when the column is
+  // low-cardinality; the encoder compares exact encoded sizes and keeps the
+  // plain layout otherwise. Codes are captured during the sizing scan so
+  // the emit pass never re-hashes a value.
+  std::unordered_map<std::string_view, uint8_t> dict;
+  std::vector<const std::string*> entries;
+  std::vector<uint8_t> codes;
+  codes.reserve(values.size());
+  size_t plain_bytes = 0, dict_entry_bytes = 0;
+  bool dict_viable = true;
+  for (const std::string& s : values) {
+    plain_bytes += VarIntSize(s.size()) + s.size();
+    if (!dict_viable) continue;
+    const auto [it, inserted] =
+        dict.try_emplace(s, static_cast<uint8_t>(dict.size()));
+    if (inserted) {
+      if (dict.size() > 255) {
+        dict_viable = false;
+        continue;
+      }
+      entries.push_back(&s);
+      dict_entry_bytes += VarIntSize(s.size()) + s.size();
+    }
+    codes.push_back(it->second);
+  }
+  const size_t dict_bytes =
+      VarIntSize(dict.size()) + dict_entry_bytes + values.size();
+  if (dict_viable && dict_bytes < plain_bytes) {
+    w->Byte(kStrDict);
+    w->VarU64(dict.size());
+    for (const std::string* s : entries) w->String(*s);
+    for (uint8_t code : codes) w->Byte(code);
+    return;
+  }
+  w->Byte(kStrPlain);
+  for (const std::string& s : values) w->String(s);
+}
+
+}  // namespace
+
+size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out) {
+  const size_t start = out->size();
+  const size_t n = batch.num_rows();
+  const size_t nf = batch.num_columns();
+  out->Reserve(16 + nf + n * 4);
+  out->PutU8(kColumnarFormatVersion);
+  out->PutVarU64(n);
+  out->PutVarU64(nf);
+  for (size_t j = 0; j < nf; ++j) {
+    out->PutU8(static_cast<uint8_t>(batch.schema().field(j).type));
+  }
+
+  ser::ChunkWriter w(out);
+
+  // Row flags, run-length encoded: long stretches of conforming data rows
+  // (the common case) cost two bytes total instead of one byte per record.
+  {
+    size_t fb = 0;
+    size_t run_start = 0;
+    uint8_t run_flag = 0;
+    for (size_t r = 0; r < n; ++r) {
+      const uint8_t f = RowFlags(batch, r, &fb);
+      if (r == 0) {
+        run_flag = f;
+        continue;
+      }
+      if (f != run_flag) {
+        w.Byte(run_flag);
+        w.VarU64(r - run_start);
+        run_start = r;
+        run_flag = f;
+      }
+    }
+    if (n > 0) {
+      w.Byte(run_flag);
+      w.VarU64(n - run_start);
+    }
+  }
+
+  // Time columns over all rows; near-monotone event times delta down to one
+  // or two bytes each.
+  WriteTimeColumn(batch, batch.event_times(),
+                  [](const Record& r) { return r.event_time; }, &w);
+  WriteTimeColumn(batch, batch.window_starts(),
+                  [](const Record& r) { return r.window_start; }, &w);
+
+  // Dense value columns with per-type encodings.
+  const size_t ndense = batch.num_dense();
+  for (size_t j = 0; j < nf; ++j) {
+    const Column& col = batch.column(j);
+    switch (col.type) {
+      case ValueType::kInt64: {
+        uint64_t prev = 0;
+        for (int64_t v : col.i64) {
+          const uint64_t u = static_cast<uint64_t>(v);
+          w.VarI64(static_cast<int64_t>(u - prev));
+          prev = u;
+        }
+        break;
+      }
+      case ValueType::kDouble:
+        for (double v : col.f64) w.Double(v);
+        break;
+      case ValueType::kString:
+        if (ndense > 0) WriteStringColumn(col.str, &w);
+        break;
+    }
+  }
+
+  // Fallback rows carry their own tags, exactly like the record format.
+  for (const Record& rec : batch.fallback()) {
+    w.VarU64(rec.fields.size());
+    for (const Value& v : rec.fields) WriteTaggedValue(v, &w);
+  }
+  w.Flush();
+  return out->size() - start;
+}
+
+Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out) {
+  uint8_t version;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version != kColumnarFormatVersion) {
+    return Status::SerializationError("bad columnar format version");
+  }
+  uint64_t n;
+  JARVIS_RETURN_IF_ERROR(in->GetVarU64(&n));
+  // Every row costs at least its two time varints downstream of the RLE
+  // flags, so a count beyond the remaining bytes is corrupt (DoS guard).
+  if (n > in->remaining()) {
+    return Status::SerializationError("implausible columnar record count");
+  }
+  uint64_t nf;
+  JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nf));
+  if (nf > (1u << 20)) {
+    return Status::SerializationError("implausible schema field count");
+  }
+  std::vector<ValueType> tags(nf);
+  for (uint64_t j = 0; j < nf; ++j) {
+    uint8_t tag;
+    JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+    if (tag > static_cast<uint8_t>(ValueType::kString)) {
+      return Status::SerializationError("bad schema type tag");
+    }
+    tags[j] = static_cast<ValueType>(tag);
+  }
+
+  // Flags RLE. resize() keeps already-present elements so a reused output
+  // batch retains its field vectors' capacities.
+  out->resize(n);
+  std::vector<uint8_t> flags(n);
+  uint64_t covered = 0;
+  while (covered < n) {
+    uint8_t f;
+    JARVIS_RETURN_IF_ERROR(in->GetU8(&f));
+    if (f != 0 && f != kColFlagPartial && f != kColFlagDense) {
+      return Status::SerializationError("bad columnar row flags");
+    }
+    uint64_t run;
+    JARVIS_RETURN_IF_ERROR(in->GetVarU64(&run));
+    if (run == 0 || run > n - covered) {
+      return Status::SerializationError("bad columnar flag run length");
+    }
+    std::fill(flags.begin() + covered, flags.begin() + covered + run, f);
+    covered += run;
+  }
+  uint64_t ndense = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    Record& rec = (*out)[r];
+    rec.kind = (flags[r] & kColFlagPartial) ? RecordKind::kPartial
+                                            : RecordKind::kData;
+    rec.fields.clear();
+    if (flags[r] & kColFlagDense) {
+      rec.fields.reserve(nf);
+      ++ndense;
+    }
+  }
+
+  // Time columns.
+  uint64_t prev = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    int64_t delta;
+    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
+    prev += static_cast<uint64_t>(delta);
+    (*out)[r].event_time = static_cast<int64_t>(prev);
+  }
+  prev = 0;
+  for (uint64_t r = 0; r < n; ++r) {
+    int64_t delta;
+    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
+    prev += static_cast<uint64_t>(delta);
+    (*out)[r].window_start = static_cast<int64_t>(prev);
+  }
+
+  // Dense value columns; fields append in column order per record, which
+  // reconstructs field order because every pass touches records in row order.
+  for (uint64_t j = 0; j < nf; ++j) {
+    switch (tags[j]) {
+      case ValueType::kInt64: {
+        uint64_t acc = 0;
+        for (uint64_t r = 0; r < n; ++r) {
+          if (!(flags[r] & kColFlagDense)) continue;
+          int64_t delta;
+          JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
+          acc += static_cast<uint64_t>(delta);
+          (*out)[r].fields.emplace_back(static_cast<int64_t>(acc));
+        }
+        break;
+      }
+      case ValueType::kDouble:
+        for (uint64_t r = 0; r < n; ++r) {
+          if (!(flags[r] & kColFlagDense)) continue;
+          double v;
+          JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
+          (*out)[r].fields.emplace_back(v);
+        }
+        break;
+      case ValueType::kString: {
+        if (ndense == 0) break;
+        uint8_t marker;
+        JARVIS_RETURN_IF_ERROR(in->GetU8(&marker));
+        if (marker == kStrDict) {
+          uint64_t dict_size;
+          JARVIS_RETURN_IF_ERROR(in->GetVarU64(&dict_size));
+          if (dict_size == 0 || dict_size > 255) {
+            return Status::SerializationError("bad string dictionary size");
+          }
+          std::vector<std::string> dict(dict_size);
+          for (uint64_t k = 0; k < dict_size; ++k) {
+            JARVIS_RETURN_IF_ERROR(in->GetString(&dict[k]));
+          }
+          for (uint64_t r = 0; r < n; ++r) {
+            if (!(flags[r] & kColFlagDense)) continue;
+            uint8_t code;
+            JARVIS_RETURN_IF_ERROR(in->GetU8(&code));
+            if (code >= dict_size) {
+              return Status::SerializationError("bad string dictionary code");
+            }
+            (*out)[r].fields.emplace_back(dict[code]);
+          }
+        } else if (marker == kStrPlain) {
+          for (uint64_t r = 0; r < n; ++r) {
+            if (!(flags[r] & kColFlagDense)) continue;
+            std::string v;
+            JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+            (*out)[r].fields.emplace_back(std::move(v));
+          }
+        } else {
+          return Status::SerializationError("bad string column marker");
+        }
+        break;
+      }
+    }
+  }
+
+  // Fallback rows (inline-tagged, like the record format).
+  for (uint64_t r = 0; r < n; ++r) {
+    if (flags[r] & kColFlagDense) continue;
+    Record& rec = (*out)[r];
+    uint64_t nfields;
+    JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nfields));
+    if (nfields > (1u << 20)) {
+      return Status::SerializationError("implausible field count");
+    }
+    rec.fields.reserve(nfields);
+    for (uint64_t f = 0; f < nfields; ++f) {
+      Value v;
+      JARVIS_RETURN_IF_ERROR(ReadTaggedValue(in, &v));
+      rec.fields.push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace jarvis::stream

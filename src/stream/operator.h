@@ -11,6 +11,8 @@
 
 namespace jarvis::stream {
 
+class ColumnarBatch;
+
 /// Streaming primitive kinds (Section II-A). The kind drives both the query
 /// optimizer's placement rules and the calibrated cost model.
 enum class OpKind {
@@ -82,6 +84,18 @@ class Operator {
   /// records (and stats) are identical to the copying paths.
   Status ProcessBatchInPlace(RecordBatch* batch);
 
+  /// True when this operator can rewrite a ColumnarBatch natively (the
+  /// vectorized fast path: stateless operators whose work factors into
+  /// per-column loops). A pipeline of columnar-capable operators never
+  /// materializes row records between ingest and the drain wire.
+  virtual bool HasColumnarBatch() const { return false; }
+
+  /// Rewrites `batch` in place on the columnar representation; only valid
+  /// when HasColumnarBatch(). Outputs (after conversion back to rows) and
+  /// stats are identical to the row-batch paths — fallback rows ride the
+  /// batch's row lane and go through the exact row-path logic.
+  Status ProcessColumnar(ColumnarBatch* batch);
+
   /// Toggles byte-level stats accounting (records are always counted).
   /// Walking every record's WireSize costs more than most operators
   /// themselves; the source executor enables it only for profiling epochs,
@@ -133,6 +147,12 @@ class Operator {
   virtual Status DoProcessBatchInPlace(RecordBatch* batch) {
     (void)batch;
     return Status::Internal("operator has no in-place batch path");
+  }
+
+  /// Columnar hook; implemented by operators that report HasColumnarBatch().
+  virtual Status DoProcessColumnar(ColumnarBatch* batch) {
+    (void)batch;
+    return Status::Internal("operator has no columnar batch path");
   }
 
   /// Lets subclasses account records emitted from OnWatermark /

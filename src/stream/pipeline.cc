@@ -1,5 +1,7 @@
 #include "stream/pipeline.h"
 
+#include "stream/columnar.h"
+
 namespace jarvis::stream {
 
 Status Pipeline::Push(Record&& rec, RecordBatch* out) {
@@ -45,6 +47,22 @@ Status Pipeline::PushBatchFrom(size_t start, RecordBatch&& batch,
     }
   }
   MoveAppend(std::move(*cur), out);
+  return Status::OK();
+}
+
+bool Pipeline::FullyColumnar() const {
+  if (ops_.empty()) return false;
+  for (const auto& op : ops_) {
+    if (!op->HasColumnarBatch()) return false;
+  }
+  return true;
+}
+
+Status Pipeline::PushColumnar(ColumnarBatch* batch) {
+  for (auto& op : ops_) {
+    if (batch->empty()) break;
+    JARVIS_RETURN_IF_ERROR(op->ProcessColumnar(batch));
+  }
   return Status::OK();
 }
 

@@ -44,6 +44,17 @@ class Pipeline {
   /// Batch analogue of PushFrom.
   Status PushBatchFrom(size_t start, RecordBatch&& batch, RecordBatch* out);
 
+  /// True when every operator has a native columnar path, i.e. the whole
+  /// chain can run on a ColumnarBatch without materializing rows (stateless
+  /// pipelines of Window / typed Filter / Project).
+  bool FullyColumnar() const;
+
+  /// Pushes a columnar batch through the chain in place; only valid when
+  /// FullyColumnar(). Outputs (after conversion back to rows) and operator
+  /// stats are identical to PushBatch on the row form of the same batch.
+  /// Zero inter-stage moves, zero row materialization.
+  Status PushColumnar(ColumnarBatch* batch);
+
   /// Advances the watermark through the chain; emissions from operator i are
   /// processed by operators i+1..end before being appended to `out`.
   Status OnWatermark(Micros wm, RecordBatch* out);

@@ -1,0 +1,276 @@
+#include "stream/predicate.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "stream/columnar.h"
+
+namespace jarvis::stream {
+
+std::string_view CmpOpToString(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "==";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+TypedPredicate PredI64(size_t field, CmpOp cmp, int64_t constant) {
+  TypedPredicate p;
+  p.field = field;
+  p.cmp = cmp;
+  p.constant = constant;
+  return p;
+}
+
+TypedPredicate PredF64(size_t field, CmpOp cmp, double constant) {
+  TypedPredicate p;
+  p.field = field;
+  p.cmp = cmp;
+  p.constant = constant;
+  return p;
+}
+
+TypedPredicate PredStr(size_t field, CmpOp cmp, std::string constant) {
+  TypedPredicate p;
+  p.field = field;
+  p.cmp = cmp;
+  p.constant = std::move(constant);
+  return p;
+}
+
+TypedPredicate PredAnd(std::vector<TypedPredicate> children) {
+  TypedPredicate p;
+  p.node = TypedPredicate::Node::kAnd;
+  p.children = std::move(children);
+  return p;
+}
+
+TypedPredicate PredOr(std::vector<TypedPredicate> children) {
+  TypedPredicate p;
+  p.node = TypedPredicate::Node::kOr;
+  p.children = std::move(children);
+  return p;
+}
+
+Status ValidatePredicate(const TypedPredicate& pred, const Schema& schema) {
+  if (pred.node != TypedPredicate::Node::kLeaf) {
+    for (const TypedPredicate& child : pred.children) {
+      JARVIS_RETURN_IF_ERROR(ValidatePredicate(child, schema));
+    }
+    return Status::OK();
+  }
+  if (pred.field >= schema.num_fields()) {
+    return Status::InvalidArgument("predicate field index " +
+                                   std::to_string(pred.field) +
+                                   " out of range for " + schema.ToString());
+  }
+  if (schema.field(pred.field).type != TypeOf(pred.constant)) {
+    return Status::InvalidArgument(
+        "predicate constant type does not match field '" +
+        schema.field(pred.field).name + "' in " + schema.ToString());
+  }
+  return Status::OK();
+}
+
+namespace {
+
+template <typename T>
+bool Compare(const T& a, CmpOp op, const T& b) {
+  switch (op) {
+    case CmpOp::kEq:
+      return a == b;
+    case CmpOp::kNe:
+      return a != b;
+    case CmpOp::kLt:
+      return a < b;
+    case CmpOp::kLe:
+      return a <= b;
+    case CmpOp::kGt:
+      return a > b;
+    case CmpOp::kGe:
+      return a >= b;
+  }
+  return false;
+}
+
+/// Branch-free fill: one comparison per element, no per-element dispatch.
+/// The cmp functor is resolved once per column, so gcc/clang vectorize the
+/// numeric instantiations.
+template <typename T, typename Cmp>
+void FillCmp(const std::vector<T>& values, const T& constant, uint8_t* sel,
+             Cmp cmp) {
+  const size_t n = values.size();
+  for (size_t i = 0; i < n; ++i) {
+    sel[i] = static_cast<uint8_t>(cmp(values[i], constant));
+  }
+}
+
+template <typename T>
+void FillTyped(const std::vector<T>& values, const T& constant, CmpOp op,
+               uint8_t* sel) {
+  switch (op) {
+    case CmpOp::kEq:
+      FillCmp(values, constant, sel, std::equal_to<T>{});
+      break;
+    case CmpOp::kNe:
+      FillCmp(values, constant, sel, std::not_equal_to<T>{});
+      break;
+    case CmpOp::kLt:
+      FillCmp(values, constant, sel, std::less<T>{});
+      break;
+    case CmpOp::kLe:
+      FillCmp(values, constant, sel, std::less_equal<T>{});
+      break;
+    case CmpOp::kGt:
+      FillCmp(values, constant, sel, std::greater<T>{});
+      break;
+    case CmpOp::kGe:
+      FillCmp(values, constant, sel, std::greater_equal<T>{});
+      break;
+  }
+}
+
+void EvalLeafColumnar(const TypedPredicate& pred, const ColumnarBatch& batch,
+                      std::vector<uint8_t>* sel) {
+  const size_t nd = batch.num_dense();
+  // A leaf that does not bind to the batch's columns (index or type
+  // mismatch) selects nothing — the same "diverging rows fail the leaf"
+  // semantics as the row path.
+  if (pred.field >= batch.num_columns() ||
+      batch.column(pred.field).type != TypeOf(pred.constant)) {
+    std::fill(sel->begin(), sel->end(), uint8_t{0});
+    return;
+  }
+  const Column& col = batch.column(pred.field);
+  (void)nd;
+  switch (col.type) {
+    case ValueType::kInt64:
+      FillTyped(col.i64, *std::get_if<int64_t>(&pred.constant), pred.cmp,
+                sel->data());
+      break;
+    case ValueType::kDouble:
+      FillTyped(col.f64, *std::get_if<double>(&pred.constant), pred.cmp,
+                sel->data());
+      break;
+    case ValueType::kString:
+      FillTyped(col.str, *std::get_if<std::string>(&pred.constant), pred.cmp,
+                sel->data());
+      break;
+  }
+}
+
+/// Height of the composition tree: the number of per-depth scratch buffers
+/// evaluation needs. Sized once up front so the pool never resizes during
+/// recursion (a mid-recursion resize would invalidate outstanding buffers).
+size_t PredicateDepth(const TypedPredicate& pred) {
+  if (pred.node == TypedPredicate::Node::kLeaf) return 0;
+  size_t depth = 0;
+  for (const TypedPredicate& child : pred.children) {
+    depth = std::max(depth, PredicateDepth(child));
+  }
+  return depth + 1;
+}
+
+void EvalColumnarAtDepth(const TypedPredicate& pred,
+                         const ColumnarBatch& batch, std::vector<uint8_t>* sel,
+                         std::vector<std::vector<uint8_t>>* pool,
+                         size_t depth) {
+  if (pred.node == TypedPredicate::Node::kLeaf) {
+    EvalLeafColumnar(pred, batch, sel);
+    return;
+  }
+  const bool is_and = pred.node == TypedPredicate::Node::kAnd;
+  std::fill(sel->begin(), sel->end(), static_cast<uint8_t>(is_and ? 1 : 0));
+  if (pred.children.empty()) return;
+  const size_t n = sel->size();
+  for (size_t c = 0; c < pred.children.size(); ++c) {
+    // The first child may write straight into sel; the rest combine through
+    // the per-depth scratch buffer.
+    if (c == 0) {
+      EvalColumnarAtDepth(pred.children[c], batch, sel, pool, depth + 1);
+      continue;
+    }
+    std::vector<uint8_t>& scratch = (*pool)[depth];
+    scratch.resize(n);
+    EvalColumnarAtDepth(pred.children[c], batch, &scratch, pool, depth + 1);
+    uint8_t* s = sel->data();
+    const uint8_t* t = scratch.data();
+    if (is_and) {
+      for (size_t i = 0; i < n; ++i) s[i] &= t[i];
+    } else {
+      for (size_t i = 0; i < n; ++i) s[i] |= t[i];
+    }
+  }
+}
+
+}  // namespace
+
+bool EvalPredicate(const TypedPredicate& pred, const Record& rec) {
+  switch (pred.node) {
+    case TypedPredicate::Node::kAnd:
+      for (const TypedPredicate& child : pred.children) {
+        if (!EvalPredicate(child, rec)) return false;
+      }
+      return true;
+    case TypedPredicate::Node::kOr:
+      for (const TypedPredicate& child : pred.children) {
+        if (EvalPredicate(child, rec)) return true;
+      }
+      return false;
+    case TypedPredicate::Node::kLeaf:
+      break;
+  }
+  if (pred.field >= rec.fields.size()) return false;
+  const Value& v = rec.fields[pred.field];
+  if (TypeOf(v) != TypeOf(pred.constant)) return false;
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return Compare(*std::get_if<int64_t>(&v), pred.cmp,
+                     *std::get_if<int64_t>(&pred.constant));
+    case ValueType::kDouble:
+      return Compare(*std::get_if<double>(&v), pred.cmp,
+                     *std::get_if<double>(&pred.constant));
+    case ValueType::kString:
+      return Compare(*std::get_if<std::string>(&v), pred.cmp,
+                     *std::get_if<std::string>(&pred.constant));
+  }
+  return false;
+}
+
+void EvalPredicateColumnar(const TypedPredicate& pred,
+                           const ColumnarBatch& batch,
+                           std::vector<uint8_t>* sel,
+                           std::vector<std::vector<uint8_t>>* pool) {
+  sel->resize(batch.num_dense());
+  const size_t depth = PredicateDepth(pred);
+  if (pool->size() < depth) pool->resize(depth);
+  EvalColumnarAtDepth(pred, batch, sel, pool, 0);
+}
+
+std::string PredicateToString(const TypedPredicate& pred) {
+  if (pred.node == TypedPredicate::Node::kLeaf) {
+    return "#" + std::to_string(pred.field) +
+           std::string(CmpOpToString(pred.cmp)) + ValueToString(pred.constant);
+  }
+  const char* sep = pred.node == TypedPredicate::Node::kAnd ? "&&" : "||";
+  std::string out = "(";
+  for (size_t i = 0; i < pred.children.size(); ++i) {
+    if (i) out += sep;
+    out += PredicateToString(pred.children[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace jarvis::stream

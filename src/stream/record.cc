@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "ser/chunk_writer.h"
+
 namespace jarvis::stream {
 
 std::string ValueToString(const Value& v) {
@@ -136,30 +138,9 @@ Status DeserializeRecord(ser::BufferReader* in, Record* out) {
   out->fields.clear();
   out->fields.reserve(nfields);
   for (uint64_t i = 0; i < nfields; ++i) {
-    uint8_t tag;
-    JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
-    switch (static_cast<ValueType>(tag)) {
-      case ValueType::kInt64: {
-        int64_t v;
-        JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
-        out->fields.emplace_back(v);
-        break;
-      }
-      case ValueType::kDouble: {
-        double v;
-        JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
-        out->fields.emplace_back(v);
-        break;
-      }
-      case ValueType::kString: {
-        std::string v;
-        JARVIS_RETURN_IF_ERROR(in->GetString(&v));
-        out->fields.emplace_back(std::move(v));
-        break;
-      }
-      default:
-        return Status::SerializationError("bad value tag");
-    }
+    Value v;
+    JARVIS_RETURN_IF_ERROR(ReadTaggedValue(in, &v));
+    out->fields.push_back(std::move(v));
   }
   return Status::OK();
 }
@@ -175,67 +156,9 @@ constexpr uint8_t kFlagPartial = 0x01;     // RecordKind::kPartial
 constexpr uint8_t kFlagConforming = 0x02;  // fields match the batch schema
 constexpr uint8_t kFlagKnownMask = kFlagPartial | kFlagConforming;
 
-// Accumulates encoded bytes in a stack chunk and flushes to the BufferWriter
-// in bulk: column emission costs one vector append per ~4KB of payload
-// instead of one per value.
-class ChunkWriter {
- public:
-  explicit ChunkWriter(ser::BufferWriter* out) : out_(out) {}
-  ~ChunkWriter() { Flush(); }
+}  // namespace
 
-  void Byte(uint8_t b) {
-    if (n_ + 1 > sizeof(buf_)) Flush();
-    buf_[n_++] = b;
-  }
-  void VarU64(uint64_t v) {
-    if (n_ + 10 > sizeof(buf_)) Flush();
-    n_ += ser::EncodeVarU64(v, buf_ + n_);
-  }
-  void VarI64(int64_t v) { VarU64(ser::ZigZagEncode(v)); }
-  /// One record's header row (flag byte + two time-delta varints),
-  /// bounds-checked once.
-  void Header(uint8_t flags, int64_t event_time_delta,
-              int64_t window_start_delta) {
-    if (n_ + 21 > sizeof(buf_)) Flush();
-    buf_[n_++] = flags;
-    n_ += ser::EncodeVarU64(ser::ZigZagEncode(event_time_delta), buf_ + n_);
-    n_ += ser::EncodeVarU64(ser::ZigZagEncode(window_start_delta), buf_ + n_);
-  }
-  void Double(double v) {
-    if (n_ + 8 > sizeof(buf_)) Flush();
-    uint64_t bits;
-    std::memcpy(&bits, &v, sizeof(bits));
-    ser::StoreLe(bits, buf_ + n_);
-    n_ += 8;
-  }
-  void Bytes(const uint8_t* p, size_t len) {
-    if (len >= sizeof(buf_) / 2) {
-      Flush();
-      out_->PutBytes(p, len);
-      return;
-    }
-    if (n_ + len > sizeof(buf_)) Flush();
-    std::memcpy(buf_ + n_, p, len);
-    n_ += len;
-  }
-  void String(const std::string& s) {
-    VarU64(s.size());
-    Bytes(reinterpret_cast<const uint8_t*>(s.data()), s.size());
-  }
-  void Flush() {
-    if (n_ > 0) {
-      out_->PutBytes(buf_, n_);
-      n_ = 0;
-    }
-  }
-
- private:
-  ser::BufferWriter* out_;
-  size_t n_ = 0;
-  uint8_t buf_[4096];
-};
-
-void WriteTaggedValue(const Value& v, ChunkWriter* w) {
+void WriteTaggedValue(const Value& v, ser::ChunkWriter* w) {
   w->Byte(static_cast<uint8_t>(TypeOf(v)));
   switch (TypeOf(v)) {
     case ValueType::kInt64:
@@ -250,7 +173,32 @@ void WriteTaggedValue(const Value& v, ChunkWriter* w) {
   }
 }
 
-}  // namespace
+Status ReadTaggedValue(ser::BufferReader* in, Value* out) {
+  uint8_t tag;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kInt64: {
+      int64_t v;
+      JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
+      *out = v;
+      return Status::OK();
+    }
+    case ValueType::kDouble: {
+      double v;
+      JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
+      *out = v;
+      return Status::OK();
+    }
+    case ValueType::kString: {
+      std::string v;
+      JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+      *out = std::move(v);
+      return Status::OK();
+    }
+    default:
+      return Status::SerializationError("bad value tag");
+  }
+}
 
 size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
                       ser::BufferWriter* out) {
@@ -273,7 +221,7 @@ size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
   // Arithmetic goes through uint64_t: wraparound is well-defined and the
   // decoder's addition inverts it exactly.
   std::vector<uint8_t> conforming(n);
-  ChunkWriter w(out);
+  ser::ChunkWriter w(out);
   uint64_t prev_et = 0, prev_ws = 0;
   for (size_t i = 0; i < n; ++i) {
     const Record& r = batch[i];
@@ -414,30 +362,9 @@ Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
     }
     rec.fields.reserve(nfields);
     for (uint64_t f = 0; f < nfields; ++f) {
-      uint8_t tag;
-      JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
-      switch (static_cast<ValueType>(tag)) {
-        case ValueType::kInt64: {
-          int64_t v;
-          JARVIS_RETURN_IF_ERROR(in->GetVarI64(&v));
-          rec.fields.emplace_back(v);
-          break;
-        }
-        case ValueType::kDouble: {
-          double v;
-          JARVIS_RETURN_IF_ERROR(in->GetDouble(&v));
-          rec.fields.emplace_back(v);
-          break;
-        }
-        case ValueType::kString: {
-          std::string v;
-          JARVIS_RETURN_IF_ERROR(in->GetString(&v));
-          rec.fields.emplace_back(std::move(v));
-          break;
-        }
-        default:
-          return Status::SerializationError("bad value tag");
-      }
+      Value v;
+      JARVIS_RETURN_IF_ERROR(ReadTaggedValue(in, &v));
+      rec.fields.push_back(std::move(v));
     }
   }
   return Status::OK();

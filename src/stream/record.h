@@ -13,6 +13,10 @@
 #include "common/units.h"
 #include "ser/buffer.h"
 
+namespace jarvis::ser {
+class ChunkWriter;
+}  // namespace jarvis::ser
+
 namespace jarvis::stream {
 
 /// Field value: monitoring streams carry numeric metrics (Pingmesh) and
@@ -171,6 +175,15 @@ size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
 /// self-describing (type tags ride in the batch header), so no schema is
 /// needed on the read side.
 Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out);
+
+/// Writes one value with its inline type tag (the record-format payload
+/// encoding). Shared by the batch and columnar formats' fallback sections so
+/// the three wire formats agree on tagged-value bytes.
+void WriteTaggedValue(const Value& v, ser::ChunkWriter* w);
+
+/// Decodes one inline-tagged value written by WriteTaggedValue (or the
+/// record format's field encoding).
+Status ReadTaggedValue(ser::BufferReader* in, Value* out);
 
 }  // namespace jarvis::stream
 

@@ -84,7 +84,10 @@ Result<query::LogicalPlan> MakeLogAnalyticsQuery() {
     out->push_back(std::move(rec));
     return Status::OK();
   });
-  // Filter: keep lines matching any pattern.
+  // Filter: keep lines matching any pattern. Substring search is outside
+  // the typed predicate mini-language (which only has ordered comparisons),
+  // so this filter stays on the std::function fallback — the Pingmesh
+  // queries' errCode filters compile to typed predicates via FilterI64Eq.
   q.Filter("filter(patterns)", [](const Record& rec) {
     const std::string& s = std::get<std::string>(rec.fields[0]);
     for (const std::string& p : kPatterns) {

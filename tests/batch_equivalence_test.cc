@@ -13,10 +13,12 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "stream/columnar.h"
 #include "stream/group_aggregate.h"
 #include "stream/join.h"
 #include "stream/ops.h"
 #include "stream/pipeline.h"
+#include "stream/predicate.h"
 #include "stream/record.h"
 #include "testing/test_util.h"
 
@@ -409,6 +411,270 @@ TEST_P(BatchEquivalenceTest, BatchSerdeRoundTripsFuzzedBatches) {
     ASSERT_TRUE(DeserializeBatch(&r, &decoded).ok());
     EXPECT_TRUE(r.AtEnd());
     EXPECT_EQ(decoded, batch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar data plane: outputs, stats, and serde must match the row path
+// byte for byte. kPartial and schema-divergent rows ride the fallback lane
+// and must round-trip losslessly through every operation.
+// ---------------------------------------------------------------------------
+
+/// kData record that does NOT conform to KvSchema: randomized arity (at
+/// least `min_fields`) and types, so it must take the row-fallback path.
+Record RandomDivergentData(Rng& rng, size_t min_fields) {
+  Record r;
+  r.event_time = static_cast<Micros>(rng.NextBounded(1 << 20)) * 100;
+  const size_t nf = min_fields + rng.NextBounded(4);
+  for (size_t i = 0; i < nf; ++i) {
+    r.fields.push_back(
+        RandomValueOfType(rng, static_cast<ValueType>(rng.NextBounded(3))));
+  }
+  return r;
+}
+
+/// Kv batch with kPartial rows AND schema-divergent kData rows mixed in.
+RecordBatch RandomMixedKvBatch(Rng& rng, size_t n, bool windowed,
+                               size_t divergent_min_fields) {
+  RecordBatch batch;
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t pick = rng.NextBounded(10);
+    if (pick == 0) {
+      batch.push_back(RandomOpaquePartial(rng));
+    } else if (pick == 1) {
+      batch.push_back(RandomDivergentData(rng, divergent_min_fields));
+    } else {
+      batch.push_back(RandomKvRecord(rng, windowed));
+    }
+  }
+  return batch;
+}
+
+/// Feeds `input` through a fresh operator on the columnar plane (chunked
+/// row->column conversion, ProcessColumnar, column->row materialization) and
+/// requires outputs and stats identical to the record-at-a-time reference.
+void CheckColumnarEquivalence(const OpFactory& make, const RecordBatch& input,
+                              size_t chunk_size, const Schema& schema) {
+  auto ref_op = make();
+  RecordBatch ref_in = input;
+  const RecordBatch ref_out =
+      RunOp(*ref_op, std::move(ref_in), Mode::kRecord, chunk_size);
+
+  auto col_op = make();
+  ASSERT_TRUE(col_op->HasColumnarBatch());
+  RecordBatch col_in = input;
+  RecordBatch col_out;
+  for (RecordBatch& chunk : SliceInto(std::move(col_in), chunk_size)) {
+    ColumnarBatch cb = ColumnarBatch::FromRows(std::move(chunk), schema);
+    ASSERT_TRUE(col_op->ProcessColumnar(&cb).ok());
+    cb.MoveToRows(&col_out);
+  }
+  EXPECT_TRUE(col_op->OnWatermark(Seconds(1e9), &col_out).ok());
+  EXPECT_TRUE(col_op->ExportPartialState(&col_out).ok());
+
+  EXPECT_EQ(col_out, ref_out) << "ProcessColumnar output diverges";
+  ExpectStatsEq(col_op->stats(), ref_op->stats(), "ProcessColumnar stats");
+}
+
+/// Random typed predicate over KvSchema ({i64 k, f64 v}): leaves compare
+/// either field (occasionally an unbound index, which must fail closed),
+/// composed with And/Or up to depth 2.
+TypedPredicate RandomTypedPredicate(Rng& rng, int depth) {
+  if (depth > 0 && rng.NextBernoulli(0.4)) {
+    std::vector<TypedPredicate> children;
+    const size_t nc = 1 + rng.NextBounded(3);
+    for (size_t c = 0; c < nc; ++c) {
+      children.push_back(RandomTypedPredicate(rng, depth - 1));
+    }
+    return rng.NextBernoulli(0.5) ? PredAnd(std::move(children))
+                                  : PredOr(std::move(children));
+  }
+  const CmpOp cmp = static_cast<CmpOp>(rng.NextBounded(6));
+  switch (rng.NextBounded(8)) {
+    case 0:  // unbound field index: always false on kv rows
+      return PredI64(2 + rng.NextBounded(3), cmp,
+                     static_cast<int64_t>(rng.NextBounded(8)));
+    case 1:  // type-mismatched leaf: always false on kv rows
+      return PredF64(0, cmp, rng.NextDouble() * 8.0);
+    default:
+      return rng.NextBernoulli(0.5)
+                 ? PredI64(0, cmp, static_cast<int64_t>(rng.NextBounded(8)))
+                 : PredF64(1, cmp, rng.NextDouble() * 100.0);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarWindowMatchesRecordPath) {
+  Rng rng(GetParam() * 523);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    CheckColumnarEquivalence(
+        [&] {
+          return std::make_unique<WindowOp>("w", KvSchema(), Seconds(1));
+        },
+        RandomMixedKvBatch(rng, n, false, 0), chunk, KvSchema());
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarTypedFilterMatchesRecordPath) {
+  Rng rng(GetParam() * 541);
+  for (int round = 0; round < 6; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    const TypedPredicate pred = RandomTypedPredicate(rng, 2);
+    CheckColumnarEquivalence(
+        [&] { return std::make_unique<FilterOp>("f", KvSchema(), pred); },
+        RandomMixedKvBatch(rng, n, false, 0), chunk, KvSchema());
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarProjectMatchesRecordPath) {
+  Rng rng(GetParam() * 557);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    // Divergent kData rows keep >= 2 fields so projection {1, 0} stays in
+    // range on both paths (out-of-range fails the whole epoch identically
+    // on either plane; equivalence of successful outputs is what's fuzzed).
+    CheckColumnarEquivalence(
+        [&] {
+          return std::make_unique<ProjectOp>("p", KvSchema(),
+                                             std::vector<size_t>{1, 0});
+        },
+        RandomMixedKvBatch(rng, n, false, 2), chunk, KvSchema());
+  }
+}
+
+TEST_P(BatchEquivalenceTest, TypedFilterMatchesEquivalentFunctionFilter) {
+  Rng rng(GetParam() * 569);
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(200);
+    const size_t chunk = 1 + rng.NextBounded(17);
+    const TypedPredicate pred = RandomTypedPredicate(rng, 2);
+    const RecordBatch input = RandomMixedKvBatch(rng, n, false, 0);
+    // The function form wraps the same tree, so every row path of the two
+    // operators must agree; this pins the typed ctor's fallback honesty.
+    auto typed = std::make_unique<FilterOp>("f", KvSchema(), pred);
+    auto fn = std::make_unique<FilterOp>(
+        "f", KvSchema(),
+        [&pred](const Record& r) { return EvalPredicate(pred, r); });
+    RecordBatch in_a = input, in_b = input, out_a, out_b;
+    ASSERT_TRUE(typed->ProcessBatch(std::move(in_a), &out_a).ok());
+    ASSERT_TRUE(fn->ProcessBatch(std::move(in_b), &out_b).ok());
+    EXPECT_EQ(out_a, out_b);
+    ExpectStatsEq(typed->stats(), fn->stats(), "typed vs function stats");
+    (void)chunk;
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarPipelineMatchesRowPipeline) {
+  Rng rng(GetParam() * 587);
+  const Schema schema = KvSchema();
+  auto make_pipeline = [&] {
+    auto p = std::make_unique<Pipeline>();
+    p->Add(std::make_unique<WindowOp>("w", schema, Seconds(1)));
+    p->Add(std::make_unique<FilterOp>("f", schema,
+                                      PredI64(0, CmpOp::kNe, 0)));
+    p->Add(std::make_unique<FilterOp>("f2", schema,
+                                      PredF64(1, CmpOp::kLt, 80.0)));
+    p->Add(std::make_unique<ProjectOp>("p", schema,
+                                       std::vector<size_t>{1, 0}));
+    return p;
+  };
+  for (int round = 0; round < 4; ++round) {
+    const size_t n = rng.NextBounded(300);
+    const size_t chunk = 1 + rng.NextBounded(33);
+    RecordBatch input = RandomMixedKvBatch(rng, n, false, 2);
+
+    auto pipe_a = make_pipeline();
+    RecordBatch in_a = input, out_a;
+    for (Record& r : in_a) {
+      ASSERT_TRUE(pipe_a->Push(std::move(r), &out_a).ok());
+    }
+
+    auto pipe_b = make_pipeline();
+    ASSERT_TRUE(pipe_b->FullyColumnar());
+    RecordBatch out_b;
+    for (RecordBatch& c : SliceInto(std::move(input), chunk)) {
+      ColumnarBatch cb = ColumnarBatch::FromRows(std::move(c), schema);
+      ASSERT_TRUE(pipe_b->PushColumnar(&cb).ok());
+      cb.MoveToRows(&out_b);
+    }
+
+    EXPECT_EQ(out_b, out_a);
+    for (size_t i = 0; i < pipe_a->size(); ++i) {
+      ExpectStatsEq(pipe_b->op(i).stats(), pipe_a->op(i).stats(),
+                    "columnar pipeline op stats");
+    }
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarConversionIsLossless) {
+  Rng rng(GetParam() * 601);
+  for (int round = 0; round < 8; ++round) {
+    const Schema schema = RandomSchema(rng);
+    RecordBatch batch;
+    const size_t n = rng.NextBounded(60);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(RandomRecordForSchema(rng, schema));
+    }
+    const RecordBatch original = batch;
+    ColumnarBatch cb = ColumnarBatch::FromRows(std::move(batch), schema);
+    EXPECT_EQ(cb.num_rows(), original.size());
+    uint64_t want_bytes = 0;
+    for (const Record& r : original) want_bytes += WireSize(r);
+    EXPECT_EQ(cb.RowWireBytes(), want_bytes);
+    RecordBatch back;
+    cb.MoveToRows(&back);
+    EXPECT_EQ(back, original);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, ColumnarSerdeRoundTripsFuzzedBatches) {
+  Rng rng(GetParam() * 613);
+  RecordBatch decoded;  // reused across rounds to exercise buffer reuse
+  for (int round = 0; round < 8; ++round) {
+    const Schema schema = RandomSchema(rng);
+    RecordBatch batch;
+    const size_t n = rng.NextBounded(60);  // 0 == empty batch
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(RandomRecordForSchema(rng, schema));
+    }
+    const RecordBatch original = batch;
+    ColumnarBatch cb = ColumnarBatch::FromRows(std::move(batch), schema);
+    ser::BufferWriter w;
+    w.PutU8(0xEE);  // leading sentinel: bytes must be position-exact
+    const size_t before = w.size();
+    const size_t bytes = SerializeColumnar(cb, &w);
+    EXPECT_EQ(bytes, w.size() - before);
+
+    ser::BufferReader r(w.data());
+    uint8_t sentinel = 0;
+    ASSERT_TRUE(r.GetU8(&sentinel).ok());
+    EXPECT_EQ(sentinel, 0xEE);
+    ASSERT_TRUE(DeserializeColumnar(&r, &decoded).ok());
+    EXPECT_TRUE(r.AtEnd());
+    EXPECT_EQ(decoded, original);
+  }
+}
+
+TEST_P(BatchEquivalenceTest, TruncatedColumnarFailsCleanly) {
+  Rng rng(GetParam() * 617);
+  const Schema schema = RandomSchema(rng);
+  RecordBatch batch;
+  for (size_t i = 0; i < 20; ++i) {
+    batch.push_back(RandomRecordForSchema(rng, schema));
+  }
+  ColumnarBatch cb = ColumnarBatch::FromRows(std::move(batch), schema);
+  ser::BufferWriter w;
+  SerializeColumnar(cb, &w);
+  ASSERT_GT(w.size(), 4u);
+  RecordBatch decoded;
+  for (int i = 0; i < 16; ++i) {
+    const size_t cut = rng.NextBounded(w.size());
+    ser::BufferReader r(w.data().data(), cut);
+    (void)DeserializeColumnar(&r, &decoded);
   }
 }
 

@@ -2,6 +2,7 @@
 
 #include "core/source_executor.h"
 #include "core/stepwise_adapt.h"
+#include "query/query_builder.h"
 #include "workloads/pingmesh.h"
 #include "workloads/queries.h"
 
@@ -204,6 +205,117 @@ TEST(SourceExecutorTest, ObservationInputRecordsMatchesIngest) {
   auto out = exec.RunEpoch(Seconds(1), false);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(out->observation.input_records, 123u);
+}
+
+// ---------------------------------------------------------------------------
+// Columnar data plane: a stateless source pipeline (Window -> typed Filter
+// -> Project) runs entirely on ColumnarBatch stage queues. Everything the
+// executor reports — drain records and their entry tags, drained bytes,
+// proxy observations, profiles — must be identical to the row plane.
+// ---------------------------------------------------------------------------
+
+query::CompiledQuery CompileStateless() {
+  query::QueryBuilder q(workloads::PingmeshGenerator::Schema());
+  q.Window(Seconds(1)).FilterI64Eq("errCode", 0);
+  q.Project({"srcIp", "dstIp", "rtt"});
+  auto plan = q.Build();
+  EXPECT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  EXPECT_TRUE(compiled.ok());
+  return std::move(compiled).value();
+}
+
+void ExpectEpochOutputsEq(const SourceEpochOutput& col,
+                          const SourceEpochOutput& row) {
+  ASSERT_EQ(col.to_sp.size(), row.to_sp.size());
+  for (size_t i = 0; i < col.to_sp.size(); ++i) {
+    EXPECT_EQ(col.to_sp[i].sp_entry_op, row.to_sp[i].sp_entry_op) << i;
+    EXPECT_EQ(col.to_sp[i].record, row.to_sp[i].record) << i;
+  }
+  EXPECT_EQ(col.drained_bytes, row.drained_bytes);
+  EXPECT_EQ(col.watermark, row.watermark);
+  const EpochObservation& a = col.observation;
+  const EpochObservation& b = row.observation;
+  ASSERT_EQ(a.proxies.size(), b.proxies.size());
+  for (size_t i = 0; i < a.proxies.size(); ++i) {
+    EXPECT_EQ(a.proxies[i].arrived, b.proxies[i].arrived) << i;
+    EXPECT_EQ(a.proxies[i].forwarded, b.proxies[i].forwarded) << i;
+    EXPECT_EQ(a.proxies[i].drained, b.proxies[i].drained) << i;
+    EXPECT_EQ(a.proxies[i].processed, b.proxies[i].processed) << i;
+    EXPECT_EQ(a.proxies[i].pending, b.proxies[i].pending) << i;
+  }
+  EXPECT_DOUBLE_EQ(a.cpu_spent_seconds, b.cpu_spent_seconds);
+  EXPECT_EQ(a.input_records, b.input_records);
+  ASSERT_EQ(a.profiles_valid, b.profiles_valid);
+  ASSERT_EQ(a.profiles.size(), b.profiles.size());
+  for (size_t i = 0; i < a.profiles.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.profiles[i].relay_records, b.profiles[i].relay_records);
+    EXPECT_DOUBLE_EQ(a.profiles[i].relay_bytes, b.profiles[i].relay_bytes);
+    EXPECT_EQ(a.profiles[i].sampled, b.profiles[i].sampled);
+  }
+}
+
+TEST(SourceExecutorTest, ColumnarPlaneMatchesRowPlane) {
+  query::CompiledQuery q = CompileStateless();
+  auto costs = std::make_shared<FixedCostModel>(
+      std::vector<double>{kCostW, kCostF, kCostF});
+  SourceExecutorOptions col_opts;
+  col_opts.cpu_budget_fraction = 0.02;  // forces pending backpressure
+  SourceExecutorOptions row_opts = col_opts;
+  row_opts.enable_columnar = false;
+
+  SourceExecutor col_exec(q, costs, col_opts);
+  SourceExecutor row_exec(q, costs, row_opts);
+  ASSERT_TRUE(col_exec.Init().ok());
+  ASSERT_TRUE(row_exec.Init().ok());
+
+  // Several epochs over varying load factors, profile and steady epochs
+  // interleaved, with mid-stream backpressure and a reconfiguration flush.
+  const std::vector<std::vector<double>> plans = {
+      {1, 1, 1}, {1, 0.5, 1}, {0.7, 1, 0.3}, {1, 1, 1}};
+  for (size_t e = 0; e < plans.size(); ++e) {
+    col_exec.SetLoadFactors(plans[e]);
+    row_exec.SetLoadFactors(plans[e]);
+    if (e == 2) {
+      col_exec.RequestFlush();
+      row_exec.RequestFlush();
+    }
+    stream::RecordBatch in = ProbeBatch(400, Seconds(e));
+    stream::RecordBatch in_copy = in;
+    col_exec.Ingest(std::move(in));
+    row_exec.Ingest(std::move(in_copy));
+    const bool profile = e % 2 == 1;
+    auto col_out = col_exec.RunEpoch(Seconds(e + 1), profile);
+    auto row_out = row_exec.RunEpoch(Seconds(e + 1), profile);
+    ASSERT_TRUE(col_out.ok());
+    ASSERT_TRUE(row_out.ok());
+    ExpectEpochOutputsEq(*col_out, *row_out);
+  }
+
+  // Checkpoint must ship identical pending state from either plane.
+  auto col_cp = col_exec.Checkpoint(Seconds(9));
+  auto row_cp = row_exec.Checkpoint(Seconds(9));
+  ASSERT_TRUE(col_cp.ok());
+  ASSERT_TRUE(row_cp.ok());
+  ExpectEpochOutputsEq(*col_cp, *row_cp);
+}
+
+TEST(SourceExecutorTest, StatefulQueryStaysOnRowPlane) {
+  // The S2S query ends in G+R (no columnar path), so the executor must run
+  // the row plane even with columnar enabled — and behave as before.
+  query::CompiledQuery q = CompileS2S();
+  SourceExecutorOptions opts;
+  ASSERT_TRUE(opts.enable_columnar);
+  SourceExecutor exec(q, S2SCosts(), opts);
+  ASSERT_TRUE(exec.Init().ok());
+  exec.SetLoadFactors({1, 1, 1});
+  exec.Ingest(ProbeBatch(100));
+  auto out = exec.RunEpoch(Seconds(20), false);
+  ASSERT_TRUE(out.ok());
+  ASSERT_FALSE(out->to_sp.empty());
+  for (const DrainRecord& dr : out->to_sp) {
+    EXPECT_EQ(dr.record.kind, stream::RecordKind::kPartial);
+  }
 }
 
 }  // namespace

@@ -18,9 +18,11 @@
 // "columnar ..."); scripts/run_benches.sh folds them into the
 // BENCH_<label>.json snapshot.
 //
-// Usage: fig12_dataplane [--smoke] [--columnar]
+// Usage: fig12_dataplane [--smoke] [--columnar] [--native]
 //   --smoke     1 tiny trial, for CI
 //   --columnar  run only section (d) (the CI columnar smoke step)
+//   --native    run only section (e) (the CI native-edge smoke step:
+//               generator -> columnar drain wire, no row materialization)
 
 #include <chrono>
 #include <cstdio>
@@ -30,8 +32,12 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "query/compile.h"
+#include "query/query_builder.h"
 #include "ser/buffer.h"
 #include "stream/columnar.h"
 #include "stream/group_aggregate.h"
@@ -40,6 +46,7 @@
 #include "stream/pipeline.h"
 #include "stream/predicate.h"
 #include "stream/record.h"
+#include "workloads/pingmesh.h"
 
 namespace {
 
@@ -595,6 +602,185 @@ void BenchColumnarWire(Rng* rng, const Config& cfg, const Schema& schema,
       static_cast<double>(col_wire_bytes) / batch_wire_bytes);
 }
 
+// ---------------------------------------------------------------------------
+// (e) native-edge end to end: generator -> operators -> drain wire
+// ---------------------------------------------------------------------------
+
+/// PR 3's row-form generation, reproduced directly (records constructed
+/// field-vector-at-a-time from the generator's ground-truth helpers, no
+/// columnar intermediate), so the rows-born baseline pays exactly what it
+/// paid before Generate became a wrapper over GenerateColumnar. Produces
+/// bit-identical records to Generate/GenerateColumnar.
+RecordBatch GenerateRowsDirect(const workloads::PingmeshGenerator& gen,
+                               Micros from, Micros to) {
+  const workloads::PingmeshConfig& c = gen.config();
+  RecordBatch batch;
+  Micros first = from - (from % c.probe_interval);
+  if (first < from) first += c.probe_interval;
+  for (Micros t = first; t < to; t += c.probe_interval) {
+    for (int64_t pair = 0; pair < c.num_pairs; ++pair) {
+      Record rec;
+      rec.event_time = t;
+      const int64_t dst_ip = c.source_ip + 1 + pair;
+      rec.fields = {Value(c.source_ip),
+                    Value(c.source_ip / 1000),
+                    Value(dst_ip),
+                    Value(dst_ip / 1000),
+                    Value(gen.ProbeRtt(pair, t)),
+                    Value(gen.ProbeError(pair, t) ? int64_t{1} : int64_t{0})};
+      batch.push_back(std::move(rec));
+    }
+  }
+  return batch;
+}
+
+/// The whole plane edge to edge, generation included in the timed region.
+///
+///  - Row path (the PR 3 rows-born configuration): direct row-record
+///    generation (GenerateRowsDirect, what PR 3's Generate did) ->
+///    row-batch pipeline (fused std::function filter) -> schema-elided
+///    batch wire format.
+///  - Native path: GenerateColumnar appends metric columns directly ->
+///    compiled columnar pipeline (typed filter; the optimizer's projection
+///    pushdown moves the projection to the front, so dead columns are gone
+///    before any operator) -> SerializeColumnar. No row record exists
+///    anywhere on this path.
+///
+/// Both paths see the identical probe stream (same generator config) and
+/// produce identical final records; wire bytes are reported per record.
+void BenchNativeEndToEnd(const Config& cfg) {
+  using workloads::PingmeshGenerator;
+  const Schema schema = PingmeshGenerator::Schema();
+  workloads::PingmeshConfig pcfg;
+  pcfg.num_pairs = static_cast<int64_t>(cfg.batch_size);
+  pcfg.probe_interval = Seconds(1);
+  const size_t rounds = std::max<size_t>(2, cfg.records / cfg.batch_size);
+  const size_t total = rounds * cfg.batch_size;
+
+  // Row side: the logical query with the filter fused into one opaque
+  // predicate (what PR 3 compiled plans looked like on the row plane).
+  const auto make_row_pipe = [&] {
+    auto pipe = std::make_unique<Pipeline>();
+    pipe->Add(std::make_unique<WindowOp>("window", schema, Seconds(1)));
+    pipe->Add(std::make_unique<FilterOp>(
+        "filter", schema, [](const Record& r) {
+          return r.f64(PingmeshGenerator::kRttUs) < 1000.0;  // healthy rtts
+        }));
+    pipe->Add(std::make_unique<ProjectOp>(
+        "project", schema,
+        std::vector<size_t>{PingmeshGenerator::kSrcIp,
+                            PingmeshGenerator::kDstIp,
+                            PingmeshGenerator::kRttUs}));
+    return pipe;
+  };
+  // Native side: the same logical query through the optimizer. The filter
+  // references only a projected field, so the compiled plan is
+  // Project -> Window -> Filter with the predicate remapped.
+  const auto make_native_pipe = [&]() -> std::unique_ptr<Pipeline> {
+    query::QueryBuilder q(schema);
+    q.Window(Seconds(1));
+    q.FilterF64Cmp("rtt", CmpOp::kLt, 1000.0);
+    q.Project({"srcIp", "dstIp", "rtt"});
+    auto plan = q.Build();
+    if (!plan.ok()) std::abort();
+    auto compiled = query::Compile(std::move(plan).value());
+    if (!compiled.ok()) std::abort();
+    if (compiled->plan().plan.ops[0].kind != stream::OpKind::kProject) {
+      std::abort();  // pushdown must have fired
+    }
+    auto pipe = compiled->MakeSourcePipeline();
+    if (!pipe.ok() || !(*pipe)->FullyColumnar()) std::abort();
+    return std::move(pipe).value();
+  };
+
+  // The baseline generator must stay bit-identical to the real one.
+  {
+    workloads::PingmeshGenerator check(pcfg);
+    if (GenerateRowsDirect(check, 0, Seconds(1)) !=
+        check.Generate(0, Seconds(1))) {
+      std::abort();
+    }
+  }
+
+  PathResult res;
+  size_t row_wire_bytes = 0, native_wire_bytes = 0;
+  for (int t = 0; t < cfg.trials; ++t) {
+    workloads::PingmeshGenerator gen(pcfg);
+
+    auto row_pipe = make_row_pipe();
+    row_pipe->SetByteAccounting(false);
+    const Schema out_schema = row_pipe->output_schema();
+    RecordBatch out;
+    out.reserve(cfg.batch_size);
+    ser::BufferWriter wire;
+    double t0 = NowSeconds();
+    for (size_t r = 0; r < rounds; ++r) {
+      RecordBatch in =
+          GenerateRowsDirect(gen, Seconds(static_cast<int64_t>(r)),
+                             Seconds(static_cast<int64_t>(r + 1)));
+      out.clear();
+      if (!row_pipe->PushBatch(std::move(in), &out).ok()) std::abort();
+      stream::SerializeBatch(out, out_schema, &wire);
+    }
+    res.record_s = std::min(res.record_s, NowSeconds() - t0);
+    const size_t row_bytes = wire.size();
+    wire.Clear();
+
+    auto native_pipe = make_native_pipe();
+    native_pipe->SetByteAccounting(false);
+    ColumnarBatch cb(schema);
+    t0 = NowSeconds();
+    for (size_t r = 0; r < rounds; ++r) {
+      cb.Reset(schema);
+      gen.GenerateColumnar(Seconds(static_cast<int64_t>(r)),
+                           Seconds(static_cast<int64_t>(r + 1)), &cb);
+      if (!native_pipe->PushColumnar(&cb).ok()) std::abort();
+      stream::SerializeColumnar(cb, &wire);
+    }
+    res.batch_s = std::min(res.batch_s, NowSeconds() - t0);
+    if (wire.size() > row_bytes) {  // native drain must not grow the wire
+      std::fprintf(stderr,
+                   "native drain regression: columnar wire %zu bytes > "
+                   "batch wire %zu bytes\n",
+                   wire.size(), row_bytes);
+      std::abort();
+    }
+    row_wire_bytes += row_bytes;
+    native_wire_bytes += wire.size();
+    wire.Clear();
+    res.records = total;
+  }
+  const double row_rps = static_cast<double>(res.records) / res.record_s;
+  const double native_rps = static_cast<double>(res.records) / res.batch_s;
+  std::printf(
+      "columnar pipeline stateless_native_e2e batch_rps %.6g "
+      "columnar_rps %.6g speedup %.2f\n",
+      row_rps, native_rps, row_rps > 0 ? native_rps / row_rps : 0.0);
+  const double per_rec = static_cast<double>(cfg.trials) * res.records;
+  std::printf(
+      "columnar wire bytes_per_record_e2e batch %.2f columnar %.2f "
+      "ratio %.3f\n",
+      static_cast<double>(row_wire_bytes) / per_rec,
+      static_cast<double>(native_wire_bytes) / per_rec,
+      static_cast<double>(native_wire_bytes) /
+          static_cast<double>(row_wire_bytes));
+}
+
+void RunNativeSection(const Config& cfg) {
+  std::printf(
+      "\n(e) native edges end to end (generator -> operators -> drain "
+      "wire)\n"
+      "    stateless_native_e2e: rows-born generate+PushBatch+"
+      "SerializeBatch\n"
+      "                          vs column-born GenerateColumnar+"
+      "PushColumnar+SerializeColumnar\n"
+      "                          (no row record anywhere on the native "
+      "path;\n"
+      "                          projection pushed down to the ingest "
+      "edge)\n");
+  BenchNativeEndToEnd(cfg);
+}
+
 void RunColumnarSection(Rng* rng, const Config& cfg) {
   std::printf(
       "\n(d) columnar data plane (row-batch route vs ColumnarBatch route,\n"
@@ -617,12 +803,15 @@ void RunColumnarSection(Rng* rng, const Config& cfg) {
 int main(int argc, char** argv) {
   Config cfg;
   bool columnar_only = false;
+  bool native_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       cfg.records = 2000;
       cfg.trials = 1;
     } else if (std::strcmp(argv[i], "--columnar") == 0) {
       columnar_only = true;
+    } else if (std::strcmp(argv[i], "--native") == 0) {
+      native_only = true;
     }
   }
   Rng rng(20220707);
@@ -632,6 +821,10 @@ int main(int argc, char** argv) {
   std::printf("records/trial %zu  batch_size %zu  trials %d\n\n", cfg.records,
               cfg.batch_size, cfg.trials);
 
+  if (native_only) {
+    RunNativeSection(cfg);
+    return 0;
+  }
   if (columnar_only) {
     RunColumnarSection(&rng, cfg);
     return 0;
@@ -695,5 +888,6 @@ int main(int argc, char** argv) {
   BenchWireFormat(&rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
 
   RunColumnarSection(&rng, cfg);
+  RunNativeSection(cfg);
   return 0;
 }

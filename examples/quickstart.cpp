@@ -75,7 +75,7 @@ int main() {
         epoch, std::string(core::PhaseToString(runtime.phase())).c_str(),
         std::string(core::QueryStateToString(runtime.last_state())).c_str(),
         100 * obs.cpu_spent_seconds, 100 * obs.cpu_budget_seconds,
-        out->to_sp.size());
+        out->DrainedRecords());
     for (double lf : runtime.load_factors()) std::printf(" %.2f", lf);
     std::printf(" ]\n");
 

@@ -196,6 +196,10 @@ assert dp["operator_rps"] and dp["pipeline_rps"] and dp["wire_mbps"], \
 assert dp["columnar_pipeline_rps"] and dp["columnar_wire_mbps"] and \
     dp["columnar_wire_bytes_per_record"], \
     "fig12 columnar section parse produced no data"
+assert "stateless_native_e2e" in dp["columnar_pipeline_rps"], \
+    "fig12 native-edge end-to-end section missing"
+assert "bytes_per_record_e2e" in dp["columnar_wire_bytes_per_record"], \
+    "fig12 native-edge wire bytes missing"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

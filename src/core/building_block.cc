@@ -58,7 +58,7 @@ Result<size_t> BuildingBlock::CheckpointSource(size_t source_id,
   }
   JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
                           sources_[source_id]->Checkpoint(now_));
-  const size_t shipped = out.to_sp.size();
+  const size_t shipped = out.DrainedRecords();
   JARVIS_RETURN_IF_ERROR(sp_->Consume(source_id, std::move(out), results));
   return shipped;
 }

@@ -1,8 +1,73 @@
 #include "core/source_executor.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace jarvis::core {
+
+size_t SourceEpochOutput::DrainedRecords() const {
+  size_t n = 0;
+  for (const DrainChunk& c : to_sp) n += c.size();
+  return n;
+}
+
+void SourceEpochOutput::AppendDrainRows(size_t entry_op,
+                                        stream::RecordBatch&& rows) {
+  if (rows.empty()) return;
+  if (!to_sp.empty() && to_sp.back().sp_entry_op == entry_op &&
+      to_sp.back().columns.empty()) {
+    stream::MoveAppend(std::move(rows), &to_sp.back().rows);
+    return;
+  }
+  DrainChunk chunk;
+  chunk.sp_entry_op = entry_op;
+  chunk.rows = std::move(rows);
+  to_sp.push_back(std::move(chunk));
+}
+
+void SourceEpochOutput::AppendDrainRow(size_t entry_op, stream::Record&& rec) {
+  if (to_sp.empty() || to_sp.back().sp_entry_op != entry_op ||
+      !to_sp.back().columns.empty()) {
+    DrainChunk chunk;
+    chunk.sp_entry_op = entry_op;
+    to_sp.push_back(std::move(chunk));
+  }
+  to_sp.back().rows.push_back(std::move(rec));
+}
+
+void SourceEpochOutput::AppendDrainColumns(size_t entry_op,
+                                           stream::ColumnarBatch&& columns) {
+  if (columns.empty()) return;
+  if (!to_sp.empty() && to_sp.back().sp_entry_op == entry_op &&
+      to_sp.back().rows.empty() && !to_sp.back().columns.empty() &&
+      to_sp.back().columns.schema() == columns.schema()) {
+    to_sp.back().columns.AppendBatch(std::move(columns));
+    return;
+  }
+  DrainChunk chunk;
+  chunk.sp_entry_op = entry_op;
+  chunk.columns = std::move(columns);
+  to_sp.push_back(std::move(chunk));
+}
+
+std::vector<DrainRecord> SourceEpochOutput::FlattenDrain() {
+  std::vector<DrainRecord> flat;
+  flat.reserve(DrainedRecords());
+  stream::RecordBatch scratch;
+  for (DrainChunk& chunk : to_sp) {
+    scratch.clear();
+    chunk.columns.MoveToRows(&scratch);
+    for (stream::Record& rec : scratch) {
+      flat.push_back(DrainRecord{chunk.sp_entry_op, std::move(rec)});
+    }
+    for (stream::Record& rec : chunk.rows) {
+      flat.push_back(DrainRecord{chunk.sp_entry_op, std::move(rec)});
+    }
+    chunk.rows.clear();
+  }
+  to_sp.clear();
+  return flat;
+}
 
 SourceExecutor::SourceExecutor(const query::CompiledQuery& query,
                                std::shared_ptr<const CostModel> cost_model,
@@ -20,13 +85,15 @@ SourceExecutor::SourceExecutor(const query::CompiledQuery& query,
   for (size_t i = 0; i < pipeline_->size(); ++i) {
     proxies_.emplace_back(i);
   }
-  // Columnar plane: every stage queue holds its operator's *input* rows in
-  // column form — stage 0 the query's input schema, stage i the output
-  // schema of operator i-1. Divergent rows ride each batch's fallback lane,
-  // so a schema mismatch in the data never disables the plane.
+  // Columnar plane: the epoch input buffer holds the query's input schema
+  // in column form, and every stage queue holds its operator's *input* rows
+  // — stage 0 the input schema, stage i the output schema of operator i-1.
+  // Divergent rows ride each batch's fallback lane, so a schema mismatch in
+  // the data never disables the plane.
   columnar_mode_ = options_.enable_columnar && pipeline_->size() > 0 &&
                    pipeline_->FullyColumnar();
   if (columnar_mode_) {
+    col_input_.Reset(query.plan().plan.input_schema);
     col_queues_.reserve(pipeline_->size());
     col_queues_.emplace_back(query.plan().plan.input_schema);
     for (size_t i = 1; i < pipeline_->size(); ++i) {
@@ -36,9 +103,23 @@ SourceExecutor::SourceExecutor(const query::CompiledQuery& query,
 }
 
 void SourceExecutor::Ingest(stream::RecordBatch batch) {
-  for (stream::Record& r : batch) {
-    input_buffer_.push_back(std::move(r));
+  if (columnar_mode_) {
+    // The one row->column conversion of the columnar plane happens here at
+    // the edge; everything downstream (epoch buffer, stage queues, drain)
+    // stays columnar. Column-born sources skip even this via IngestColumnar.
+    col_input_.AppendRows(std::move(batch));
+    return;
   }
+  stream::MoveAppend(std::move(batch), &input_buffer_);
+}
+
+void SourceExecutor::IngestColumnar(stream::ColumnarBatch&& batch) {
+  if (columnar_mode_) {
+    col_input_.AppendBatch(std::move(batch));
+    return;
+  }
+  // Row plane (stateful prefix): the boundary conversion runs once, here.
+  batch.MoveToRows(&input_buffer_);
 }
 
 void SourceExecutor::SetLoadFactors(const std::vector<double>& lfs) {
@@ -50,18 +131,80 @@ void SourceExecutor::SetLoadFactors(const std::vector<double>& lfs) {
 void SourceExecutor::Drain(size_t entry_op, stream::Record&& rec,
                            SourceEpochOutput* out) {
   out->drained_bytes += stream::WireSize(rec);
-  out->to_sp.push_back(DrainRecord{entry_op, std::move(rec)});
+  out->AppendDrainRow(entry_op, std::move(rec));
 }
 
 void SourceExecutor::DrainBatch(size_t entry_op, stream::RecordBatch&& batch,
                                 SourceEpochOutput* out) {
-  stream::GrowForAppend(&out->to_sp, batch.size());
+  if (batch.empty()) return;
   uint64_t bytes = 0;
-  for (stream::Record& rec : batch) {
+  for (const stream::Record& rec : batch) {
     bytes += stream::WireSize(rec);
-    out->to_sp.push_back(DrainRecord{entry_op, std::move(rec)});
   }
   out->drained_bytes += bytes;
+  out->AppendDrainRows(entry_op, std::move(batch));
+}
+
+void SourceExecutor::DrainColumnar(size_t entry_op,
+                                   stream::ColumnarBatch&& batch,
+                                   SourceEpochOutput* out) {
+  if (batch.empty()) return;
+  out->drained_bytes += batch.RowWireBytes();
+  out->AppendDrainColumns(entry_op, std::move(batch));
+}
+
+void SourceExecutor::DrainColumnarSplit(stream::ColumnarBatch* batch,
+                                        size_t data_entry,
+                                        size_t partial_entry,
+                                        SourceEpochOutput* out) {
+  if (batch->empty()) return;
+  if (batch->num_fallback() == 0) {
+    // The common case — a pure run of conforming data rows — ships as one
+    // columnar slice; the batch keeps its schema binding for reuse.
+    stream::Schema schema = batch->schema();
+    DrainColumnar(data_entry, std::move(*batch), out);
+    batch->Reset(std::move(schema));
+    return;
+  }
+  // Mixed batch: one left-to-right pass over the density bitmap, slicing
+  // maximal runs that share a lane and an entry operator into their own
+  // chunks, so the flattened drain sequence is exactly the row plane's
+  // per-record tagging. Each run is appended to its destination without
+  // disturbing the rest of the batch — O(n) total however many runs.
+  const std::vector<uint8_t>& density = batch->density();
+  std::vector<stream::Record>& fallback = batch->fallback();
+  const auto entry_of_fallback = [&](const stream::Record& rec) {
+    return rec.kind == stream::RecordKind::kPartial ? partial_entry
+                                                    : data_entry;
+  };
+  size_t r = 0, d = 0, fb = 0;
+  while (r < density.size()) {
+    if (density[r]) {
+      const size_t d0 = d;
+      while (r < density.size() && density[r]) {
+        ++r;
+        ++d;
+      }
+      col_split_.Reset(batch->schema());
+      batch->MoveDenseRange(d0, d, &col_split_);
+      // DrainColumnar either steals col_split_'s buffers (a fresh chunk) or
+      // copies-and-Clear()s them (merge into the tail chunk); both leave it
+      // reusable for the next Reset.
+      DrainColumnar(data_entry, std::move(col_split_), out);
+    } else {
+      const size_t entry0 = entry_of_fallback(fallback[fb]);
+      drained_scratch_.clear();
+      while (r < density.size() && !density[r] &&
+             entry_of_fallback(fallback[fb]) == entry0) {
+        drained_scratch_.push_back(std::move(fallback[fb]));
+        ++fb;
+        ++r;
+      }
+      DrainBatch(entry0, std::move(drained_scratch_), out);
+      drained_scratch_.clear();
+    }
+  }
+  batch->Clear();
 }
 
 void SourceExecutor::RouteRowsIntoColumnarStage(size_t stage,
@@ -80,6 +223,7 @@ void SourceExecutor::RouteRowsIntoColumnarStage(size_t stage,
     }
   }
   DrainBatch(stage, std::move(drained_scratch_), out);
+  drained_scratch_.clear();
 }
 
 void SourceExecutor::RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
@@ -94,6 +238,7 @@ void SourceExecutor::RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
     drained_scratch_.clear();
     proxies_[next].RouteBatch(std::move(batch), &drained_scratch_);
     DrainBatch(next, std::move(drained_scratch_), out);
+    drained_scratch_.clear();
     return;
   }
   // Output of the last source operator. Partial-state records re-enter the
@@ -115,24 +260,20 @@ void SourceExecutor::RouteColumnarOutputs(size_t emitter,
   if (next < proxies_.size()) {
     // The batch's schema equals the next stage queue's schema (both are
     // operator `emitter`'s output schema), so Partition appends forwarded
-    // rows column-to-column; drained rows materialize here — the wire.
+    // rows column-to-column; drained rows stay columnar too — they resume
+    // at operator `next` whatever their kind, exactly like the row plane's
+    // DrainBatch tagging.
     route_decisions_.clear();
     proxies_[next].RouteDecisions(batch->num_rows(), &route_decisions_);
-    drained_scratch_.clear();
+    col_drained_.Reset(batch->schema());
     batch->Partition(route_decisions_.data(), &col_queues_[next],
-                     &drained_scratch_);
-    DrainBatch(next, std::move(drained_scratch_), out);
+                     &col_drained_);
+    DrainColumnarSplit(&col_drained_, next, next, out);
     return;
   }
-  // Output of the last source operator: same entry tagging as the row path.
-  drained_scratch_.clear();
-  batch->MoveToRows(&drained_scratch_);
-  for (stream::Record& rec : drained_scratch_) {
-    const size_t entry = rec.kind == stream::RecordKind::kPartial
-                             ? emitter
-                             : std::min(next, total_ops_);
-    Drain(entry, std::move(rec), out);
-  }
+  // Output of the last source operator: same entry tagging as the row path,
+  // but conforming rows ship as columnar slices.
+  DrainColumnarSplit(batch, std::min(next, total_ops_), emitter, out);
 }
 
 Status SourceExecutor::ProcessStageColumnar(size_t i, double* budget_left,
@@ -202,9 +343,9 @@ Status SourceExecutor::ProcessStage(size_t i, double* budget_left,
 
 void SourceExecutor::DrainPendingStage(size_t i, SourceEpochOutput* out) {
   if (columnar_mode_ && !col_queues_[i].empty()) {
-    drained_scratch_.clear();
-    col_queues_[i].MoveToRows(&drained_scratch_);
-    DrainBatch(i, std::move(drained_scratch_), out);
+    // Pending backpressure ships as columnar slices (resuming at operator
+    // i); only fallback rows in the queue materialize.
+    DrainColumnarSplit(&col_queues_[i], i, i, out);
   }
   ControlProxy& p = proxies_[i];
   while (!p.queue().empty()) {
@@ -253,28 +394,32 @@ Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
     flush_pending_ = false;
   }
 
-  const uint64_t input_records = input_buffer_.size();
+  const uint64_t input_records =
+      columnar_mode_ ? col_input_.num_rows() : input_buffer_.size();
 
   // Route the epoch's input through the first proxy as one batch.
-  if (!input_buffer_.empty()) {
-    stage_input_.clear();
-    stage_input_.reserve(input_buffer_.size());
-    while (!input_buffer_.empty()) {
-      stage_input_.push_back(std::move(input_buffer_.front()));
-      input_buffer_.pop_front();
+  if (columnar_mode_) {
+    if (!col_input_.empty()) {
+      // Ingest boundary of the columnar plane: the epoch buffer partitions
+      // column-to-column into stage 0's queue, and drained rows stay
+      // columnar to the wire. Same decision sequence as the row plane.
+      route_decisions_.clear();
+      proxies_[0].RouteDecisions(col_input_.num_rows(), &route_decisions_);
+      col_drained_.Reset(col_input_.schema());
+      col_input_.Partition(route_decisions_.data(), &col_queues_[0],
+                           &col_drained_);
+      DrainColumnarSplit(&col_drained_, 0, 0, &out);
     }
+  } else if (!input_buffer_.empty()) {
     if (proxies_.empty()) {
-      DrainBatch(0, std::move(stage_input_), &out);
-    } else if (columnar_mode_) {
-      // Ingest boundary of the columnar plane: forwarded rows convert to
-      // column form once, here, and stay columnar until the drain wire.
-      RouteRowsIntoColumnarStage(0, std::move(stage_input_), &out);
-      stage_input_.clear();
+      DrainBatch(0, std::move(input_buffer_), &out);
     } else {
       drained_scratch_.clear();
-      proxies_[0].RouteBatch(std::move(stage_input_), &drained_scratch_);
+      proxies_[0].RouteBatch(std::move(input_buffer_), &drained_scratch_);
       DrainBatch(0, std::move(drained_scratch_), &out);
+      drained_scratch_.clear();
     }
+    input_buffer_.clear();
   }
 
   const double budget =

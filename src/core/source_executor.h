@@ -1,7 +1,6 @@
 #ifndef JARVIS_CORE_SOURCE_EXECUTOR_H_
 #define JARVIS_CORE_SOURCE_EXECUTOR_H_
 
-#include <deque>
 #include <memory>
 #include <vector>
 
@@ -34,12 +33,37 @@ struct SourceExecutorOptions {
 };
 
 /// Everything a data source ships to its parent stream processor for one
-/// epoch, plus the control-plane observation.
+/// epoch, plus the control-plane observation. The drain is a sequence of
+/// entry-tagged chunks (see DrainChunk): columnar slices on the native
+/// plane, row runs where rows genuinely exist (checkpoint state, the row
+/// plane). `drained_bytes` is the modeled record-format wire volume — the
+/// number the LP's bandwidth term consumes — and is identical between the
+/// two planes.
 struct SourceEpochOutput {
-  std::vector<DrainRecord> to_sp;
+  std::vector<DrainChunk> to_sp;
   uint64_t drained_bytes = 0;
   Micros watermark = -1;
   EpochObservation observation;
+
+  /// Total records across all drain chunks.
+  size_t DrainedRecords() const;
+
+  /// Appends a row run, merging into the tail chunk when it is a row chunk
+  /// with the same entry operator (keeps runs maximal for the SP's
+  /// batch-at-a-time resume).
+  void AppendDrainRows(size_t entry_op, stream::RecordBatch&& rows);
+
+  /// Single-record form of AppendDrainRows (same merge rule, no scratch).
+  void AppendDrainRow(size_t entry_op, stream::Record&& rec);
+
+  /// Appends a columnar slice, merging into a same-entry columnar tail
+  /// chunk of the same schema.
+  void AppendDrainColumns(size_t entry_op, stream::ColumnarBatch&& columns);
+
+  /// Materializes the chunked drain into the flat (entry, record) sequence
+  /// in drain order and leaves the chunks empty. Tests, diagnostics, and
+  /// row-format relays use this; the data plane itself never does.
+  std::vector<DrainRecord> FlattenDrain();
 };
 
 /// The data-source side of the deployed query (Figure 5): the
@@ -59,8 +83,15 @@ class SourceExecutor {
   /// True when construction succeeded; check before first use.
   Status Init() const { return init_status_; }
 
-  /// Buffers input records for the next epoch.
+  /// Buffers input records for the next epoch. In columnar mode the rows
+  /// are converted once, here at the edge, into the columnar epoch buffer
+  /// (no intermediate row queue, no second copy).
   void Ingest(stream::RecordBatch batch);
+
+  /// Columnar-native ingest: column-born sources (GenerateColumnar) append
+  /// their batches without any row record existing on the path. In row mode
+  /// (stateful prefixes) the batch materializes once at this boundary.
+  void IngestColumnar(stream::ColumnarBatch&& batch);
 
   /// Runs one epoch: routes buffered input through the proxies, processes
   /// queued records within the CPU budget (profiling mode executes operators
@@ -99,14 +130,14 @@ class SourceExecutor {
   void RouteOutputs(size_t emitter, stream::RecordBatch&& batch,
                     SourceEpochOutput* out);
   /// Columnar analogue of RouteOutputs: the batch is split between the next
-  /// stage's columnar queue and the drain path without a row detour (rows
-  /// materialize only on the drain side, which is the wire boundary).
+  /// stage's columnar queue and the drain path with no row detour on either
+  /// side — drained rows stay columnar all the way to the wire.
   void RouteColumnarOutputs(size_t emitter, stream::ColumnarBatch* batch,
                             SourceEpochOutput* out);
   /// Routes an arriving row batch into columnar stage `stage` with the row
   /// plane's exact decision sequence: forwarded rows convert into the
   /// stage's columnar queue, drained rows ship to the stream processor.
-  /// Shared by the ingest boundary and row-form emissions (watermarks).
+  /// Used for row-form emissions (watermark cascades) in columnar mode.
   void RouteRowsIntoColumnarStage(size_t stage, stream::RecordBatch&& batch,
                                   SourceEpochOutput* out);
   void Drain(size_t entry_op, stream::Record&& rec, SourceEpochOutput* out);
@@ -114,6 +145,18 @@ class SourceExecutor {
   /// accounting pass).
   void DrainBatch(size_t entry_op, stream::RecordBatch&& batch,
                   SourceEpochOutput* out);
+  /// Drains a whole columnar batch as one chunk (byte accounting comes from
+  /// the column-wise RowWireBytes pass, identical to the row plane's sum of
+  /// WireSize). Consumes `batch`.
+  void DrainColumnar(size_t entry_op, stream::ColumnarBatch&& batch,
+                     SourceEpochOutput* out);
+  /// Drains a columnar batch whose rows may need different entry tags:
+  /// dense (kData) rows resume at `data_entry`, fallback rows at
+  /// `data_entry` or `partial_entry` by kind. Dense runs ship as columnar
+  /// slices; fallback runs as row chunks — the flattened drain order is the
+  /// row plane's, bit for bit. Leaves `batch` empty with its schema bound.
+  void DrainColumnarSplit(stream::ColumnarBatch* batch, size_t data_entry,
+                          size_t partial_entry, SourceEpochOutput* out);
   /// Processes proxy `i`'s queue within the remaining budget, popping the
   /// affordable run of records as one batch through the operator.
   Status ProcessStage(size_t i, double* budget_left, double* spent,
@@ -131,14 +174,23 @@ class SourceExecutor {
   std::shared_ptr<const CostModel> cost_model_;
   SourceExecutorOptions options_;
   size_t total_ops_ = 0;  // full chain length (stream-processor side)
-  std::deque<stream::Record> input_buffer_;
+  // Row-plane epoch input buffer; in columnar mode input lives in
+  // col_input_ instead and this stays empty.
+  stream::RecordBatch input_buffer_;
   bool flush_pending_ = false;
   Status init_status_;
   // Columnar data plane (enabled when the whole pipeline is columnar):
-  // per-stage queues of pending rows in column form, plus the in-flight run.
+  // the columnar epoch input buffer, per-stage queues of pending rows in
+  // column form, and the in-flight run.
   bool columnar_mode_ = false;
+  stream::ColumnarBatch col_input_;
   std::vector<stream::ColumnarBatch> col_queues_;
   stream::ColumnarBatch col_run_;
+  // Drain-side columnar scratch: the proxy-drained split and the run
+  // peeled off by DrainColumnarSplit (their buffers migrate into the epoch
+  // output's chunks, which need fresh storage anyway).
+  stream::ColumnarBatch col_drained_;
+  stream::ColumnarBatch col_split_;
   std::vector<uint8_t> route_decisions_;
   // Hot-loop scratch, reused every epoch so the steady state allocates
   // nothing: stage input, operator emissions, and proxy-drained records.

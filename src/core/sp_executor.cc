@@ -14,6 +14,12 @@ SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
   // partitioning LP profiles on the source side); start with byte stats off
   // and let profiling turn them on explicitly.
   pipeline_->SetByteAccounting(false);
+  // Suffix-columnar table: computed once so Consume's per-chunk decision is
+  // one byte load. Entry == size() (finished records) is trivially columnar.
+  columnar_from_.assign(pipeline_->size() + 1, 0);
+  for (size_t i = 0; i <= pipeline_->size(); ++i) {
+    columnar_from_[i] = pipeline_->FullyColumnarFrom(i) ? 1 : 0;
+  }
 }
 
 Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
@@ -22,25 +28,33 @@ Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
   if (source_id >= merger_.num_inputs()) {
     return Status::OutOfRange("unknown source id");
   }
-  // The drain path delivers long runs of records tagged with the same entry
-  // operator (whole proxy queues, whole emitted batches). Regroup each run
-  // into one batch push so the chain is traversed batch-at-a-time.
-  std::vector<DrainRecord>& drains = out.to_sp;
-  for (size_t i = 0; i < drains.size();) {
-    const size_t entry = drains[i].sp_entry_op;
+  // The drain arrives pre-chunked into maximal same-entry runs (whole proxy
+  // queues, whole emitted batches), so each chunk is one batch traversal of
+  // the chain suffix. Columnar chunks stay columnar when every remaining
+  // operator has a native path; otherwise they regroup to rows here — the
+  // stateful merge boundary.
+  for (DrainChunk& chunk : out.to_sp) {
+    const size_t entry = chunk.sp_entry_op;
     if (entry > pipeline_->size()) {
       return Status::OutOfRange("drain entry operator out of range");
     }
-    size_t j = i;
-    while (j < drains.size() && drains[j].sp_entry_op == entry) ++j;
-    entry_batch_.clear();
-    entry_batch_.reserve(j - i);
-    for (size_t k = i; k < j; ++k) {
-      entry_batch_.push_back(std::move(drains[k].record));
+    if (!chunk.columns.empty()) {
+      if (columnar_from_[entry]) {
+        JARVIS_RETURN_IF_ERROR(
+            pipeline_->PushColumnarFrom(entry, &chunk.columns));
+        chunk.columns.MoveToRows(results);
+      } else {
+        entry_batch_.clear();
+        chunk.columns.MoveToRows(&entry_batch_);
+        JARVIS_RETURN_IF_ERROR(
+            pipeline_->PushBatchFrom(entry, std::move(entry_batch_), results));
+        entry_batch_.clear();
+      }
     }
-    JARVIS_RETURN_IF_ERROR(
-        pipeline_->PushBatchFrom(entry, std::move(entry_batch_), results));
-    i = j;
+    if (!chunk.rows.empty()) {
+      JARVIS_RETURN_IF_ERROR(
+          pipeline_->PushBatchFrom(entry, std::move(chunk.rows), results));
+    }
   }
   // The control proxy replicates the source watermark onto the drain path;
   // one update covers both paths of this source.

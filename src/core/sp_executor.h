@@ -2,6 +2,7 @@
 #define JARVIS_CORE_SP_EXECUTOR_H_
 
 #include <memory>
+#include <vector>
 
 #include "core/source_executor.h"
 #include "query/compile.h"
@@ -21,8 +22,12 @@ class SpExecutor {
 
   Status Init() const { return init_status_; }
 
-  /// Ingests one data source's epoch output. Final query results (closed
-  /// windows, completed records) are appended to `results`.
+  /// Ingests one data source's epoch output. Columnar drain chunks whose
+  /// resume suffix is fully columnar are pushed via Pipeline::PushColumnar
+  /// — no row record materializes until the final results; chunks resuming
+  /// at or before a stateful operator regroup to rows at this boundary.
+  /// Final query results (closed windows, completed records) are appended
+  /// to `results`.
   Status Consume(size_t source_id, SourceEpochOutput&& out,
                  stream::RecordBatch* results);
 
@@ -49,8 +54,10 @@ class SpExecutor {
   stream::WatermarkMerger merger_;
   Micros applied_watermark_ = -1;
   Status init_status_;
-  // Reused per Consume call: consecutive drain records tagged with the same
-  // entry operator are regrouped into one batch push.
+  // columnar_from_[i]: every operator in [i, size()) has a native columnar
+  // path, so a columnar chunk entering at i stays columnar to the results.
+  std::vector<uint8_t> columnar_from_;
+  // Reused per Consume call for chunks that must regroup to rows.
   stream::RecordBatch entry_batch_;
 };
 

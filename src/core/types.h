@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/units.h"
+#include "stream/columnar.h"
 #include "stream/record.h"
 
 namespace jarvis::core {
@@ -56,9 +57,27 @@ std::string_view QueryStateToString(QueryState s);
 /// the stream processor that must resume its processing (Section V,
 /// "Accurate query processing"). kPartial records enter *at* the emitting
 /// operator (state merge); kData records enter at the next operator.
+/// This is the flattened (row) view of the drain stream — tests and
+/// row-format relays materialize it; the wire representation is DrainChunk.
 struct DrainRecord {
   size_t sp_entry_op = 0;
   stream::Record record;
+};
+
+/// One run of consecutively drained records sharing a stream-processor entry
+/// operator. The drain is chunked and columnar-first: the columnar plane
+/// ships ColumnarBatch slices in `columns` (kPartial accumulator rows and
+/// schema-divergent records ride the batch's lossless fallback lane), while
+/// row-form producers (the row plane, checkpoint state exports, watermark
+/// emissions) fill `rows`. Exactly one lane is populated per chunk;
+/// flattening the chunks in order reproduces the record-at-a-time drain
+/// sequence bit for bit.
+struct DrainChunk {
+  size_t sp_entry_op = 0;
+  stream::ColumnarBatch columns;
+  stream::RecordBatch rows;
+
+  size_t size() const { return columns.num_rows() + rows.size(); }
 };
 
 }  // namespace jarvis::core

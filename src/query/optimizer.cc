@@ -97,6 +97,94 @@ void FuseAdjacentFilters(LogicalPlan* plan) {
   plan->ops = std::move(fused);
 }
 
+/// Remaps every leaf's field index through the projection: old index i
+/// becomes the position of i's first occurrence in `project_indices`.
+/// Returns false (leaving `pred` partially rewritten — callers remap a
+/// copy) when some referenced field is dropped by the projection.
+bool RemapPredicateFields(stream::TypedPredicate* pred,
+                          const std::vector<size_t>& project_indices) {
+  if (pred->node == stream::TypedPredicate::Node::kLeaf) {
+    for (size_t j = 0; j < project_indices.size(); ++j) {
+      if (project_indices[j] == pred->field) {
+        pred->field = j;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (stream::TypedPredicate& child : pred->children) {
+    if (!RemapPredicateFields(&child, project_indices)) return false;
+  }
+  return true;
+}
+
+/// Sinks Project operators below Window and below typed Filters whose
+/// predicate survives the projection. Each successful swap moves the column
+/// drop one stage earlier: the columnar plane's Retain compaction then moves
+/// fewer bytes and records drained between the swapped stages ship fewer
+/// columns. Iterates to a fixpoint so a Project bubbles through a whole
+/// Window/Filter prefix.
+void PushDownProjections(LogicalPlan* plan) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < plan->ops.size(); ++i) {
+      LogicalOp& proj = plan->ops[i];
+      if (proj.kind != OpKind::kProject) continue;
+      LogicalOp& prev = plan->ops[i - 1];
+      if (prev.kind == OpKind::kWindow) {
+        // Window only stamps window_start; it runs identically on the
+        // projected schema.
+        proj.input_schema = prev.input_schema;
+        prev.input_schema = proj.output_schema;
+        prev.output_schema = proj.output_schema;
+      } else if (prev.kind == OpKind::kFilter && prev.typed_predicate) {
+        stream::TypedPredicate remapped = *prev.typed_predicate;
+        if (!RemapPredicateFields(&remapped, proj.project_indices)) {
+          continue;  // the predicate needs a dropped column
+        }
+        // Both physical forms of the filter must see projected indices: the
+        // opaque predicate is regenerated from the remapped tree (typed
+        // filters always derive it from the tree, so this is lossless).
+        prev.typed_predicate = std::move(remapped);
+        prev.predicate = [p = *prev.typed_predicate](const stream::Record& r) {
+          return stream::EvalPredicate(p, r);
+        };
+        proj.input_schema = prev.input_schema;
+        prev.input_schema = proj.output_schema;
+        prev.output_schema = proj.output_schema;
+      } else {
+        continue;  // Map/Join/GroupAggregate/opaque filter: blocked
+      }
+      std::swap(plan->ops[i - 1], plan->ops[i]);
+      changed = true;
+    }
+  }
+}
+
+/// Fuses runs of adjacent Projects into one with composed indices (the
+/// pushdown above can stack them).
+void FuseAdjacentProjects(LogicalPlan* plan) {
+  std::vector<LogicalOp> fused;
+  for (LogicalOp& op : plan->ops) {
+    if (op.kind == OpKind::kProject && !fused.empty() &&
+        fused.back().kind == OpKind::kProject) {
+      LogicalOp& prev = fused.back();
+      std::vector<size_t> composed;
+      composed.reserve(op.project_indices.size());
+      for (size_t j : op.project_indices) {
+        composed.push_back(prev.project_indices[j]);
+      }
+      prev.project_indices = std::move(composed);
+      prev.name = prev.name + "+" + op.name;
+      prev.output_schema = op.output_schema;
+      continue;
+    }
+    fused.push_back(std::move(op));
+  }
+  plan->ops = std::move(fused);
+}
+
 }  // namespace
 
 Result<OptimizedPlan> Optimize(LogicalPlan plan, const PlacementRules& rules) {
@@ -104,6 +192,10 @@ Result<OptimizedPlan> Optimize(LogicalPlan plan, const PlacementRules& rules) {
     return Status::InvalidArgument("empty plan");
   }
   FuseAdjacentFilters(&plan);
+  PushDownProjections(&plan);
+  // Pushdown can make filters (and projects) adjacent; fuse again.
+  FuseAdjacentFilters(&plan);
+  FuseAdjacentProjects(&plan);
 
   OptimizedPlan out;
   size_t placeable = 0;

@@ -43,10 +43,18 @@ struct OptimizedPlan {
   size_t num_proxies() const { return source_placeable_ops; }
 };
 
-/// Logical optimization + placement: fuses adjacent filters (a cheap stand-in
-/// for the constant folding/predicate pushdown of general engines whose
-/// predicates are opaque functions here) and applies the placement rules to
-/// find the source-placeable prefix.
+/// Logical optimization + placement. Rewrites applied, in order:
+///  1. fuse adjacent filters into one conjunction (typed forms stay typed),
+///  2. projection pushdown: sink each Project below Window (schema-agnostic)
+///     and below typed Filters whose referenced fields survive the
+///     projection (predicate field indices are remapped), so dead columns
+///     are dropped as early as possible — before Retain compaction on the
+///     columnar plane and before the drain wire. Pushdown is blocked across
+///     Map / Join / GroupAggregate (they consume their full input schema)
+///     and across opaque std::function filters (unremappable),
+///  3. re-fuse filters made adjacent by 2., and fuse adjacent Projects into
+///     one composed index list.
+/// Then the placement rules mark the source-placeable prefix.
 Result<OptimizedPlan> Optimize(LogicalPlan plan,
                                const PlacementRules& rules = PlacementRules());
 

@@ -100,6 +100,55 @@ ColumnarBatch ColumnarBatch::FromRows(RecordBatch&& rows, Schema schema) {
   return batch;
 }
 
+void ColumnarBatch::AppendBatch(ColumnarBatch&& other) {
+  if (other.empty()) return;
+  if (!(schema_ == other.schema_)) {
+    // Lossless degradation: a mismatched producer goes through the exact
+    // row conversion instead of corrupting column types.
+    RecordBatch rows;
+    other.MoveToRows(&rows);
+    AppendRows(std::move(rows));
+    return;
+  }
+  if (empty()) {
+    // Donor buffers are adopted wholesale; ours (empty, but possibly with
+    // capacity) ride back in `other` for the caller to reuse.
+    std::swap(columns_, other.columns_);
+    std::swap(event_time_, other.event_time_);
+    std::swap(window_start_, other.window_start_);
+    std::swap(is_dense_, other.is_dense_);
+    std::swap(fallback_, other.fallback_);
+    return;
+  }
+  event_time_.insert(event_time_.end(), other.event_time_.begin(),
+                     other.event_time_.end());
+  window_start_.insert(window_start_.end(), other.window_start_.begin(),
+                       other.window_start_.end());
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& dst = columns_[j];
+    Column& src = other.columns_[j];
+    switch (dst.type) {
+      case ValueType::kInt64:
+        dst.i64.insert(dst.i64.end(), src.i64.begin(), src.i64.end());
+        break;
+      case ValueType::kDouble:
+        dst.f64.insert(dst.f64.end(), src.f64.begin(), src.f64.end());
+        break;
+      case ValueType::kString:
+        dst.str.insert(dst.str.end(),
+                       std::make_move_iterator(src.str.begin()),
+                       std::make_move_iterator(src.str.end()));
+        break;
+    }
+  }
+  is_dense_.insert(is_dense_.end(), other.is_dense_.begin(),
+                   other.is_dense_.end());
+  fallback_.insert(fallback_.end(),
+                   std::make_move_iterator(other.fallback_.begin()),
+                   std::make_move_iterator(other.fallback_.end()));
+  other.Clear();
+}
+
 Record ColumnarBatch::MaterializeDense(size_t d) {
   Record rec;
   rec.event_time = event_time_[d];
@@ -222,6 +271,27 @@ Status ColumnarBatch::SelectColumns(const std::vector<size_t>& indices) {
   return Status::OK();
 }
 
+void ColumnarBatch::MoveDenseRowTo(size_t d, ColumnarBatch* dst) {
+  dst->event_time_.push_back(event_time_[d]);
+  dst->window_start_.push_back(window_start_[d]);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& src = columns_[j];
+    Column& col = dst->columns_[j];
+    switch (src.type) {
+      case ValueType::kInt64:
+        col.i64.push_back(src.i64[d]);
+        break;
+      case ValueType::kDouble:
+        col.f64.push_back(src.f64[d]);
+        break;
+      case ValueType::kString:
+        col.str.push_back(std::move(src.str[d]));
+        break;
+    }
+  }
+  dst->is_dense_.push_back(1);
+}
+
 void ColumnarBatch::Partition(const uint8_t* decisions,
                               ColumnarBatch* forwarded, RecordBatch* drained) {
   GrowForAppend(drained, num_rows());
@@ -229,25 +299,7 @@ void ColumnarBatch::Partition(const uint8_t* decisions,
   for (size_t r = 0; r < is_dense_.size(); ++r) {
     if (is_dense_[r]) {
       if (decisions[r]) {
-        forwarded->event_time_.push_back(event_time_[d]);
-        forwarded->window_start_.push_back(window_start_[d]);
-        for (size_t j = 0; j < columns_.size(); ++j) {
-          Column& src = columns_[j];
-          Column& dst = forwarded->columns_[j];
-          switch (src.type) {
-            case ValueType::kInt64:
-              dst.i64.push_back(src.i64[d]);
-              break;
-            case ValueType::kDouble:
-              dst.f64.push_back(src.f64[d]);
-              break;
-            case ValueType::kString:
-              dst.str.push_back(std::move(src.str[d]));
-              break;
-          }
-        }
-        forwarded->is_dense_.push_back(1);
-        ++d;
+        MoveDenseRowTo(d++, forwarded);
       } else {
         drained->push_back(MaterializeDense(d++));
       }
@@ -258,6 +310,22 @@ void ColumnarBatch::Partition(const uint8_t* decisions,
       } else {
         drained->push_back(std::move(fallback_[fb++]));
       }
+    }
+  }
+  Clear();
+}
+
+void ColumnarBatch::Partition(const uint8_t* decisions,
+                              ColumnarBatch* forwarded,
+                              ColumnarBatch* drained) {
+  size_t d = 0, fb = 0;
+  for (size_t r = 0; r < is_dense_.size(); ++r) {
+    ColumnarBatch* dst = decisions[r] ? forwarded : drained;
+    if (is_dense_[r]) {
+      MoveDenseRowTo(d++, dst);
+    } else {
+      dst->is_dense_.push_back(0);
+      dst->fallback_.push_back(std::move(fallback_[fb++]));
     }
   }
   Clear();
@@ -309,6 +377,36 @@ void ColumnarBatch::SplitFront(size_t n, ColumnarBatch* front) {
   fallback_.erase(fallback_.begin(), fallback_.begin() + nf);
   front->is_dense_.assign(is_dense_.begin(), is_dense_.begin() + n);
   is_dense_.erase(is_dense_.begin(), is_dense_.begin() + n);
+}
+
+void ColumnarBatch::MoveDenseRange(size_t d0, size_t d1, ColumnarBatch* dst) {
+  if (d0 >= d1) return;
+  const size_t n = d1 - d0;
+  dst->event_time_.insert(dst->event_time_.end(), event_time_.begin() + d0,
+                          event_time_.begin() + d1);
+  dst->window_start_.insert(dst->window_start_.end(),
+                            window_start_.begin() + d0,
+                            window_start_.begin() + d1);
+  for (size_t j = 0; j < columns_.size(); ++j) {
+    Column& src = columns_[j];
+    Column& col = dst->columns_[j];
+    switch (src.type) {
+      case ValueType::kInt64:
+        col.i64.insert(col.i64.end(), src.i64.begin() + d0,
+                       src.i64.begin() + d1);
+        break;
+      case ValueType::kDouble:
+        col.f64.insert(col.f64.end(), src.f64.begin() + d0,
+                       src.f64.begin() + d1);
+        break;
+      case ValueType::kString:
+        col.str.insert(col.str.end(),
+                       std::make_move_iterator(src.str.begin() + d0),
+                       std::make_move_iterator(src.str.begin() + d1));
+        break;
+    }
+  }
+  dst->is_dense_.insert(dst->is_dense_.end(), n, 1);
 }
 
 uint64_t ColumnarBatch::RowWireBytes() const {

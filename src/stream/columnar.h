@@ -91,6 +91,27 @@ class ColumnarBatch {
   /// leaves this batch empty. The inverse of FromRows/AppendRow.
   void MoveToRows(RecordBatch* out);
 
+  // -- Column-born append (generators, columnar ingest) --------------------
+
+  /// Mutable column access for column-born producers. Contract: append the
+  /// same number of values to every dense column and to event_times() /
+  /// window_starts(), then call CommitDenseRows(n) once to extend the
+  /// density bitmap. Directly appended rows are dense by definition;
+  /// non-conforming rows must go through AppendRow instead.
+  Column& column_mut(size_t j) { return columns_[j]; }
+
+  /// Marks the `n` values just appended to every column (and time array) as
+  /// `n` new dense rows at the end of the batch.
+  void CommitDenseRows(size_t n) { is_dense_.insert(is_dense_.end(), n, 1); }
+
+  /// Appends every row of `other` (in row order) onto this batch and leaves
+  /// `other` empty. Same-schema batches append column-to-column (bulk vector
+  /// appends, an O(1) buffer swap when this batch is empty); a schema
+  /// mismatch degrades losslessly to row conversion. This is how the
+  /// columnar ingest buffer accumulates column-born batches across Ingest
+  /// calls without touching row records.
+  void AppendBatch(ColumnarBatch&& other);
+
   // -- Structure access (operators, predicates, serialization) ------------
 
   size_t num_columns() const { return columns_.size(); }
@@ -129,11 +150,26 @@ class ColumnarBatch {
   void Partition(const uint8_t* decisions, ColumnarBatch* forwarded,
                  RecordBatch* drained);
 
+  /// Fully columnar routing split: like the row-draining overload, but
+  /// drained rows also stay in column form (`drained` must share this
+  /// batch's schema). The native drain path uses this so no row record
+  /// materializes between the source operators and the wire.
+  void Partition(const uint8_t* decisions, ColumnarBatch* forwarded,
+                 ColumnarBatch* drained);
+
   /// Moves the first `n` rows (in row order) into `front` (which is reset to
   /// this batch's schema), keeping the rest. Whole-batch takes are O(1)
   /// swaps; partial takes are one linear pass. Used to pop the affordable
   /// run off a columnar stage queue.
   void SplitFront(size_t n, ColumnarBatch* front);
+
+  /// Appends dense rows [d0, d1) — dense indices, not row indices — onto
+  /// `dst` (same schema), moving string payloads out of this batch. The
+  /// drain path slices a mixed batch into per-run chunks with this in one
+  /// left-to-right pass (no front erasure, so a batch of r runs costs O(n)
+  /// total, not O(r * n)); the donor batch is consumed run by run and must
+  /// be Clear()ed by the caller when the walk finishes.
+  void MoveDenseRange(size_t d0, size_t d1, ColumnarBatch* dst);
 
   /// Exact record-format wire bytes of the whole batch — the same number a
   /// row-path WireSize() sum would produce — computed column-wise. Keeps
@@ -143,6 +179,9 @@ class ColumnarBatch {
  private:
   /// Materializes dense row `d` (moves string payloads out of the columns).
   Record MaterializeDense(size_t d);
+
+  /// Appends dense row `d` onto `dst` (same schema), moving string payloads.
+  void MoveDenseRowTo(size_t d, ColumnarBatch* dst);
 
   Schema schema_;
   std::vector<Column> columns_;       // dense rows only, one per schema field

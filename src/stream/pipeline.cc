@@ -51,17 +51,23 @@ Status Pipeline::PushBatchFrom(size_t start, RecordBatch&& batch,
 }
 
 bool Pipeline::FullyColumnar() const {
-  if (ops_.empty()) return false;
-  for (const auto& op : ops_) {
-    if (!op->HasColumnarBatch()) return false;
+  return !ops_.empty() && FullyColumnarFrom(0);
+}
+
+bool Pipeline::FullyColumnarFrom(size_t start) const {
+  for (size_t i = start; i < ops_.size(); ++i) {
+    if (!ops_[i]->HasColumnarBatch()) return false;
   }
   return true;
 }
 
 Status Pipeline::PushColumnar(ColumnarBatch* batch) {
-  for (auto& op : ops_) {
-    if (batch->empty()) break;
-    JARVIS_RETURN_IF_ERROR(op->ProcessColumnar(batch));
+  return PushColumnarFrom(0, batch);
+}
+
+Status Pipeline::PushColumnarFrom(size_t start, ColumnarBatch* batch) {
+  for (size_t i = start; i < ops_.size() && !batch->empty(); ++i) {
+    JARVIS_RETURN_IF_ERROR(ops_[i]->ProcessColumnar(batch));
   }
   return Status::OK();
 }

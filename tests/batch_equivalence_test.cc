@@ -13,6 +13,10 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/source_executor.h"
+#include "core/sp_executor.h"
+#include "query/compile.h"
+#include "query/query_builder.h"
 #include "stream/columnar.h"
 #include "stream/group_aggregate.h"
 #include "stream/join.h"
@@ -695,6 +699,118 @@ TEST_P(BatchEquivalenceTest, TruncatedBatchFailsCleanly) {
     // Must fail (or in rare prefix-valid cases succeed) without UB; ASan/
     // UBSan builds verify no out-of-bounds access.
     (void)DeserializeBatch(&r, &decoded);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Native-edge plane equivalence: column-born ingest -> columnar stages ->
+// columnar drain -> SP consume must produce bit-identical results, stats,
+// and observations to row ingest on the row plane, across backpressure,
+// flush, checkpoint, and profile epochs, with kPartial and schema-divergent
+// rows riding the fallback lanes throughout.
+// ---------------------------------------------------------------------------
+
+TEST_P(BatchEquivalenceTest, NativeIngestToSpConsumeMatchesRowPlane) {
+  Rng rng(GetParam() * 641);
+  // Stateless query over KvSchema whose projection keeps the filtered field
+  // — so the optimizer's projection pushdown is exercised on both planes.
+  query::QueryBuilder builder(KvSchema());
+  builder.Window(Seconds(1));
+  builder.Filter("fk", PredI64(0, CmpOp::kNe, 3));
+  builder.Project({"v", "k"});
+  auto plan = builder.Build();
+  ASSERT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  ASSERT_TRUE(compiled.ok());
+  auto costs = std::make_shared<core::FixedCostModel>(
+      std::vector<double>{1e-5, 1e-5, 1e-5});
+
+  for (int round = 0; round < 3; ++round) {
+    core::SourceExecutorOptions native_opts;
+    native_opts.cpu_budget_fraction = 0.002 + 0.002 * round;  // backpressure
+    core::SourceExecutorOptions row_opts = native_opts;
+    row_opts.enable_columnar = false;
+
+    core::SourceExecutor native(*compiled, costs, native_opts);
+    core::SourceExecutor rows(*compiled, costs, row_opts);
+    ASSERT_TRUE(native.Init().ok());
+    ASSERT_TRUE(rows.Init().ok());
+    core::SpExecutor native_sp(*compiled, 1), row_sp(*compiled, 1);
+    ASSERT_TRUE(native_sp.Init().ok());
+    ASSERT_TRUE(row_sp.Init().ok());
+    RecordBatch native_results, row_results;
+
+    for (int e = 0; e < 5; ++e) {
+      const std::vector<double> lfs = {rng.NextDouble(), rng.NextDouble(),
+                                       rng.NextDouble()};
+      native.SetLoadFactors(lfs);
+      rows.SetLoadFactors(lfs);
+      if (e == 2) {
+        native.RequestFlush();
+        rows.RequestFlush();
+      }
+      RecordBatch input =
+          RandomMixedKvBatch(rng, rng.NextBounded(300), false, 2);
+      RecordBatch input_copy = input;
+      // Column-born on the native side; the row side ingests rows.
+      native.IngestColumnar(
+          ColumnarBatch::FromRows(std::move(input), KvSchema()));
+      rows.Ingest(std::move(input_copy));
+
+      const bool profile = e % 2 == 1;
+      auto native_out = native.RunEpoch(Seconds(e + 1), profile);
+      auto row_out = rows.RunEpoch(Seconds(e + 1), profile);
+      ASSERT_TRUE(native_out.ok());
+      ASSERT_TRUE(row_out.ok());
+      EXPECT_EQ(native_out->drained_bytes, row_out->drained_bytes);
+      const core::EpochObservation& a = native_out->observation;
+      const core::EpochObservation& b = row_out->observation;
+      ASSERT_EQ(a.proxies.size(), b.proxies.size());
+      for (size_t i = 0; i < a.proxies.size(); ++i) {
+        EXPECT_EQ(a.proxies[i].arrived, b.proxies[i].arrived);
+        EXPECT_EQ(a.proxies[i].forwarded, b.proxies[i].forwarded);
+        EXPECT_EQ(a.proxies[i].drained, b.proxies[i].drained);
+        EXPECT_EQ(a.proxies[i].processed, b.proxies[i].processed);
+        EXPECT_EQ(a.proxies[i].pending, b.proxies[i].pending);
+      }
+      EXPECT_DOUBLE_EQ(a.cpu_spent_seconds, b.cpu_spent_seconds);
+      EXPECT_EQ(a.input_records, b.input_records);
+      ASSERT_EQ(a.profiles_valid, b.profiles_valid);
+      for (size_t i = 0; i < a.profiles.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.profiles[i].relay_records,
+                         b.profiles[i].relay_records);
+        EXPECT_DOUBLE_EQ(a.profiles[i].relay_bytes, b.profiles[i].relay_bytes);
+        EXPECT_EQ(a.profiles[i].sampled, b.profiles[i].sampled);
+      }
+
+      ASSERT_TRUE(native_sp
+                      .Consume(0, std::move(native_out).value(),
+                               &native_results)
+                      .ok());
+      ASSERT_TRUE(row_sp.Consume(0, std::move(row_out).value(), &row_results)
+                      .ok());
+      ASSERT_TRUE(native_sp.EndEpoch(&native_results).ok());
+      ASSERT_TRUE(row_sp.EndEpoch(&row_results).ok());
+      EXPECT_EQ(native_results, row_results) << "epoch " << e;
+    }
+
+    // Checkpoint state from either plane must be identical and must land
+    // identically on the SP.
+    auto native_cp = native.Checkpoint(Seconds(20));
+    auto row_cp = rows.Checkpoint(Seconds(20));
+    ASSERT_TRUE(native_cp.ok());
+    ASSERT_TRUE(row_cp.ok());
+    EXPECT_EQ(native_cp->drained_bytes, row_cp->drained_bytes);
+    ASSERT_TRUE(
+        native_sp.Consume(0, std::move(native_cp).value(), &native_results)
+            .ok());
+    ASSERT_TRUE(
+        row_sp.Consume(0, std::move(row_cp).value(), &row_results).ok());
+    ASSERT_TRUE(native_sp.EndEpoch(&native_results).ok());
+    ASSERT_TRUE(row_sp.EndEpoch(&row_results).ok());
+    ASSERT_TRUE(native_sp.Flush(&native_results).ok());
+    ASSERT_TRUE(row_sp.Flush(&row_results).ok());
+    EXPECT_EQ(native_results, row_results);
   }
 }
 

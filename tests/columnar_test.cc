@@ -414,6 +414,104 @@ TEST(ColumnarWireTest, TruncatedInputFailsCleanly) {
   }
 }
 
+TEST(ColumnarBatchTest, ColumnBornAppendMatchesRowAppend) {
+  // Direct column writes (the generator/ingest fast path) must build the
+  // exact batch AppendRow would.
+  ColumnarBatch by_rows(KvsSchema());
+  ColumnarBatch by_columns(KvsSchema());
+  RecordBatch rows;
+  for (int i = 0; i < 20; ++i) {
+    rows.push_back(MakeRecord(100 * i, int64_t{i}, i * 0.5,
+                              std::string("s") + std::to_string(i % 3)));
+  }
+  const RecordBatch original = rows;
+  by_rows.AppendRows(std::move(rows));
+
+  for (int i = 0; i < 20; ++i) {
+    by_columns.column_mut(0).i64.push_back(i);
+    by_columns.column_mut(1).f64.push_back(i * 0.5);
+    by_columns.column_mut(2).str.push_back(std::string("s") +
+                                           std::to_string(i % 3));
+    by_columns.event_times().push_back(100 * i);
+    by_columns.window_starts().push_back(-1);
+  }
+  by_columns.CommitDenseRows(20);
+
+  EXPECT_EQ(by_columns.num_rows(), by_rows.num_rows());
+  EXPECT_EQ(by_columns.RowWireBytes(), by_rows.RowWireBytes());
+  RecordBatch a, b;
+  by_columns.MoveToRows(&a);
+  by_rows.MoveToRows(&b);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, original);
+}
+
+TEST(ColumnarBatchTest, AppendBatchConcatenatesSameSchema) {
+  RecordBatch rows = MixedBatch();
+  RecordBatch expected = rows;
+  RecordBatch tail = MixedBatch();
+  for (const Record& r : tail) expected.push_back(r);
+
+  ColumnarBatch a = ColumnarBatch::FromRows(std::move(rows), KvsSchema());
+  ColumnarBatch b = ColumnarBatch::FromRows(std::move(tail), KvsSchema());
+  a.AppendBatch(std::move(b));
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(a.num_rows(), expected.size());
+  RecordBatch back;
+  a.MoveToRows(&back);
+  EXPECT_EQ(back, expected);
+}
+
+TEST(ColumnarBatchTest, AppendBatchIntoEmptyAdoptsBuffers) {
+  ColumnarBatch dst(KvsSchema());
+  ColumnarBatch src = ColumnarBatch::FromRows(MixedBatch(), KvsSchema());
+  dst.AppendBatch(std::move(src));
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(dst.num_rows(), 5u);
+  RecordBatch back;
+  dst.MoveToRows(&back);
+  EXPECT_EQ(back, MixedBatch());
+}
+
+TEST(ColumnarBatchTest, AppendBatchSchemaMismatchDegradesToRows) {
+  // A mismatched producer lands losslessly in the fallback lane (or dense
+  // where it happens to conform) instead of corrupting column types.
+  const Schema narrow = Schema::Of({{"k", ValueType::kInt64}});
+  RecordBatch rows;
+  rows.push_back(MakeRecord(10, int64_t{1}));
+  rows.push_back(MakeRecord(20, int64_t{2}));
+  const RecordBatch original = rows;
+  ColumnarBatch src = ColumnarBatch::FromRows(std::move(rows), narrow);
+  ColumnarBatch dst(KvsSchema());
+  dst.AppendBatch(std::move(src));
+  EXPECT_EQ(dst.num_rows(), 2u);
+  EXPECT_EQ(dst.num_fallback(), 2u);  // 1-field rows diverge from Kvs
+  RecordBatch back;
+  dst.MoveToRows(&back);
+  EXPECT_EQ(back, original);
+}
+
+TEST(ColumnarBatchTest, ColumnarPartitionMatchesRowDrainingPartition) {
+  // The fully columnar split must route exactly like the row-draining one.
+  const std::vector<uint8_t> decisions = {1, 0, 0, 1, 1};
+  ColumnarBatch a = ColumnarBatch::FromRows(MixedBatch(), KvsSchema());
+  ColumnarBatch fwd_a(KvsSchema());
+  RecordBatch drained_rows;
+  a.Partition(decisions.data(), &fwd_a, &drained_rows);
+
+  ColumnarBatch b = ColumnarBatch::FromRows(MixedBatch(), KvsSchema());
+  ColumnarBatch fwd_b(KvsSchema());
+  ColumnarBatch drained_cols(KvsSchema());
+  b.Partition(decisions.data(), &fwd_b, &drained_cols);
+
+  RecordBatch fwd_rows_a, fwd_rows_b, drained_back;
+  fwd_a.MoveToRows(&fwd_rows_a);
+  fwd_b.MoveToRows(&fwd_rows_b);
+  drained_cols.MoveToRows(&drained_back);
+  EXPECT_EQ(fwd_rows_b, fwd_rows_a);
+  EXPECT_EQ(drained_back, drained_rows);
+}
+
 TEST(ColumnarWireTest, BadVersionRejected) {
   ser::BufferWriter w;
   w.PutU8(0x7F);

@@ -60,7 +60,7 @@ TEST(FlushTest, ExecutorFlushDrainsProxyQueues) {
   ASSERT_TRUE(second.ok());
   // All previously pending records went to the SP, tagged with entry op 2.
   uint64_t drained_at_2 = 0;
-  for (const core::DrainRecord& dr : second->to_sp) {
+  for (const core::DrainRecord& dr : second->FlattenDrain()) {
     if (dr.sp_entry_op == 2 &&
         dr.record.kind == stream::RecordKind::kData) {
       ++drained_at_2;

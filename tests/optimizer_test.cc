@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "query/compile.h"
 #include "query/optimizer.h"
 #include "query/query_builder.h"
 #include "workloads/queries.h"
@@ -155,6 +156,210 @@ TEST(OptimizerTest, RuleR3StopsStreamStreamJoin) {
 TEST(OptimizerTest, EmptyPlanRejected) {
   LogicalPlan empty;
   EXPECT_FALSE(Optimize(empty).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Projection pushdown
+// ---------------------------------------------------------------------------
+
+Schema S3() {
+  return Schema::Of({{"a", ValueType::kInt64},
+                     {"b", ValueType::kDouble},
+                     {"c", ValueType::kString}});
+}
+
+/// Golden plan-shape check: op kinds in order.
+std::vector<stream::OpKind> Kinds(const LogicalPlan& plan) {
+  std::vector<stream::OpKind> kinds;
+  for (const LogicalOp& op : plan.ops) kinds.push_back(op.kind);
+  return kinds;
+}
+
+using stream::OpKind;
+
+TEST(OptimizerTest, ProjectionSinksBelowTypedFilterAndWindow) {
+  // Window -> Filter(a!=0) -> Project(b, a): the filter only needs a kept
+  // field, so the projection sinks to the front of the plan and the filter
+  // is remapped onto the projected schema.
+  QueryBuilder q(S3());
+  q.Window(Seconds(1)).FilterI64Cmp("a", stream::CmpOp::kNe, 0);
+  q.Project({"b", "a"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+
+  const LogicalPlan& p = optimized->plan;
+  EXPECT_EQ(Kinds(p), (std::vector<OpKind>{OpKind::kProject, OpKind::kWindow,
+                                           OpKind::kFilter}));
+  // Golden schemas: project does A->{b,a}; window and filter run on {b,a}.
+  const Schema projected =
+      Schema::Of({{"b", ValueType::kDouble}, {"a", ValueType::kInt64}});
+  EXPECT_EQ(p.ops[0].input_schema, S3());
+  EXPECT_EQ(p.ops[0].output_schema, projected);
+  EXPECT_EQ(p.ops[1].input_schema, projected);
+  EXPECT_EQ(p.ops[1].output_schema, projected);
+  EXPECT_EQ(p.ops[2].input_schema, projected);
+  EXPECT_EQ(p.ops[2].output_schema, projected);
+  EXPECT_EQ(p.output_schema(), projected);
+  // The remapped predicate reads `a` at its projected index (1), in both
+  // the typed and the opaque form.
+  ASSERT_TRUE(p.ops[2].typed_predicate.has_value());
+  EXPECT_EQ(p.ops[2].typed_predicate->field, 1u);
+  stream::Record rec;
+  rec.fields = {stream::Value(2.5), stream::Value(int64_t{7})};
+  EXPECT_TRUE(p.ops[2].predicate(rec));
+  rec.fields[1] = stream::Value(int64_t{0});
+  EXPECT_FALSE(p.ops[2].predicate(rec));
+}
+
+TEST(OptimizerTest, PushdownBlockedWhenFilterNeedsDroppedField) {
+  // Filter(c == "x") but the projection drops c: order must not change.
+  QueryBuilder q(S3());
+  q.Window(Seconds(1));
+  q.Filter("fc", stream::PredStr(2, stream::CmpOp::kEq, "x"));
+  q.Project({"a", "b"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan),
+            (std::vector<OpKind>{OpKind::kWindow, OpKind::kFilter,
+                                 OpKind::kProject}));
+}
+
+TEST(OptimizerTest, PushdownBlockedAcrossOpaqueFilter) {
+  // A std::function predicate cannot be remapped; the projection stays put.
+  QueryBuilder q(S3());
+  q.Filter("opaque", [](const stream::Record& r) { return r.i64(0) > 0; });
+  q.Project({"a"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan),
+            (std::vector<OpKind>{OpKind::kFilter, OpKind::kProject}));
+}
+
+TEST(OptimizerTest, PushdownBlockedAcrossJoinAndGroupAggregate) {
+  // T2T: ... Join -> Join -> Project -> G+R. The joins consume their full
+  // input schema, so the projection must stay where it is.
+  auto src = workloads::MakeIpToTorTable(0, 100, 10, "srcToR");
+  auto dst = workloads::MakeIpToTorTable(0, 100, 10, "dstToR");
+  auto plan = workloads::MakeT2TProbeQuery(src, dst);
+  ASSERT_TRUE(plan.ok());
+  const std::vector<OpKind> before = Kinds(plan.value());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan), before);
+  EXPECT_EQ(optimized->source_placeable_ops, 6u);
+
+  // And a Project directly after G+R does not cross it either.
+  QueryBuilder q(S3());
+  q.Window(Seconds(10)).GroupApply({"a"}).Aggregate({Count("cnt")});
+  q.Project({"cnt"});
+  auto plan2 = q.Build();
+  ASSERT_TRUE(plan2.ok());
+  auto opt2 = Optimize(std::move(plan2).value());
+  ASSERT_TRUE(opt2.ok());
+  EXPECT_EQ(Kinds(opt2->plan),
+            (std::vector<OpKind>{OpKind::kWindow, OpKind::kGroupAggregate,
+                                 OpKind::kProject}));
+}
+
+TEST(OptimizerTest, PushdownPreservesQuerySemantics) {
+  // The rewritten plan must compute exactly what the naive chain computes.
+  QueryBuilder q(S3());
+  q.Window(Seconds(1)).FilterI64Cmp("a", stream::CmpOp::kGt, 10);
+  q.Project({"b", "a"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan naive = plan.value();
+
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ(optimized->plan.ops[0].kind, OpKind::kProject);
+
+  // Evaluate both chains by hand on a small record set.
+  auto run = [](const LogicalPlan& p, stream::RecordBatch input) {
+    stream::RecordBatch cur = std::move(input);
+    for (const LogicalOp& op : p.ops) {
+      stream::RecordBatch next;
+      for (stream::Record& r : cur) {
+        switch (op.kind) {
+          case OpKind::kWindow:
+            r.window_start = r.event_time - r.event_time % op.window_width;
+            next.push_back(std::move(r));
+            break;
+          case OpKind::kFilter:
+            if (op.predicate(r)) next.push_back(std::move(r));
+            break;
+          case OpKind::kProject: {
+            stream::Record proj;
+            proj.event_time = r.event_time;
+            proj.window_start = r.window_start;
+            for (size_t i : op.project_indices) {
+              proj.fields.push_back(r.fields[i]);
+            }
+            next.push_back(std::move(proj));
+            break;
+          }
+          default:
+            ADD_FAILURE() << "unexpected op";
+        }
+      }
+      cur = std::move(next);
+    }
+    return cur;
+  };
+
+  stream::RecordBatch input;
+  for (int64_t i = 0; i < 40; ++i) {
+    stream::Record r;
+    r.event_time = i * 100000;
+    r.fields = {stream::Value(i), stream::Value(i * 0.5),
+                stream::Value(std::string("s") + std::to_string(i))};
+    input.push_back(std::move(r));
+  }
+  EXPECT_EQ(run(optimized->plan, input), run(naive, input));
+}
+
+TEST(OptimizerTest, AdjacentProjectsFuse) {
+  QueryBuilder q(S3());
+  q.Project({"c", "b", "a"});
+  q.Project({"a", "c"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ(optimized->plan.ops.size(), 1u);
+  EXPECT_EQ(optimized->plan.ops[0].kind, OpKind::kProject);
+  // Composed indices: {c,b,a} (= {2,1,0}) then {a,c} over it (= {2,0})
+  // collapses to {a,c} over the original schema, i.e. {0,2}.
+  EXPECT_EQ(optimized->plan.ops[0].project_indices,
+            (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(optimized->plan.output_schema(),
+            Schema::Of({{"a", ValueType::kInt64}, {"c", ValueType::kString}}));
+}
+
+TEST(OptimizerTest, PushdownCompilesToProjectFirstPipeline) {
+  // Compile-level golden check: the source pipeline instantiates with the
+  // projection first, so dead columns are gone before any other operator.
+  QueryBuilder q(S3());
+  q.Window(Seconds(1)).FilterI64Cmp("a", stream::CmpOp::kNe, 0);
+  q.Project({"a", "b"});
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto compiled = Compile(std::move(plan).value());
+  ASSERT_TRUE(compiled.ok());
+  auto pipeline = compiled->MakeSourcePipeline();
+  ASSERT_TRUE(pipeline.ok());
+  ASSERT_EQ((*pipeline)->size(), 3u);
+  EXPECT_EQ((*pipeline)->op(0).kind(), OpKind::kProject);
+  EXPECT_EQ((*pipeline)->op(1).kind(), OpKind::kWindow);
+  EXPECT_EQ((*pipeline)->op(2).kind(), OpKind::kFilter);
+  // The whole compiled chain keeps its columnar paths after the rewrite.
+  EXPECT_TRUE((*pipeline)->FullyColumnar());
 }
 
 TEST(OptimizerTest, T2TFullyPlaceable) {

@@ -44,8 +44,8 @@ TEST(SourceExecutorTest, AllLoadFactorsZeroDrainsRawInput) {
   exec.Ingest(ProbeBatch(100));
   auto out = exec.RunEpoch(Seconds(1), false);
   ASSERT_TRUE(out.ok());
-  EXPECT_EQ(out->to_sp.size(), 100u);
-  for (const DrainRecord& dr : out->to_sp) {
+  EXPECT_EQ(out->DrainedRecords(), 100u);
+  for (const DrainRecord& dr : out->FlattenDrain()) {
     EXPECT_EQ(dr.sp_entry_op, 0u);
     EXPECT_EQ(dr.record.kind, stream::RecordKind::kData);
   }
@@ -61,8 +61,8 @@ TEST(SourceExecutorTest, FullLoadProcessesLocallyAndEmitsPartials) {
   auto out = exec.RunEpoch(Seconds(20), false);
   ASSERT_TRUE(out.ok());
   // Everything processed locally; G+R exports partial rows on window close.
-  ASSERT_FALSE(out->to_sp.empty());
-  for (const DrainRecord& dr : out->to_sp) {
+  ASSERT_GT(out->DrainedRecords(), 0u);
+  for (const DrainRecord& dr : out->FlattenDrain()) {
     EXPECT_EQ(dr.record.kind, stream::RecordKind::kPartial);
     EXPECT_EQ(dr.sp_entry_op, 2u);  // merged into the SP's G+R
   }
@@ -78,7 +78,7 @@ TEST(SourceExecutorTest, PartialLoadFactorSplitsAtTheRightProxy) {
   auto out = exec.RunEpoch(Seconds(20), false);
   ASSERT_TRUE(out.ok());
   size_t drained_at_2 = 0, partials = 0;
-  for (const DrainRecord& dr : out->to_sp) {
+  for (const DrainRecord& dr : out->FlattenDrain()) {
     if (dr.record.kind == stream::RecordKind::kData) {
       EXPECT_EQ(dr.sp_entry_op, 2u);  // drained before the G+R operator
       ++drained_at_2;
@@ -171,11 +171,12 @@ TEST(SourceExecutorTest, DrainedBytesAccounted) {
   exec.Ingest(ProbeBatch(10));
   auto out = exec.RunEpoch(Seconds(1), false);
   ASSERT_TRUE(out.ok());
+  const uint64_t reported = out->drained_bytes;
   uint64_t expected = 0;
-  for (const DrainRecord& dr : out->to_sp) {
+  for (const DrainRecord& dr : out->FlattenDrain()) {
     expected += stream::WireSize(dr.record);
   }
-  EXPECT_EQ(out->drained_bytes, expected);
+  EXPECT_EQ(reported, expected);
 }
 
 TEST(SourceExecutorTest, SetCpuBudgetTakesEffect) {
@@ -225,12 +226,15 @@ query::CompiledQuery CompileStateless() {
   return std::move(compiled).value();
 }
 
-void ExpectEpochOutputsEq(const SourceEpochOutput& col,
-                          const SourceEpochOutput& row) {
-  ASSERT_EQ(col.to_sp.size(), row.to_sp.size());
-  for (size_t i = 0; i < col.to_sp.size(); ++i) {
-    EXPECT_EQ(col.to_sp[i].sp_entry_op, row.to_sp[i].sp_entry_op) << i;
-    EXPECT_EQ(col.to_sp[i].record, row.to_sp[i].record) << i;
+void ExpectEpochOutputsEq(SourceEpochOutput& col, SourceEpochOutput& row) {
+  // Chunking may differ between the planes (columnar slices vs row runs);
+  // the flattened (entry, record) sequence must be bit-identical.
+  std::vector<DrainRecord> col_drain = col.FlattenDrain();
+  std::vector<DrainRecord> row_drain = row.FlattenDrain();
+  ASSERT_EQ(col_drain.size(), row_drain.size());
+  for (size_t i = 0; i < col_drain.size(); ++i) {
+    EXPECT_EQ(col_drain[i].sp_entry_op, row_drain[i].sp_entry_op) << i;
+    EXPECT_EQ(col_drain[i].record, row_drain[i].record) << i;
   }
   EXPECT_EQ(col.drained_bytes, row.drained_bytes);
   EXPECT_EQ(col.watermark, row.watermark);
@@ -300,6 +304,70 @@ TEST(SourceExecutorTest, ColumnarPlaneMatchesRowPlane) {
   ExpectEpochOutputsEq(*col_cp, *row_cp);
 }
 
+TEST(SourceExecutorTest, ColumnarIngestMatchesRowIngest) {
+  // Column-born ingest (generator -> IngestColumnar) must be observably
+  // identical to row ingest of the same records, epoch by epoch.
+  query::CompiledQuery q = CompileStateless();
+  auto costs = std::make_shared<FixedCostModel>(
+      std::vector<double>{kCostW, kCostF, kCostF});
+  SourceExecutorOptions opts;
+  opts.cpu_budget_fraction = 0.03;  // some backpressure
+  SourceExecutor native(q, costs, opts);
+  SourceExecutor rows(q, costs, opts);
+  ASSERT_TRUE(native.Init().ok());
+  ASSERT_TRUE(rows.Init().ok());
+
+  workloads::PingmeshConfig cfg;
+  cfg.num_pairs = 300;
+  cfg.probe_interval = Seconds(1);
+  workloads::PingmeshGenerator gen(cfg);
+
+  for (int e = 0; e < 4; ++e) {
+    const std::vector<double> lfs = {1, 0.6, e % 2 ? 0.4 : 1.0};
+    native.SetLoadFactors(lfs);
+    rows.SetLoadFactors(lfs);
+    stream::ColumnarBatch born(workloads::PingmeshGenerator::Schema());
+    gen.GenerateColumnar(Seconds(e), Seconds(e + 1), &born);
+    native.IngestColumnar(std::move(born));
+    rows.Ingest(gen.Generate(Seconds(e), Seconds(e + 1)));
+    auto native_out = native.RunEpoch(Seconds(e + 1), e == 1);
+    auto rows_out = rows.RunEpoch(Seconds(e + 1), e == 1);
+    ASSERT_TRUE(native_out.ok());
+    ASSERT_TRUE(rows_out.ok());
+    ExpectEpochOutputsEq(*native_out, *rows_out);
+  }
+}
+
+TEST(SourceExecutorTest, NativeDrainShipsColumnarChunks) {
+  // On a stateless pipeline with clean (conforming) input, nothing on the
+  // default path materializes a row record: every drain chunk must be a
+  // columnar slice, and its byte accounting must equal the row wire size.
+  query::CompiledQuery q = CompileStateless();
+  auto costs = std::make_shared<FixedCostModel>(
+      std::vector<double>{kCostW, kCostF, kCostF});
+  SourceExecutor exec(q, costs, SourceExecutorOptions{});
+  ASSERT_TRUE(exec.Init().ok());
+  exec.SetLoadFactors({1, 0.5, 0.25});
+  stream::ColumnarBatch born(workloads::PingmeshGenerator::Schema());
+  workloads::PingmeshConfig cfg;
+  cfg.num_pairs = 200;
+  cfg.probe_interval = Seconds(1);
+  workloads::PingmeshGenerator gen(cfg);
+  gen.GenerateColumnar(0, Seconds(1), &born);
+  exec.IngestColumnar(std::move(born));
+  auto out = exec.RunEpoch(Seconds(1), false);
+  ASSERT_TRUE(out.ok());
+  ASSERT_GT(out->DrainedRecords(), 0u);
+  uint64_t bytes = 0;
+  for (const DrainChunk& chunk : out->to_sp) {
+    EXPECT_TRUE(chunk.rows.empty());
+    EXPECT_FALSE(chunk.columns.empty());
+    EXPECT_EQ(chunk.columns.num_fallback(), 0u);
+    bytes += chunk.columns.RowWireBytes();
+  }
+  EXPECT_EQ(out->drained_bytes, bytes);
+}
+
 TEST(SourceExecutorTest, StatefulQueryStaysOnRowPlane) {
   // The S2S query ends in G+R (no columnar path), so the executor must run
   // the row plane even with columnar enabled — and behave as before.
@@ -312,8 +380,8 @@ TEST(SourceExecutorTest, StatefulQueryStaysOnRowPlane) {
   exec.Ingest(ProbeBatch(100));
   auto out = exec.RunEpoch(Seconds(20), false);
   ASSERT_TRUE(out.ok());
-  ASSERT_FALSE(out->to_sp.empty());
-  for (const DrainRecord& dr : out->to_sp) {
+  ASSERT_GT(out->DrainedRecords(), 0u);
+  for (const DrainRecord& dr : out->FlattenDrain()) {
     EXPECT_EQ(dr.record.kind, stream::RecordKind::kPartial);
   }
 }

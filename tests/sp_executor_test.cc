@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sp_executor.h"
+#include "query/query_builder.h"
 #include "workloads/pingmesh.h"
 #include "workloads/queries.h"
 
@@ -17,9 +18,8 @@ query::CompiledQuery CompileS2S() {
 
 SourceEpochOutput RawEpoch(const stream::RecordBatch& records, Micros wm) {
   SourceEpochOutput out;
-  for (const stream::Record& r : records) {
-    out.to_sp.push_back(DrainRecord{0, r});
-  }
+  stream::RecordBatch copy = records;
+  out.AppendDrainRows(0, std::move(copy));
   out.watermark = wm;
   return out;
 }
@@ -83,7 +83,7 @@ TEST(SpExecutorTest, DrainedRecordsResumeAtTaggedOperator) {
       stream::Value(int64_t{1});
   bad.window_start = 0;
   SourceEpochOutput out;
-  out.to_sp.push_back(DrainRecord{2, bad});
+  out.AppendDrainRows(2, stream::RecordBatch{bad});
   out.watermark = Seconds(11);
   ASSERT_TRUE(sp.Consume(0, std::move(out), &results).ok());
   ASSERT_TRUE(sp.EndEpoch(&results).ok());
@@ -93,7 +93,7 @@ TEST(SpExecutorTest, DrainedRecordsResumeAtTaggedOperator) {
   SpExecutor sp2(q, 1);
   stream::RecordBatch results2;
   SourceEpochOutput out2;
-  out2.to_sp.push_back(DrainRecord{0, bad});
+  out2.AppendDrainRows(0, stream::RecordBatch{bad});
   out2.watermark = Seconds(11);
   ASSERT_TRUE(sp2.Consume(0, std::move(out2), &results2).ok());
   ASSERT_TRUE(sp2.EndEpoch(&results2).ok());
@@ -113,7 +113,7 @@ TEST(SpExecutorTest, BadEntryOperatorRejected) {
   SpExecutor sp(q, 1);
   stream::RecordBatch results;
   SourceEpochOutput out;
-  out.to_sp.push_back(DrainRecord{17, stream::Record{}});
+  out.AppendDrainRows(17, stream::RecordBatch{stream::Record{}});
   out.watermark = 0;
   EXPECT_EQ(sp.Consume(0, std::move(out), &results).code(),
             StatusCode::kOutOfRange);
@@ -128,6 +128,72 @@ TEST(SpExecutorTest, FlushEmitsRemainingState) {
   ASSERT_TRUE(results.empty());
   ASSERT_TRUE(sp.Flush(&results).ok());
   EXPECT_FALSE(results.empty());
+}
+
+SourceEpochOutput ColumnarEpoch(const stream::RecordBatch& records,
+                                size_t entry, Micros wm) {
+  SourceEpochOutput out;
+  stream::RecordBatch copy = records;
+  out.AppendDrainColumns(
+      entry, stream::ColumnarBatch::FromRows(
+                 std::move(copy), workloads::PingmeshGenerator::Schema()));
+  out.watermark = wm;
+  return out;
+}
+
+TEST(SpExecutorTest, ColumnarChunksMatchRowChunksOnStatefulQuery) {
+  // The S2S chain ends in G+R (no columnar path): a columnar chunk must
+  // regroup to rows at the Consume boundary and produce exactly the results
+  // of the equivalent row chunk.
+  query::CompiledQuery q = CompileS2S();
+  SpExecutor row_sp(q, 1), col_sp(q, 1);
+  ASSERT_TRUE(row_sp.Init().ok());
+  ASSERT_TRUE(col_sp.Init().ok());
+  stream::RecordBatch row_results, col_results;
+  const stream::RecordBatch probes = Probes(80, 0);
+  ASSERT_TRUE(
+      row_sp.Consume(0, RawEpoch(probes, Seconds(11)), &row_results).ok());
+  ASSERT_TRUE(
+      col_sp.Consume(0, ColumnarEpoch(probes, 0, Seconds(11)), &col_results)
+          .ok());
+  ASSERT_TRUE(row_sp.EndEpoch(&row_results).ok());
+  ASSERT_TRUE(col_sp.EndEpoch(&col_results).ok());
+  EXPECT_FALSE(row_results.empty());
+  EXPECT_EQ(col_results, row_results);
+}
+
+TEST(SpExecutorTest, ColumnarChunksStayColumnarOnStatelessSuffix) {
+  // A stateless chain (Window -> typed Filter -> Project) is fully columnar
+  // on the SP too: columnar chunks push through PushColumnar and the final
+  // results must be bit-identical to row-chunk consumption.
+  query::QueryBuilder builder(workloads::PingmeshGenerator::Schema());
+  builder.Window(Seconds(1)).FilterI64Eq("errCode", 0);
+  builder.Project({"srcIp", "dstIp", "rtt"});
+  auto plan = builder.Build();
+  ASSERT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  ASSERT_TRUE(compiled.ok());
+
+  SpExecutor row_sp(*compiled, 1), col_sp(*compiled, 1);
+  ASSERT_TRUE(row_sp.Init().ok());
+  ASSERT_TRUE(col_sp.Init().ok());
+  stream::RecordBatch row_results, col_results;
+  const stream::RecordBatch probes = Probes(120, 0);
+  // Mixed entries: raw input at 0 plus a run resuming past the filter.
+  SourceEpochOutput row_out = RawEpoch(probes, Seconds(2));
+  SourceEpochOutput col_out = ColumnarEpoch(probes, 0, Seconds(2));
+  stream::RecordBatch tail = Probes(30, Seconds(1), 99);
+  for (stream::Record& r : tail) r.window_start = Seconds(1);
+  row_out.AppendDrainRows(2, stream::RecordBatch(tail));
+  col_out.AppendDrainColumns(
+      2, stream::ColumnarBatch::FromRows(
+             std::move(tail), workloads::PingmeshGenerator::Schema()));
+  ASSERT_TRUE(row_sp.Consume(0, std::move(row_out), &row_results).ok());
+  ASSERT_TRUE(col_sp.Consume(0, std::move(col_out), &col_results).ok());
+  ASSERT_TRUE(row_sp.EndEpoch(&row_results).ok());
+  ASSERT_TRUE(col_sp.EndEpoch(&col_results).ok());
+  EXPECT_FALSE(row_results.empty());
+  EXPECT_EQ(col_results, row_results);
 }
 
 TEST(SpExecutorTest, WatermarkNeverRegresses) {

@@ -2,7 +2,7 @@
 // measured in the same binary so the speedup is attributable to the batch
 // API and the schema-elided wire format, not compiler or flag drift.
 //
-// Four sections:
+// Sections:
 //   (a) per-operator micro-throughput: Process loop vs ProcessBatch
 //   (b) stateless pipeline push: Pipeline::Push vs Pipeline::PushBatch
 //   (c) wire format: per-record SerializeRecord/DeserializeRecord vs
@@ -13,16 +13,24 @@
 //       vectorized stateless operators with typed branch-free predicates,
 //       and true column-wise drain emission (delta varint int64 columns,
 //       RLE'd flags, dictionary strings)
+//   (e) native edges end to end: generator -> operators -> drain wire
+//   (f) kernel_micro: per-kernel GB/s of the reference scalar loops vs the
+//       dispatched SIMD kernel table (stream/kernels.h), followed by a
+//       re-run of sections (d)/(e) with JARVIS_SIMD forced to scalar
+//       ("_scalar"-suffixed rows), so one snapshot holds the data plane
+//       under both settings.
 //
 // Output lines are machine-parseable ("op ...", "pipeline ...", "wire ...",
-// "columnar ..."); scripts/run_benches.sh folds them into the
+// "columnar ...", "kernel ..."); scripts/run_benches.sh folds them into the
 // BENCH_<label>.json snapshot.
 //
-// Usage: fig12_dataplane [--smoke] [--columnar] [--native]
+// Usage: fig12_dataplane [--smoke] [--columnar] [--native] [--kernels]
 //   --smoke     1 tiny trial, for CI
 //   --columnar  run only section (d) (the CI columnar smoke step)
 //   --native    run only section (e) (the CI native-edge smoke step:
 //               generator -> columnar drain wire, no row materialization)
+//   --kernels   run only section (f)'s kernel micro rows (the CI kernel
+//               smoke step; honors JARVIS_SIMD for the dispatched column)
 
 #include <chrono>
 #include <cstdio>
@@ -42,6 +50,7 @@
 #include "stream/columnar.h"
 #include "stream/group_aggregate.h"
 #include "stream/join.h"
+#include "stream/kernels.h"
 #include "stream/ops.h"
 #include "stream/pipeline.h"
 #include "stream/predicate.h"
@@ -418,7 +427,7 @@ std::unique_ptr<Pipeline> MakeColumnarProbePipeline() {
 ///                        directly and stage queues stay columnar across
 ///                        epochs (SourceExecutor's columnar mode), so no
 ///                        conversion is on the path.
-void BenchColumnarPipeline(Rng* rng, const Config& cfg) {
+void BenchColumnarPipeline(Rng* rng, const Config& cfg, const char* suffix) {
   const Schema schema = ProbeSchema();
   PathResult rows_born, native_born;
   for (int t = 0; t < cfg.trials; ++t) {
@@ -490,13 +499,13 @@ void BenchColumnarPipeline(Rng* rng, const Config& cfg) {
     rows_born.records = cfg.records;
     native_born.records = cfg.records;
   }
-  const auto print_line = [](const char* label, const PathResult& r) {
+  const auto print_line = [&](const char* label, const PathResult& r) {
     const double row_rps = static_cast<double>(r.records) / r.record_s;
     const double col_rps = static_cast<double>(r.records) / r.batch_s;
     std::printf(
-        "columnar pipeline %s batch_rps %.6g columnar_rps %.6g "
+        "columnar pipeline %s%s batch_rps %.6g columnar_rps %.6g "
         "speedup %.2f\n",
-        label, row_rps, col_rps, row_rps > 0 ? col_rps / row_rps : 0.0);
+        label, suffix, row_rps, col_rps, row_rps > 0 ? col_rps / row_rps : 0.0);
   };
   print_line("stateless", rows_born);
   print_line("stateless_native", native_born);
@@ -648,7 +657,7 @@ RecordBatch GenerateRowsDirect(const workloads::PingmeshGenerator& gen,
 ///
 /// Both paths see the identical probe stream (same generator config) and
 /// produce identical final records; wire bytes are reported per record.
-void BenchNativeEndToEnd(const Config& cfg) {
+void BenchNativeEndToEnd(const Config& cfg, const char* suffix) {
   using workloads::PingmeshGenerator;
   const Schema schema = PingmeshGenerator::Schema();
   workloads::PingmeshConfig pcfg;
@@ -753,22 +762,22 @@ void BenchNativeEndToEnd(const Config& cfg) {
   const double row_rps = static_cast<double>(res.records) / res.record_s;
   const double native_rps = static_cast<double>(res.records) / res.batch_s;
   std::printf(
-      "columnar pipeline stateless_native_e2e batch_rps %.6g "
+      "columnar pipeline stateless_native_e2e%s batch_rps %.6g "
       "columnar_rps %.6g speedup %.2f\n",
-      row_rps, native_rps, row_rps > 0 ? native_rps / row_rps : 0.0);
+      suffix, row_rps, native_rps, row_rps > 0 ? native_rps / row_rps : 0.0);
   const double per_rec = static_cast<double>(cfg.trials) * res.records;
   std::printf(
-      "columnar wire bytes_per_record_e2e batch %.2f columnar %.2f "
+      "columnar wire bytes_per_record_e2e%s batch %.2f columnar %.2f "
       "ratio %.3f\n",
-      static_cast<double>(row_wire_bytes) / per_rec,
+      suffix, static_cast<double>(row_wire_bytes) / per_rec,
       static_cast<double>(native_wire_bytes) / per_rec,
       static_cast<double>(native_wire_bytes) /
           static_cast<double>(row_wire_bytes));
 }
 
-void RunNativeSection(const Config& cfg) {
+void RunNativeSection(const Config& cfg, const char* suffix) {
   std::printf(
-      "\n(e) native edges end to end (generator -> operators -> drain "
+      "\n(e%s) native edges end to end (generator -> operators -> drain "
       "wire)\n"
       "    stateless_native_e2e: rows-born generate+PushBatch+"
       "SerializeBatch\n"
@@ -777,13 +786,14 @@ void RunNativeSection(const Config& cfg) {
       "                          (no row record anywhere on the native "
       "path;\n"
       "                          projection pushed down to the ingest "
-      "edge)\n");
-  BenchNativeEndToEnd(cfg);
+      "edge)\n",
+      suffix);
+  BenchNativeEndToEnd(cfg, suffix);
 }
 
-void RunColumnarSection(Rng* rng, const Config& cfg) {
+void RunColumnarSection(Rng* rng, const Config& cfg, const char* suffix) {
   std::printf(
-      "\n(d) columnar data plane (row-batch route vs ColumnarBatch route,\n"
+      "\n(d%s) columnar data plane (row-batch route vs ColumnarBatch route,\n"
       "    ingest -> operators -> drain bytes, fused-filter pipelines)\n"
       "    stateless:        rows-born ingest; the columnar side pays the\n"
       "                      row->column conversion in the timed region\n"
@@ -792,10 +802,167 @@ void RunColumnarSection(Rng* rng, const Config& cfg) {
       "                      append metric columns, stage queues stay\n"
       "                      columnar across epochs)\n"
       "    wire:             schema-elided batch format vs column-wise\n"
-      "                      emission (MB/s of batch-format payload)\n");
-  BenchColumnarPipeline(rng, cfg);
-  BenchColumnarWire(rng, cfg, NumericProbeSchema(), /*numeric=*/true, "");
-  BenchColumnarWire(rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
+      "                      emission (MB/s of batch-format payload)\n",
+      suffix);
+  BenchColumnarPipeline(rng, cfg, suffix);
+  BenchColumnarWire(rng, cfg, NumericProbeSchema(), /*numeric=*/true, suffix);
+  BenchColumnarWire(rng, cfg, ProbeSchema(), /*numeric=*/false,
+                    (std::string("_str") + suffix).c_str());
+}
+
+// ---------------------------------------------------------------------------
+// (f) kernel micro: scalar reference loops vs the dispatched SIMD table
+// ---------------------------------------------------------------------------
+
+/// Best-of-trials GB/s of `fn`, which must process `bytes` per call.
+template <typename Fn>
+double BenchGbps(Fn&& fn, size_t bytes, int iters, int trials) {
+  double best = 0;
+  for (int t = 0; t < trials; ++t) {
+    const double t0 = NowSeconds();
+    for (int i = 0; i < iters; ++i) fn();
+    const double s = NowSeconds() - t0;
+    if (s > 0) {
+      best = std::max(best, static_cast<double>(bytes) * iters / s / 1e9);
+    }
+  }
+  return best;
+}
+
+/// Per-kernel throughput of the scalar table vs the dispatched table over
+/// identical data plane-shaped inputs (one ~64K-element working set per
+/// kernel: ~50% selective compares, ~55% keep compaction, 95%-dense density
+/// bitmaps, near-monotone delta columns). All calls go through the table's
+/// function pointers, exactly as the data plane calls them.
+void BenchKernels(const Config& cfg) {
+  namespace kn = stream::kernels;
+  const kn::KernelTable& sc = kn::Scalar();
+  const kn::KernelTable& dp = kn::Active();
+  std::printf("kernel_isa %.*s\n",
+              static_cast<int>(kn::IsaName(kn::ActiveIsa()).size()),
+              kn::IsaName(kn::ActiveIsa()).data());
+
+  const size_t n = size_t{1} << 16;
+  const bool smoke = cfg.trials <= 1;
+  const int iters = smoke ? 2 : 48;
+  const int trials = smoke ? 1 : cfg.trials;
+  Rng rng(20220707);
+
+  std::vector<int64_t> i64s(n);
+  std::vector<double> f64s(n);
+  std::vector<uint8_t> sel_a(n), sel_b(n), keep(n), density(n), mask(n);
+  for (size_t i = 0; i < n; ++i) {
+    i64s[i] = static_cast<int64_t>(rng.NextBounded(1000));
+    f64s[i] = rng.NextDouble() * 1000.0;
+    sel_a[i] = rng.NextBernoulli(0.5) ? 1 : 0;
+    sel_b[i] = rng.NextBernoulli(0.5) ? 1 : 0;
+    keep[i] = rng.NextBernoulli(0.55) ? 1 : 0;
+    density[i] = rng.NextBernoulli(0.95) ? 1 : 0;
+  }
+  std::vector<int64_t> times(n);
+  int64_t t_acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    t_acc += static_cast<int64_t>(rng.NextBounded(50));
+    times[i] = t_acc;
+  }
+  std::vector<uint8_t> sel_out(n);
+  std::vector<uint64_t> work64(n), pristine64(n);
+  for (size_t i = 0; i < n; ++i) pristine64[i] = rng.NextU64();
+  std::vector<uint8_t> work8(n), pristine8(n);
+  for (size_t i = 0; i < n; ++i) {
+    pristine8[i] = static_cast<uint8_t>(rng.NextBounded(256));
+  }
+  std::vector<uint8_t> enc(n * 10);
+  uint64_t enc_prev = 0;
+  const size_t enc_len =
+      sc.delta_varint_encode(times.data(), n, &enc_prev, enc.data());
+  std::vector<int64_t> dec_out(n);
+
+  const auto row = [&](const char* name, size_t bytes, auto make_fn) {
+    const double s = BenchGbps(make_fn(sc), bytes, iters, trials);
+    const double d = BenchGbps(make_fn(dp), bytes, iters, trials);
+    std::printf("kernel %s scalar_gbps %.6g dispatch_gbps %.6g speedup %.2f\n",
+                name, s, d, s > 0 ? d / s : 0.0);
+  };
+
+  row("cmp_fill_i64", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      k.cmp_fill_i64(i64s.data(), n, 500, stream::CmpOp::kLt, sel_out.data());
+    };
+  });
+  row("cmp_fill_f64", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      k.cmp_fill_f64(f64s.data(), n, 500.0, stream::CmpOp::kLt,
+                     sel_out.data());
+    };
+  });
+  row("sel_and", n, [&](const kn::KernelTable& k) {
+    return [&] {
+      std::memcpy(sel_out.data(), sel_a.data(), n);
+      k.sel_and(sel_out.data(), sel_b.data(), n);
+    };
+  });
+  row("sel_count", n, [&](const kn::KernelTable& k) {
+    return [&] {
+      if (k.sel_count(sel_a.data(), n) > n) std::abort();
+    };
+  });
+  // Compaction consumes its input, so each call restores the working set
+  // first; both columns pay the identical memcpy.
+  row("compact64", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      std::memcpy(work64.data(), pristine64.data(), n * 8);
+      if (k.compact64(work64.data(), keep.data(), n) > n) std::abort();
+    };
+  });
+  row("compact8", n, [&](const kn::KernelTable& k) {
+    return [&] {
+      std::memcpy(work8.data(), pristine8.data(), n);
+      if (k.compact8(work8.data(), keep.data(), n) > n) std::abort();
+    };
+  });
+  row("density_expand", n, [&](const kn::KernelTable& k) {
+    return [&] {
+      k.density_expand(density.data(), n, keep.data(), mask.data(),
+                       sel_out.data());
+    };
+  });
+  row("delta_varint_encode", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      uint64_t prev = 0;
+      if (k.delta_varint_encode(times.data(), n, &prev, enc.data()) == 0) {
+        std::abort();
+      }
+    };
+  });
+  row("delta_varint_decode", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      uint64_t prev = 0;
+      if (k.delta_varint_decode(enc.data(), enc_len, n, &prev,
+                                dec_out.data()) != enc_len) {
+        std::abort();
+      }
+    };
+  });
+}
+
+void RunKernelSection(const Config& cfg, bool kernels_only) {
+  namespace kn = stream::kernels;
+  std::printf(
+      "\n(f) kernel micro: per-kernel GB/s, reference scalar loops vs the\n"
+      "    dispatched SIMD table (stream/kernels.h; JARVIS_SIMD overrides\n"
+      "    dispatch). Identical inputs, calls through the same function\n"
+      "    pointers the data plane uses.\n");
+  BenchKernels(cfg);
+  if (kernels_only) return;
+  // Sections (d)/(e) again with dispatch forced to the scalar table, so one
+  // snapshot records the whole data plane under both JARVIS_SIMD settings.
+  const kn::Isa prior = kn::ActiveIsa();
+  if (!kn::ForceIsa(kn::Isa::kScalar)) std::abort();
+  Rng rng(20220708);
+  RunColumnarSection(&rng, cfg, "_scalar");
+  RunNativeSection(cfg, "_scalar");
+  if (!kn::ForceIsa(prior)) std::abort();
 }
 
 }  // namespace
@@ -804,6 +971,7 @@ int main(int argc, char** argv) {
   Config cfg;
   bool columnar_only = false;
   bool native_only = false;
+  bool kernels_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       cfg.records = 2000;
@@ -812,21 +980,31 @@ int main(int argc, char** argv) {
       columnar_only = true;
     } else if (std::strcmp(argv[i], "--native") == 0) {
       native_only = true;
+    } else if (std::strcmp(argv[i], "--kernels") == 0) {
+      kernels_only = true;
     }
   }
   Rng rng(20220707);
 
   bench::PrintHeader(
       "fig12: batch-at-a-time data plane vs record-at-a-time (same build)");
-  std::printf("records/trial %zu  batch_size %zu  trials %d\n\n", cfg.records,
-              cfg.batch_size, cfg.trials);
+  std::printf("records/trial %zu  batch_size %zu  trials %d  simd %.*s\n\n",
+              cfg.records, cfg.batch_size, cfg.trials,
+              static_cast<int>(
+                  stream::kernels::IsaName(stream::kernels::ActiveIsa())
+                      .size()),
+              stream::kernels::IsaName(stream::kernels::ActiveIsa()).data());
 
+  if (kernels_only) {
+    RunKernelSection(cfg, /*kernels_only=*/true);
+    return 0;
+  }
   if (native_only) {
-    RunNativeSection(cfg);
+    RunNativeSection(cfg, "");
     return 0;
   }
   if (columnar_only) {
-    RunColumnarSection(&rng, cfg);
+    RunColumnarSection(&rng, cfg, "");
     return 0;
   }
 
@@ -887,7 +1065,8 @@ int main(int argc, char** argv) {
   BenchWireFormat(&rng, cfg, NumericProbeSchema(), /*numeric=*/true, "");
   BenchWireFormat(&rng, cfg, ProbeSchema(), /*numeric=*/false, "_str");
 
-  RunColumnarSection(&rng, cfg);
-  RunNativeSection(cfg);
+  RunColumnarSection(&rng, cfg, "");
+  RunNativeSection(cfg, "");
+  RunKernelSection(cfg, /*kernels_only=*/false);
   return 0;
 }

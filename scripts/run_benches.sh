@@ -92,11 +92,27 @@ def parse_fig12(text):
     'wire bytes_per_record[<suffix>] record X batch Y ratio Z', plus the
     columnar section: 'columnar pipeline <label> batch_rps X columnar_rps Y
     speedup Z', 'columnar wire <what> batch_mbps X columnar_mbps Y speedup Z',
-    'columnar wire bytes_per_record[<suffix>] batch X columnar Y ratio Z'."""
+    'columnar wire bytes_per_record[<suffix>] batch X columnar Y ratio Z',
+    plus the kernel section: 'kernel_isa <name>' and 'kernel <name>
+    scalar_gbps X dispatch_gbps Y speedup Z' ('_scalar'-suffixed columnar
+    labels are the JARVIS_SIMD=scalar re-run of sections (d)/(e))."""
     data = {"operator_rps": {}, "pipeline_rps": {}, "wire_mbps": {},
             "wire_bytes_per_record": {}, "columnar_pipeline_rps": {},
-            "columnar_wire_mbps": {}, "columnar_wire_bytes_per_record": {}}
+            "columnar_wire_mbps": {}, "columnar_wire_bytes_per_record": {},
+            "kernel_micro_gbps": {}, "kernel_isa": None}
     for line in text.splitlines():
+        m = re.match(r"kernel_isa\s+(\S+)", line)
+        if m:
+            data["kernel_isa"] = m.group(1)
+            continue
+        m = re.match(
+            r"kernel\s+(\S+)\s+scalar_gbps\s+(\S+)\s+dispatch_gbps\s+(\S+)"
+            r"\s+speedup\s+(\S+)", line)
+        if m:
+            data["kernel_micro_gbps"][m.group(1)] = {
+                "scalar": float(m.group(2)), "dispatch": float(m.group(3)),
+                "speedup": float(m.group(4))}
+            continue
         m = re.match(
             r"columnar\s+pipeline\s+(\S+)\s+batch_rps\s+(\S+)"
             r"\s+columnar_rps\s+(\S+)\s+speedup\s+(\S+)", line)
@@ -200,6 +216,10 @@ assert "stateless_native_e2e" in dp["columnar_pipeline_rps"], \
     "fig12 native-edge end-to-end section missing"
 assert "bytes_per_record_e2e" in dp["columnar_wire_bytes_per_record"], \
     "fig12 native-edge wire bytes missing"
+assert dp["kernel_micro_gbps"] and dp["kernel_isa"], \
+    "fig12 kernel micro section parse produced no data"
+assert "stateless_native_e2e_scalar" in dp["columnar_pipeline_rps"], \
+    "fig12 scalar-forced re-run of sections (d)/(e) missing"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

@@ -162,6 +162,52 @@ void PushDownProjections(LogicalPlan* plan) {
   }
 }
 
+/// True when every leaf of `pred` reads a field strictly below `limit`.
+bool PredicateFieldsBelow(const stream::TypedPredicate& pred, size_t limit) {
+  if (pred.node == stream::TypedPredicate::Node::kLeaf) {
+    return pred.field < limit;
+  }
+  for (const stream::TypedPredicate& child : pred.children) {
+    if (!PredicateFieldsBelow(child, limit)) return false;
+  }
+  return true;
+}
+
+/// Hops typed Filters over stream-table Joins when every referenced field
+/// pre-exists the join. A stream-table join only *appends* its value column
+/// (and both operators pass kPartial rows through untouched), so field
+/// indices survive unchanged and filter-then-join emits exactly what
+/// join-then-filter emits — while the join probes only the surviving rows.
+/// Blocked for predicates that read the joined-in column, for opaque
+/// std::function filters (their field set is unknowable), and for
+/// stream-stream join markers (modeled as opaque). Iterates to a fixpoint
+/// so one filter hops a whole join chain.
+void PushDownPredicates(LogicalPlan* plan) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 1; i < plan->ops.size(); ++i) {
+      LogicalOp& filt = plan->ops[i];
+      if (filt.kind != OpKind::kFilter || !filt.typed_predicate) continue;
+      LogicalOp& prev = plan->ops[i - 1];
+      if (prev.kind != OpKind::kJoin || prev.is_stream_stream ||
+          prev.table == nullptr) {
+        continue;
+      }
+      if (!PredicateFieldsBelow(*filt.typed_predicate,
+                                prev.input_schema.num_fields())) {
+        continue;  // the predicate reads the joined-in column
+      }
+      // No remap needed: pre-join fields keep their indices, so both the
+      // typed tree and the opaque form it was compiled from stay valid.
+      filt.input_schema = prev.input_schema;
+      filt.output_schema = prev.input_schema;
+      std::swap(plan->ops[i - 1], plan->ops[i]);
+      changed = true;
+    }
+  }
+}
+
 /// Fuses runs of adjacent Projects into one with composed indices (the
 /// pushdown above can stack them).
 void FuseAdjacentProjects(LogicalPlan* plan) {
@@ -192,8 +238,12 @@ Result<OptimizedPlan> Optimize(LogicalPlan plan, const PlacementRules& rules) {
     return Status::InvalidArgument("empty plan");
   }
   FuseAdjacentFilters(&plan);
+  // Filters hop stream-table joins first, then projections sink through the
+  // (possibly longer) Window/Filter prefix; both pushdowns can make filters
+  // and projects adjacent, so fuse again afterwards.
+  PushDownPredicates(&plan);
+  FuseAdjacentFilters(&plan);
   PushDownProjections(&plan);
-  // Pushdown can make filters (and projects) adjacent; fuse again.
   FuseAdjacentFilters(&plan);
   FuseAdjacentProjects(&plan);
 

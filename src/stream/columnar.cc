@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "ser/chunk_writer.h"
+#include "ser/codec.h"
+#include "stream/kernels.h"
 
 namespace jarvis::stream {
 
@@ -202,19 +204,20 @@ void CompactArray(std::vector<T>* a, const uint8_t* keep, size_t n) {
 
 void ColumnarBatch::Retain(const uint8_t* keep_dense,
                            const uint8_t* keep_fallback) {
-  // Column-major stable compaction: each array gets its own tight pass, so
-  // the hot loops carry no per-element type dispatch and stay in one cache
-  // stream. All linear, no allocation.
+  // Column-major stable compaction: each 8-byte array goes through the
+  // dispatched shuffle-table kernel (stream/kernels.h), strings keep the
+  // move-based scalar pass. All linear, no allocation in steady state.
+  const kernels::KernelTable& k = kernels::Active();
   const size_t nd = num_dense();
-  CompactArray(&event_time_, keep_dense, nd);
-  CompactArray(&window_start_, keep_dense, nd);
+  event_time_.resize(k.compact64(event_time_.data(), keep_dense, nd));
+  window_start_.resize(k.compact64(window_start_.data(), keep_dense, nd));
   for (Column& col : columns_) {
     switch (col.type) {
       case ValueType::kInt64:
-        CompactArray(&col.i64, keep_dense, nd);
+        col.i64.resize(k.compact64(col.i64.data(), keep_dense, nd));
         break;
       case ValueType::kDouble:
-        CompactArray(&col.f64, keep_dense, nd);
+        col.f64.resize(k.compact64(col.f64.data(), keep_dense, nd));
         break;
       case ValueType::kString:
         CompactArray(&col.str, keep_dense, nd);
@@ -231,12 +234,13 @@ void ColumnarBatch::Retain(const uint8_t* keep_dense,
   }
   fallback_.resize(wf);
 
-  size_t wr = 0, d = 0, f = 0;
-  for (size_t r = 0; r < is_dense_.size(); ++r) {
-    const bool keep = is_dense_[r] ? keep_dense[d++] != 0 : keep_fallback[f++] != 0;
-    if (keep) is_dense_[wr++] = is_dense_[r];
-  }
-  is_dense_.resize(wr);
+  // The per-row mask is the per-lane masks expanded through the density
+  // bitmap; the bitmap then compacts under it like any other byte array.
+  keep_rows_.resize(is_dense_.size());
+  k.density_expand(is_dense_.data(), is_dense_.size(), keep_dense,
+                   keep_fallback, keep_rows_.data());
+  is_dense_.resize(
+      k.compact8(is_dense_.data(), keep_rows_.data(), is_dense_.size()));
 }
 
 Status ColumnarBatch::SelectColumns(const std::vector<size_t>& indices) {
@@ -460,21 +464,44 @@ uint8_t RowFlags(const ColumnarBatch& batch, size_t row, size_t* fb) {
   return rec.kind == RecordKind::kPartial ? kColFlagPartial : 0;
 }
 
+/// Block size for the kernelized delta+zigzag varint column steps: values
+/// are staged (or encoded) kEncBlock at a time through stack buffers, so
+/// column emission is a sequence of KernelTable::delta_varint_encode calls
+/// plus bulk byte appends, with no per-value writer hop.
+constexpr size_t kEncBlock = 512;
+
 /// Emits one time column (over ALL rows in row order, merging the packed
-/// dense array with the fallback records) as delta + zigzag varints.
-/// Arithmetic goes through uint64_t so wraparound is well-defined and the
-/// decoder's addition inverts it exactly.
+/// dense array with the fallback records) as delta + zigzag varints. The
+/// all-dense fast path encodes straight from the packed array; mixed
+/// batches stage each block through a gather buffer first. Delta arithmetic
+/// lives in ser::DeltaEncoder/the kernels: it goes through uint64_t so
+/// wraparound is well-defined and the decoder's addition inverts it exactly.
 template <typename GetFallbackTime>
 void WriteTimeColumn(const ColumnarBatch& batch,
                      const std::vector<Micros>& dense_times,
                      GetFallbackTime get_fb, ser::ChunkWriter* w) {
+  const kernels::KernelTable& k = kernels::Active();
+  uint8_t enc[kEncBlock * 10];
   uint64_t prev = 0;
+  if (batch.num_fallback() == 0) {
+    const int64_t* p = dense_times.data();  // Micros is int64_t
+    const size_t n = dense_times.size();
+    for (size_t off = 0; off < n; off += kEncBlock) {
+      const size_t m = std::min(kEncBlock, n - off);
+      w->Bytes(enc, k.delta_varint_encode(p + off, m, &prev, enc));
+    }
+    return;
+  }
+  int64_t vals[kEncBlock];
+  const std::vector<uint8_t>& density = batch.density();
+  const size_t n = density.size();
   size_t d = 0, fb = 0;
-  for (uint8_t dense : batch.density()) {
-    const uint64_t t = static_cast<uint64_t>(
-        dense ? dense_times[d++] : get_fb(batch.fallback()[fb++]));
-    w->VarI64(static_cast<int64_t>(t - prev));
-    prev = t;
+  for (size_t r = 0; r < n;) {
+    size_t m = 0;
+    for (; m < kEncBlock && r < n; ++r) {
+      vals[m++] = density[r] ? dense_times[d++] : get_fb(batch.fallback()[fb++]);
+    }
+    w->Bytes(enc, k.delta_varint_encode(vals, m, &prev, enc));
   }
 }
 
@@ -573,11 +600,13 @@ size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out) {
     const Column& col = batch.column(j);
     switch (col.type) {
       case ValueType::kInt64: {
+        const kernels::KernelTable& k = kernels::Active();
+        uint8_t enc[kEncBlock * 10];
         uint64_t prev = 0;
-        for (int64_t v : col.i64) {
-          const uint64_t u = static_cast<uint64_t>(v);
-          w.VarI64(static_cast<int64_t>(u - prev));
-          prev = u;
+        for (size_t off = 0; off < ndense; off += kEncBlock) {
+          const size_t m = std::min(kEncBlock, ndense - off);
+          w.Bytes(enc, k.delta_varint_encode(col.i64.data() + off, m, &prev,
+                                             enc));
         }
         break;
       }
@@ -658,20 +687,39 @@ Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out) {
     }
   }
 
-  // Time columns.
-  uint64_t prev = 0;
-  for (uint64_t r = 0; r < n; ++r) {
-    int64_t delta;
-    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
-    prev += static_cast<uint64_t>(delta);
-    (*out)[r].event_time = static_cast<int64_t>(prev);
-  }
-  prev = 0;
-  for (uint64_t r = 0; r < n; ++r) {
-    int64_t delta;
-    JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
-    prev += static_cast<uint64_t>(delta);
-    (*out)[r].window_start = static_cast<int64_t>(prev);
+  // Time columns: kernel block decode into a stack buffer, then one
+  // row-order assignment pass.
+  const kernels::KernelTable& k = kernels::Active();
+  int64_t vals[kEncBlock];
+  {
+    uint64_t prev = 0;
+    for (uint64_t r = 0; r < n;) {
+      const size_t m = std::min<uint64_t>(kEncBlock, n - r);
+      const size_t used =
+          k.delta_varint_decode(in->cursor(), in->remaining(), m, &prev, vals);
+      if (used == 0) {
+        return Status::SerializationError("bad time column varint");
+      }
+      in->Advance(used);
+      for (size_t j = 0; j < m; ++j) {
+        (*out)[r + j].event_time = vals[j];
+      }
+      r += m;
+    }
+    prev = 0;
+    for (uint64_t r = 0; r < n;) {
+      const size_t m = std::min<uint64_t>(kEncBlock, n - r);
+      const size_t used =
+          k.delta_varint_decode(in->cursor(), in->remaining(), m, &prev, vals);
+      if (used == 0) {
+        return Status::SerializationError("bad time column varint");
+      }
+      in->Advance(used);
+      for (size_t j = 0; j < m; ++j) {
+        (*out)[r + j].window_start = vals[j];
+      }
+      r += m;
+    }
   }
 
   // Dense value columns; fields append in column order per record, which
@@ -679,13 +727,27 @@ Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out) {
   for (uint64_t j = 0; j < nf; ++j) {
     switch (tags[j]) {
       case ValueType::kInt64: {
-        uint64_t acc = 0;
-        for (uint64_t r = 0; r < n; ++r) {
-          if (!(flags[r] & kColFlagDense)) continue;
-          int64_t delta;
-          JARVIS_RETURN_IF_ERROR(in->GetVarI64(&delta));
-          acc += static_cast<uint64_t>(delta);
-          (*out)[r].fields.emplace_back(static_cast<int64_t>(acc));
+        // The column's ndense varints are contiguous on the wire; decode
+        // them in blocks and fan out to the dense rows in row order.
+        uint64_t prev = 0;
+        uint64_t done = 0;
+        uint64_t r = 0;
+        while (done < ndense) {
+          const size_t m = std::min<uint64_t>(kEncBlock, ndense - done);
+          const size_t used = k.delta_varint_decode(in->cursor(),
+                                                    in->remaining(), m, &prev,
+                                                    vals);
+          if (used == 0) {
+            return Status::SerializationError("bad int64 column varint");
+          }
+          in->Advance(used);
+          // Walks rows until the block's m values are placed; b is the
+          // cursor into vals, r carries across blocks.
+          for (size_t b = 0; b < m; ++r) {
+            if (!(flags[r] & kColFlagDense)) continue;
+            (*out)[r].fields.emplace_back(vals[b++]);
+          }
+          done += m;
         }
         break;
       }

@@ -194,6 +194,9 @@ class ColumnarBatch {
   // does, every stage, every epoch) keeps its column capacities instead of
   // reallocating the dropped columns each cycle.
   std::vector<Column> spares_;
+  // Retain scratch: the per-row keep mask expanded through the density
+  // bitmap. Carries no batch state — kept only for its capacity.
+  std::vector<uint8_t> keep_rows_;
 };
 
 // ---------------------------------------------------------------------------

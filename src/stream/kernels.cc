@@ -1,0 +1,234 @@
+#include "stream/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "ser/codec.h"
+
+namespace jarvis::stream::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels
+// ---------------------------------------------------------------------------
+// These define the semantics every vector kernel must reproduce bit for bit.
+// They are compiled with the build's baseline flags only (no -mavx2 etc.),
+// so JARVIS_SIMD=scalar measures exactly what the compiler finds on its own
+// — the honest baseline the explicit kernels are judged against.
+
+/// One comparison per element with the functor resolved per column; the
+/// numeric instantiations auto-vectorize at the baseline ISA.
+template <typename T, typename Cmp>
+void FillCmpScalar(const T* v, size_t n, T c, uint8_t* sel, Cmp cmp) {
+  for (size_t i = 0; i < n; ++i) {
+    sel[i] = static_cast<uint8_t>(cmp(v[i], c));
+  }
+}
+
+template <typename T>
+void CmpFillScalar(const T* v, size_t n, T c, CmpOp op, uint8_t* sel) {
+  switch (op) {
+    case CmpOp::kEq:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a == b; });
+      break;
+    case CmpOp::kNe:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a != b; });
+      break;
+    case CmpOp::kLt:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a < b; });
+      break;
+    case CmpOp::kLe:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a <= b; });
+      break;
+    case CmpOp::kGt:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a > b; });
+      break;
+    case CmpOp::kGe:
+      FillCmpScalar(v, n, c, sel, [](T a, T b) { return a >= b; });
+      break;
+  }
+}
+
+void CmpFillI64Scalar(const int64_t* v, size_t n, int64_t c, CmpOp op,
+                      uint8_t* sel) {
+  CmpFillScalar(v, n, c, op, sel);
+}
+
+void CmpFillF64Scalar(const double* v, size_t n, double c, CmpOp op,
+                      uint8_t* sel) {
+  CmpFillScalar(v, n, c, op, sel);
+}
+
+void SelAndScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] &= src[i];
+}
+
+void SelOrScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] |= src[i];
+}
+
+void SelNotScalar(uint8_t* dst, const uint8_t* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    dst[i] = static_cast<uint8_t>(src[i] == 0);
+  }
+}
+
+uint64_t SelCountScalar(const uint8_t* sel, size_t n) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < n; ++i) count += sel[i] != 0;
+  return count;
+}
+
+size_t Compact64Scalar(void* data, const uint8_t* keep, size_t n) {
+  uint8_t* base = static_cast<uint8_t*>(data);
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    if (w != i) std::memcpy(base + w * 8, base + i * 8, 8);
+    ++w;
+  }
+  return w;
+}
+
+size_t Compact8Scalar(uint8_t* data, const uint8_t* keep, size_t n) {
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (!keep[i]) continue;
+    data[w++] = data[i];
+  }
+  return w;
+}
+
+void DensityExpandScalar(const uint8_t* density, size_t n,
+                         const uint8_t* keep_dense,
+                         const uint8_t* keep_fallback, uint8_t* keep_rows) {
+  size_t d = 0, f = 0;
+  for (size_t r = 0; r < n; ++r) {
+    keep_rows[r] = density[r] ? keep_dense[d++] : keep_fallback[f++];
+  }
+}
+
+size_t DeltaVarintEncodeScalar(const int64_t* v, size_t n, uint64_t* prev,
+                               uint8_t* out) {
+  ser::DeltaEncoder enc{*prev};
+  size_t w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    w += ser::EncodeVarU64(enc.ZigZagDelta(v[i]), out + w);
+  }
+  *prev = enc.prev;
+  return w;
+}
+
+size_t DeltaVarintDecodeScalar(const uint8_t* in, size_t avail, size_t n,
+                               uint64_t* prev, int64_t* out) {
+  ser::DeltaDecoder dec{*prev};
+  size_t p = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t raw;
+    if (!detail::DecodeVarU64Step(in, avail, &p, &raw)) return 0;
+    out[i] = dec.Next(ser::ZigZagDecode(raw));
+  }
+  *prev = dec.prev;
+  return p;
+}
+
+constexpr KernelTable kScalarTable = {
+    CmpFillI64Scalar,   CmpFillF64Scalar,        SelAndScalar,
+    SelOrScalar,        SelNotScalar,            SelCountScalar,
+    Compact64Scalar,    Compact8Scalar,          DensityExpandScalar,
+    DeltaVarintEncodeScalar, DeltaVarintDecodeScalar,
+};
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+struct Dispatch {
+  const KernelTable* table;
+  Isa isa;
+};
+
+Dispatch InitDispatch() {
+  Isa want = BestIsa();
+  if (const char* env = std::getenv("JARVIS_SIMD")) {
+    const std::string_view s(env);
+    if (s == "scalar") {
+      want = Isa::kScalar;
+    } else if (s == "avx2") {
+      want = Isa::kAvx2;
+    } else if (s == "neon") {
+      want = Isa::kNeon;
+    }
+    // Unknown values keep the auto-detected pick.
+  }
+  if (const KernelTable* t = TableFor(want)) return {t, want};
+  return {&kScalarTable, Isa::kScalar};
+}
+
+Dispatch& ActiveDispatch() {
+  static Dispatch d = InitDispatch();
+  return d;
+}
+
+}  // namespace
+
+std::string_view IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "?";
+}
+
+const KernelTable& Scalar() { return kScalarTable; }
+
+const KernelTable* TableFor(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &kScalarTable;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      if (__builtin_cpu_supports("avx2")) return GetAvx2Kernels();
+#endif
+      return nullptr;
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return GetNeonKernels();
+#endif
+      return nullptr;
+  }
+  return nullptr;
+}
+
+Isa BestIsa() {
+  if (TableFor(Isa::kAvx2) != nullptr) return Isa::kAvx2;
+  if (TableFor(Isa::kNeon) != nullptr) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+const KernelTable& Active() { return *ActiveDispatch().table; }
+
+Isa ActiveIsa() { return ActiveDispatch().isa; }
+
+bool ForceIsa(Isa isa) {
+  const KernelTable* t = TableFor(isa);
+  if (t == nullptr) return false;
+  ActiveDispatch() = {t, isa};
+  return true;
+}
+
+#if !defined(__x86_64__) && !defined(_M_X64)
+// The AVX2 TU is only compiled into x86-64 builds; satisfy the declaration
+// elsewhere so TableFor never needs a link-time probe.
+const KernelTable* GetAvx2Kernels() { return nullptr; }
+#endif
+#if !defined(__aarch64__)
+const KernelTable* GetNeonKernels() { return nullptr; }
+#endif
+
+}  // namespace jarvis::stream::kernels

@@ -1,6 +1,7 @@
 #include "stream/ops.h"
 
 #include "stream/columnar.h"
+#include "stream/kernels.h"
 
 namespace jarvis::stream {
 
@@ -113,6 +114,14 @@ Status FilterOp::DoProcessColumnar(ColumnarBatch* batch) {
   for (size_t f = 0; f < fb.size(); ++f) {
     keep_fallback_[f] = fb[f].kind == RecordKind::kPartial ||
                         EvalPredicate(typed_, fb[f]);
+  }
+  // All-pass batches (non-selective predicates are common at low load
+  // factors) skip compaction entirely; the popcount is one cheap pass.
+  const kernels::KernelTable& k = kernels::Active();
+  if (k.sel_count(sel_.data(), sel_.size()) == sel_.size() &&
+      k.sel_count(keep_fallback_.data(), keep_fallback_.size()) ==
+          keep_fallback_.size()) {
+    return Status::OK();
   }
   batch->Retain(sel_.data(), keep_fallback_.data());
   return Status::OK();

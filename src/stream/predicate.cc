@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "stream/columnar.h"
+#include "stream/kernels.h"
 
 namespace jarvis::stream {
 
@@ -104,39 +105,34 @@ bool Compare(const T& a, CmpOp op, const T& b) {
   return false;
 }
 
-/// Branch-free fill: one comparison per element, no per-element dispatch.
-/// The cmp functor is resolved once per column, so gcc/clang vectorize the
-/// numeric instantiations.
-template <typename T, typename Cmp>
-void FillCmp(const std::vector<T>& values, const T& constant, uint8_t* sel,
-             Cmp cmp) {
-  const size_t n = values.size();
-  for (size_t i = 0; i < n; ++i) {
-    sel[i] = static_cast<uint8_t>(cmp(values[i], constant));
-  }
-}
-
-template <typename T>
-void FillTyped(const std::vector<T>& values, const T& constant, CmpOp op,
-               uint8_t* sel) {
+/// String compare fill (the one typed loop the SIMD kernel layer does not
+/// cover): one comparison per element with the functor resolved per column.
+void FillStr(const std::vector<std::string>& values,
+             const std::string& constant, CmpOp op, uint8_t* sel) {
+  const auto fill = [&](auto cmp) {
+    const size_t n = values.size();
+    for (size_t i = 0; i < n; ++i) {
+      sel[i] = static_cast<uint8_t>(cmp(values[i], constant));
+    }
+  };
   switch (op) {
     case CmpOp::kEq:
-      FillCmp(values, constant, sel, std::equal_to<T>{});
+      fill(std::equal_to<std::string>{});
       break;
     case CmpOp::kNe:
-      FillCmp(values, constant, sel, std::not_equal_to<T>{});
+      fill(std::not_equal_to<std::string>{});
       break;
     case CmpOp::kLt:
-      FillCmp(values, constant, sel, std::less<T>{});
+      fill(std::less<std::string>{});
       break;
     case CmpOp::kLe:
-      FillCmp(values, constant, sel, std::less_equal<T>{});
+      fill(std::less_equal<std::string>{});
       break;
     case CmpOp::kGt:
-      FillCmp(values, constant, sel, std::greater<T>{});
+      fill(std::greater<std::string>{});
       break;
     case CmpOp::kGe:
-      FillCmp(values, constant, sel, std::greater_equal<T>{});
+      fill(std::greater_equal<std::string>{});
       break;
   }
 }
@@ -153,19 +149,19 @@ void EvalLeafColumnar(const TypedPredicate& pred, const ColumnarBatch& batch,
     return;
   }
   const Column& col = batch.column(pred.field);
-  (void)nd;
+  const kernels::KernelTable& k = kernels::Active();
   switch (col.type) {
     case ValueType::kInt64:
-      FillTyped(col.i64, *std::get_if<int64_t>(&pred.constant), pred.cmp,
-                sel->data());
+      k.cmp_fill_i64(col.i64.data(), nd, *std::get_if<int64_t>(&pred.constant),
+                     pred.cmp, sel->data());
       break;
     case ValueType::kDouble:
-      FillTyped(col.f64, *std::get_if<double>(&pred.constant), pred.cmp,
-                sel->data());
+      k.cmp_fill_f64(col.f64.data(), nd, *std::get_if<double>(&pred.constant),
+                     pred.cmp, sel->data());
       break;
     case ValueType::kString:
-      FillTyped(col.str, *std::get_if<std::string>(&pred.constant), pred.cmp,
-                sel->data());
+      FillStr(col.str, *std::get_if<std::string>(&pred.constant), pred.cmp,
+              sel->data());
       break;
   }
 }
@@ -204,12 +200,11 @@ void EvalColumnarAtDepth(const TypedPredicate& pred,
     std::vector<uint8_t>& scratch = (*pool)[depth];
     scratch.resize(n);
     EvalColumnarAtDepth(pred.children[c], batch, &scratch, pool, depth + 1);
-    uint8_t* s = sel->data();
-    const uint8_t* t = scratch.data();
+    const kernels::KernelTable& k = kernels::Active();
     if (is_and) {
-      for (size_t i = 0; i < n; ++i) s[i] &= t[i];
+      k.sel_and(sel->data(), scratch.data(), n);
     } else {
-      for (size_t i = 0; i < n; ++i) s[i] |= t[i];
+      k.sel_or(sel->data(), scratch.data(), n);
     }
   }
 }

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "ser/chunk_writer.h"
+#include "ser/codec.h"
 
 namespace jarvis::stream {
 
@@ -217,23 +218,18 @@ size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
 
   // Header rows: one flag byte plus two *delta-encoded* time varints per
   // record, in one pass; the payload follows as packed columns. Event times
-  // are near-monotone, so deltas keep the varints at one or two bytes.
-  // Arithmetic goes through uint64_t: wraparound is well-defined and the
-  // decoder's addition inverts it exactly.
+  // are near-monotone, so deltas keep the varints at one or two bytes; the
+  // shared ser::DeltaEncoder (also behind the columnar format and the SIMD
+  // kernel block steps) makes the wraparound arithmetic exact.
   std::vector<uint8_t> conforming(n);
   ser::ChunkWriter w(out);
-  uint64_t prev_et = 0, prev_ws = 0;
+  ser::DeltaEncoder et_enc, ws_enc;
   for (size_t i = 0; i < n; ++i) {
     const Record& r = batch[i];
     conforming[i] = ConformsToSchema(r, schema) ? 1 : 0;
     uint8_t flags = r.kind == RecordKind::kPartial ? kFlagPartial : 0;
     if (conforming[i]) flags |= kFlagConforming;
-    const uint64_t et = static_cast<uint64_t>(r.event_time);
-    const uint64_t ws = static_cast<uint64_t>(r.window_start);
-    w.Header(flags, static_cast<int64_t>(et - prev_et),
-             static_cast<int64_t>(ws - prev_ws));
-    prev_et = et;
-    prev_ws = ws;
+    w.Header(flags, et_enc.Delta(r.event_time), ws_enc.Delta(r.window_start));
   }
 
   for (size_t j = 0; j < nf; ++j) {
@@ -304,7 +300,7 @@ Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
   // steady-state decoding allocation-free for numeric columns.
   out->resize(n);
   std::vector<uint8_t> flags(n);
-  uint64_t prev_et = 0, prev_ws = 0;
+  ser::DeltaDecoder et_dec, ws_dec;
   for (uint64_t i = 0; i < n; ++i) {
     Record& rec = (*out)[i];
     JARVIS_RETURN_IF_ERROR(in->GetU8(&flags[i]));
@@ -316,10 +312,8 @@ Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
     int64_t et_delta, ws_delta;
     JARVIS_RETURN_IF_ERROR(in->GetVarI64(&et_delta));
     JARVIS_RETURN_IF_ERROR(in->GetVarI64(&ws_delta));
-    prev_et += static_cast<uint64_t>(et_delta);
-    prev_ws += static_cast<uint64_t>(ws_delta);
-    rec.event_time = static_cast<int64_t>(prev_et);
-    rec.window_start = static_cast<int64_t>(prev_ws);
+    rec.event_time = et_dec.Next(et_delta);
+    rec.window_start = ws_dec.Next(ws_delta);
     rec.fields.clear();
     if (flags[i] & kFlagConforming) rec.fields.reserve(nf);
   }

@@ -362,6 +362,179 @@ TEST(OptimizerTest, PushdownCompilesToProjectFirstPipeline) {
   EXPECT_TRUE((*pipeline)->FullyColumnar());
 }
 
+// ---------------------------------------------------------------------------
+// Predicate pushdown below stream-table joins
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<stream::StaticTable> SmallTorTable() {
+  // Sparse on purpose: keys 0..19 map, everything else misses (so the
+  // semantics test exercises join drops on both plan shapes).
+  auto table = std::make_shared<stream::StaticTable>(
+      "a", stream::Schema::Field{"tor", ValueType::kInt64});
+  for (int64_t k = 0; k < 20; ++k) table->Insert(k, stream::Value(k / 4));
+  return table;
+}
+
+TEST(OptimizerTest, TypedFilterHopsStreamTableJoin) {
+  // Join(a->tor) -> Filter(b < 5.0): the filter reads only a pre-join field,
+  // so it hops the join and runs on the narrower pre-join stream.
+  QueryBuilder q(S3());
+  q.Join(SmallTorTable(), "a");
+  q.FilterF64Cmp("b", stream::CmpOp::kLt, 5.0);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+
+  const LogicalPlan& p = optimized->plan;
+  EXPECT_EQ(Kinds(p), (std::vector<OpKind>{OpKind::kFilter, OpKind::kJoin}));
+  // Golden schemas: the filter runs on the un-joined schema; the join is
+  // untouched. Field indices need no remap (the join appends at the end).
+  EXPECT_EQ(p.ops[0].input_schema, S3());
+  EXPECT_EQ(p.ops[0].output_schema, S3());
+  ASSERT_TRUE(p.ops[0].typed_predicate.has_value());
+  EXPECT_EQ(p.ops[0].typed_predicate->field, 1u);
+  EXPECT_EQ(p.ops[1].input_schema, S3());
+  EXPECT_EQ(p.ops[1].output_schema,
+            S3().Append({"tor", ValueType::kInt64}));
+  // Both ops stay source-placeable (stream-table joins are replicable).
+  EXPECT_EQ(optimized->source_placeable_ops, 2u);
+}
+
+TEST(OptimizerTest, PredicatePushdownBlockedOnJoinedColumn) {
+  // Filter(tor == 3) reads the joined-in column: order must not change.
+  QueryBuilder q(S3());
+  q.Join(SmallTorTable(), "a");
+  q.FilterI64Cmp("tor", stream::CmpOp::kEq, 3);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan),
+            (std::vector<OpKind>{OpKind::kJoin, OpKind::kFilter}));
+}
+
+TEST(OptimizerTest, PredicatePushdownBlockedForOpaqueFilter) {
+  // A std::function predicate's field set is unknowable; it stays put.
+  QueryBuilder q(S3());
+  q.Join(SmallTorTable(), "a");
+  q.Filter("opaque", [](const stream::Record& r) { return r.i64(0) > 0; });
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan),
+            (std::vector<OpKind>{OpKind::kJoin, OpKind::kFilter}));
+}
+
+TEST(OptimizerTest, PredicatePushdownBlockedForStreamStreamJoin) {
+  QueryBuilder q(S3());
+  q.FilterI64Cmp("a", stream::CmpOp::kGt, 0);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan lp = std::move(plan).value();
+  // Splice a stream-stream join marker in front of the filter.
+  LogicalOp join;
+  join.kind = OpKind::kJoin;
+  join.name = "ssjoin";
+  join.is_stream_stream = true;
+  join.input_schema = S3();
+  join.output_schema = S3();
+  lp.ops.insert(lp.ops.begin(), std::move(join));
+  auto optimized = Optimize(lp);
+  ASSERT_TRUE(optimized.ok());
+  EXPECT_EQ(Kinds(optimized->plan),
+            (std::vector<OpKind>{OpKind::kJoin, OpKind::kFilter}));
+}
+
+TEST(OptimizerTest, PredicatePushdownHopsJoinChainAndRefuses) {
+  // Window -> Filter(a>2) -> Join -> Join -> Filter(b<5): the trailing
+  // typed filter hops both joins and fuses with the leading filter, so the
+  // compiled prefix is one conjunction filter before any join probe.
+  auto t1 = SmallTorTable();
+  auto t2 = std::make_shared<stream::StaticTable>(
+      "a", stream::Schema::Field{"tor2", ValueType::kInt64});
+  for (int64_t k = 0; k < 20; ++k) t2->Insert(k, stream::Value(k % 4));
+  QueryBuilder q(S3());
+  q.Window(Seconds(1)).FilterI64Cmp("a", stream::CmpOp::kGt, 2);
+  q.Join(t1, "a");
+  q.Join(t2, "a");
+  q.FilterF64Cmp("b", stream::CmpOp::kLt, 5.0);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+
+  const LogicalPlan& p = optimized->plan;
+  EXPECT_EQ(Kinds(p), (std::vector<OpKind>{OpKind::kWindow, OpKind::kFilter,
+                                           OpKind::kJoin, OpKind::kJoin}));
+  // The fused filter is a typed conjunction (both operands were typed).
+  ASSERT_TRUE(p.ops[1].typed_predicate.has_value());
+  EXPECT_EQ(p.ops[1].typed_predicate->node,
+            stream::TypedPredicate::Node::kAnd);
+}
+
+TEST(OptimizerTest, PredicatePushdownPreservesJoinSemantics) {
+  // The rewritten plan must emit exactly what the naive chain emits,
+  // including join-miss drops and untouched kPartial rows.
+  QueryBuilder q(S3());
+  q.Join(SmallTorTable(), "a");
+  q.FilterF64Cmp("b", stream::CmpOp::kLt, 8.0);
+  auto plan = q.Build();
+  ASSERT_TRUE(plan.ok());
+  LogicalPlan naive = plan.value();
+
+  auto optimized = Optimize(std::move(plan).value());
+  ASSERT_TRUE(optimized.ok());
+  ASSERT_EQ(optimized->plan.ops[0].kind, OpKind::kFilter);
+
+  auto run = [](const LogicalPlan& p, stream::RecordBatch input) {
+    stream::RecordBatch cur = std::move(input);
+    for (const LogicalOp& op : p.ops) {
+      stream::RecordBatch next;
+      for (stream::Record& r : cur) {
+        if (r.kind == stream::RecordKind::kPartial) {
+          next.push_back(std::move(r));  // both ops pass partials through
+          continue;
+        }
+        switch (op.kind) {
+          case OpKind::kFilter:
+            if (op.predicate(r)) next.push_back(std::move(r));
+            break;
+          case OpKind::kJoin: {
+            const stream::Value* v =
+                op.table->Find(r.i64(op.join_key_index));
+            if (v == nullptr) break;  // miss: dropped
+            r.fields.push_back(*v);
+            next.push_back(std::move(r));
+            break;
+          }
+          default:
+            ADD_FAILURE() << "unexpected op";
+        }
+      }
+      cur = std::move(next);
+    }
+    return cur;
+  };
+
+  stream::RecordBatch input;
+  for (int64_t i = 0; i < 40; ++i) {
+    stream::Record r;
+    r.event_time = i * 1000;
+    r.fields = {stream::Value(i), stream::Value(i * 0.5),
+                stream::Value(std::string("s") + std::to_string(i))};
+    input.push_back(std::move(r));
+  }
+  stream::Record partial;
+  partial.kind = stream::RecordKind::kPartial;
+  partial.event_time = 123;
+  partial.fields = {stream::Value(int64_t{99})};
+  input.push_back(std::move(partial));
+
+  EXPECT_EQ(run(optimized->plan, input), run(naive, input));
+}
+
 TEST(OptimizerTest, T2TFullyPlaceable) {
   auto src = workloads::MakeIpToTorTable(0, 100, 10, "srcToR");
   auto dst = workloads::MakeIpToTorTable(0, 100, 10, "dstToR");

@@ -4,12 +4,32 @@
 //   (a) 10x (26.2 Mbps/source, 55% CPU), (b) 5x (13.1 Mbps, 30% CPU),
 //   (c) 1x (2.62 Mbps, 5% CPU).
 // Jarvis vs Best-OP vs the Expected (= n * input) line.
+//
+// The second half measures the *real* executor, not the simulator: N
+// pingmesh sources on the multithreaded ExecPool runtime, sweeping the
+// worker count (--threads). Flags:
+//   --exec-only            skip the simulator sections
+//   --sources N            concurrent sources in the executor sweep (100)
+//   --epochs E             epochs per thread-count measurement (5)
+//   --pairs P              probe pairs per source per epoch (200)
+//   --threads a,b,c        worker counts to sweep (default 1,2,4 + hw)
+// Output lines are stable for scripts/run_benches.sh:
+//   exec_hw_threads N
+//   exec_scaling sources S threads T records_per_sec R speedup X elapsed_s E
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "core/building_block.h"
+#include "core/exec_pool.h"
 #include "workloads/cost_profiles.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
 
 namespace {
 
@@ -42,20 +62,158 @@ void RunScale(const char* title, double rate_scale, double cpu_budget,
   }
 }
 
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+jarvis::core::BuildingBlock::SourceSpec ExecSourceSpec(uint64_t seed,
+                                                       int pairs) {
+  jarvis::core::BuildingBlock::SourceSpec spec;
+  // Near-zero modeled cost: the modeled CPU budget must never bind, so the
+  // sweep measures the executor kernel (scheduling, pipelines, hand-off),
+  // not the paper's admission control.
+  spec.cost_model = std::make_shared<jarvis::core::FixedCostModel>(
+      std::vector<double>{1e-9, 1e-9, 1e-9});
+  spec.options.cpu_budget_fraction = 1.0;
+  jarvis::workloads::PingmeshConfig cfg;
+  cfg.seed = seed;
+  cfg.source_ip = static_cast<int64_t>(seed) * 100000;
+  cfg.num_pairs = pairs;
+  cfg.probe_interval = jarvis::Seconds(1);
+  auto gen = std::make_shared<jarvis::workloads::PingmeshGenerator>(cfg);
+  spec.generate = [gen](jarvis::Micros from, jarvis::Micros to) {
+    return gen->Generate(from, to);
+  };
+  return spec;
+}
+
+/// One full run at `threads` workers; returns wall seconds for the epoch
+/// loop. Load factors are pinned to 1.0 after every epoch (the runtime's
+/// decision tail overwrites them), so each source runs its whole placeable
+/// prefix locally and the sweep stresses the source workers, not the
+/// single-threaded SP consume.
+double RunExecSweepOnce(const jarvis::query::CompiledQuery& query, int sources,
+                        int epochs, int pairs, int threads) {
+  namespace core = jarvis::core;
+  std::vector<core::BuildingBlock::SourceSpec> specs;
+  specs.reserve(sources);
+  for (int s = 0; s < sources; ++s) {
+    specs.push_back(ExecSourceSpec(static_cast<uint64_t>(s) + 1, pairs));
+  }
+  core::RuntimeConfig rc;
+  rc.detect_epochs = 1 << 30;  // never adapt: fixed work per epoch
+  core::BuildingBlock block(query, std::move(specs), rc, threads);
+  if (!block.Init().ok()) {
+    std::fprintf(stderr, "exec sweep: BuildingBlock init failed\n");
+    std::exit(1);
+  }
+  const std::vector<double> pinned = {1.0, 1.0, 1.0};
+  for (size_t s = 0; s < block.num_sources(); ++s) {
+    block.source(s).SetLoadFactors(pinned);
+  }
+  jarvis::stream::RecordBatch results;
+  const double start = NowSeconds();
+  for (int e = 0; e < epochs; ++e) {
+    if (!block.RunEpoch(&results).ok()) {
+      std::fprintf(stderr, "exec sweep: epoch %d failed\n", e);
+      std::exit(1);
+    }
+    for (size_t s = 0; s < block.num_sources(); ++s) {
+      block.source(s).SetLoadFactors(pinned);
+    }
+  }
+  const double elapsed = NowSeconds() - start;
+  (void)block.Finish(&results);
+  return elapsed;
+}
+
+void RunExecScaling(int sources, int epochs, int pairs,
+                    const std::vector<int>& thread_counts) {
+  jarvis::bench::PrintHeader(
+      "Executor scaling: concurrent pingmesh sources on the ExecPool "
+      "runtime");
+  std::printf("exec_hw_threads %d\n", jarvis::core::HardwareThreads());
+  auto plan = jarvis::workloads::MakeS2SProbeQuery();
+  if (!plan.ok()) std::exit(1);
+  auto query = jarvis::query::Compile(std::move(plan).value());
+  if (!query.ok()) std::exit(1);
+
+  const uint64_t records = static_cast<uint64_t>(sources) *
+                           static_cast<uint64_t>(pairs) *
+                           static_cast<uint64_t>(epochs);
+  double base_elapsed = -1.0;
+  std::printf("%-8s %10s %16s %10s\n", "threads", "elapsed_s",
+              "records_per_sec", "speedup");
+  for (const int t : thread_counts) {
+    // Warm-up pass absorbs first-touch allocation; the timed pass follows.
+    (void)RunExecSweepOnce(*query, sources, 1, pairs, t);
+    const double elapsed = RunExecSweepOnce(*query, sources, epochs, pairs, t);
+    if (base_elapsed < 0) base_elapsed = elapsed;
+    const double rps = elapsed > 0 ? records / elapsed : 0.0;
+    const double speedup = elapsed > 0 ? base_elapsed / elapsed : 0.0;
+    std::printf("%-8d %10.3f %16.0f %10.2f\n", t, elapsed, rps, speedup);
+    std::printf(
+        "exec_scaling sources %d threads %d records_per_sec %.0f speedup "
+        "%.3f elapsed_s %.4f\n",
+        sources, t, rps, speedup, elapsed);
+  }
+}
+
 }  // namespace
 
-int main() {
-  jarvis::bench::PrintHeader(
-      "Figure 10: throughput vs number of data sources "
-      "(shared 410 Mbps query link)");
-  RunScale("(a) 10x scaling", 1.0, 0.55, {1, 8, 16, 24, 32, 40, 48});
-  RunScale("(b) 5x scaling", 0.5, 0.30,
-           {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
-  RunScale("(c) no scaling", 0.1, 0.05, {30, 60, 90, 120, 150, 180, 210, 250});
-  std::printf(
-      "\nPaper reference: Jarvis scales to ~32 nodes at 10x (Best-OP is\n"
-      "network-bound immediately), ~70 vs ~40 nodes at 5x (75%% more\n"
-      "sources), and reaches 250 nodes at 1x while Best-OP degrades at\n"
-      "~180.\n");
+int main(int argc, char** argv) {
+  bool exec_only = false;
+  int sources = 100;
+  int epochs = 5;
+  int pairs = 200;
+  std::vector<int> thread_counts = {1, 2, 4};
+  {
+    const int hw = jarvis::core::HardwareThreads();
+    if (hw > 4) thread_counts.push_back(hw);
+  }
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int def) {
+      return i + 1 < argc ? std::atoi(argv[++i]) : def;
+    };
+    if (arg == "--exec-only") {
+      exec_only = true;
+    } else if (arg == "--sources") {
+      sources = next_int(sources);
+    } else if (arg == "--epochs") {
+      epochs = next_int(epochs);
+    } else if (arg == "--pairs") {
+      pairs = next_int(pairs);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      thread_counts.clear();
+      for (const char* p = argv[++i]; *p != '\0';) {
+        thread_counts.push_back(std::atoi(p));
+        while (*p != '\0' && *p != ',') ++p;
+        if (*p == ',') ++p;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (!exec_only) {
+    jarvis::bench::PrintHeader(
+        "Figure 10: throughput vs number of data sources "
+        "(shared 410 Mbps query link)");
+    RunScale("(a) 10x scaling", 1.0, 0.55, {1, 8, 16, 24, 32, 40, 48});
+    RunScale("(b) 5x scaling", 0.5, 0.30,
+             {10, 20, 30, 40, 50, 60, 70, 80, 90, 100});
+    RunScale("(c) no scaling", 0.1, 0.05,
+             {30, 60, 90, 120, 150, 180, 210, 250});
+    std::printf(
+        "\nPaper reference: Jarvis scales to ~32 nodes at 10x (Best-OP is\n"
+        "network-bound immediately), ~70 vs ~40 nodes at 5x (75%% more\n"
+        "sources), and reaches 250 nodes at 1x while Best-OP degrades at\n"
+        "~180.\n");
+  }
+  RunExecScaling(sources, epochs, pairs, thread_counts);
   return 0;
 }

@@ -53,6 +53,12 @@ echo
 echo "== fig12_dataplane (batch vs record-at-a-time data plane) =="
 "${BUILD_DIR}/bench/fig12_dataplane" | tee "${RESULTS_DIR}/fig12.txt"
 
+echo
+echo "== fig10_scalability --exec-only (multithreaded executor sweep) =="
+"${BUILD_DIR}/bench/fig10_scalability" --exec-only \
+  --sources 100 --epochs 3 --pairs 100 --threads 1,2,4 \
+  | tee "${RESULTS_DIR}/fig10_exec.txt"
+
 # Optional microbenchmarks (google-benchmark); tolerated if absent.
 if [[ -x "${BUILD_DIR}/bench/overhead_bench" ]]; then
   echo
@@ -163,6 +169,28 @@ def parse_fig12(text):
                 "ratio": float(m.group(4))}
     return data
 
+def parse_exec(text):
+    """Executor sweep: 'exec_hw_threads N' plus per-thread-count rows
+    'exec_scaling sources S threads T records_per_sec R speedup X
+    elapsed_s E'."""
+    data = {"hw_threads": None, "threads": {}}
+    for line in text.splitlines():
+        m = re.match(r"exec_hw_threads\s+(\d+)", line)
+        if m:
+            data["hw_threads"] = int(m.group(1))
+            continue
+        m = re.match(
+            r"exec_scaling\s+sources\s+(\d+)\s+threads\s+(\d+)"
+            r"\s+records_per_sec\s+(\S+)\s+speedup\s+(\S+)"
+            r"\s+elapsed_s\s+(\S+)", line)
+        if m:
+            data["sources"] = int(m.group(1))
+            data["threads"][f"threads_{m.group(2)}"] = {
+                "records_per_sec": float(m.group(3)),
+                "speedup": float(m.group(4)),
+                "elapsed_s": float(m.group(5))}
+    return data
+
 def parse_latency(text):
     """Sections '(n) <label>' with rows '<policy> median max tput'."""
     scenarios, current = {}, None
@@ -190,6 +218,8 @@ snapshot = {
         (results_dir / "fig7.txt").read_text()),
     "latency": parse_latency((results_dir / "latency.txt").read_text()),
     "dataplane": parse_fig12((results_dir / "fig12.txt").read_text()),
+    "fig10_exec": parse_exec(
+        (results_dir / "fig10_exec.txt").read_text()),
 }
 
 overhead = results_dir / "overhead.json"
@@ -220,6 +250,13 @@ assert dp["kernel_micro_gbps"] and dp["kernel_isa"], \
     "fig12 kernel micro section parse produced no data"
 assert "stateless_native_e2e_scalar" in dp["columnar_pipeline_rps"], \
     "fig12 scalar-forced re-run of sections (d)/(e) missing"
+ex = snapshot["fig10_exec"]
+assert ex["hw_threads"] and ex["hw_threads"] >= 1, \
+    "fig10 exec sweep missing hw thread count"
+for t in ("threads_1", "threads_2", "threads_4"):
+    assert t in ex["threads"], f"fig10 exec sweep missing {t}"
+assert ex["threads"]["threads_1"]["records_per_sec"] > 0, \
+    "fig10 exec sweep produced no throughput"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

@@ -1,12 +1,16 @@
 #include "core/building_block.h"
 
 #include <limits>
+#include <utility>
 
 namespace jarvis::core {
 
 BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
                              std::vector<SourceSpec> specs,
-                             RuntimeConfig runtime_config) {
+                             RuntimeConfig runtime_config, int threads)
+    : runtime_config_(runtime_config),
+      query_(query),
+      threads_(ResolveThreads(threads)) {
   sp_ = std::make_unique<SpExecutor>(query, specs.size());
   if (!sp_->Init().ok()) {
     init_status_ = sp_->Init();
@@ -29,8 +33,17 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
   }
 }
 
+BuildingBlock::~BuildingBlock() {
+  if (pool_) pool_->Stop();
+}
+
 Status BuildingBlock::RunEpoch(stream::RecordBatch* results) {
   JARVIS_RETURN_IF_ERROR(init_status_);
+  if (threads_ <= 1 || sources_.size() <= 1) return RunEpochSerial(results);
+  return RunEpochParallel(results);
+}
+
+Status BuildingBlock::RunEpochSerial(stream::RecordBatch* results) {
   const Micros from = now_;
   const Micros to = now_ + epoch_length_;
   now_ = to;
@@ -41,12 +54,72 @@ Status BuildingBlock::RunEpoch(stream::RecordBatch* results) {
         SourceEpochOutput out,
         sources_[s]->RunEpoch(to, state_[s].profile_next));
     const EpochObservation obs = out.observation;
+    if (tap_) tap_(s, out);
     JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
     JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(obs);
     sources_[s]->SetLoadFactors(d.load_factors);
     if (d.flush_pending) sources_[s]->RequestFlush();
     state_[s].profile_next = d.request_profile;
   }
+  return sp_->EndEpoch(results);
+}
+
+void BuildingBlock::RunSourceEpoch(size_t s, Micros from, Micros to) {
+  // Everything here is owned by source s — its executor, generator, and
+  // runtime — except the Put into the sharded hand-off. The runtime decision
+  // deliberately runs after the hand-off: the SP can already be consuming
+  // this source's drain while its control loop deliberates.
+  sources_[s]->Ingest(state_[s].generate(from, to));
+  Result<SourceEpochOutput> out =
+      sources_[s]->RunEpoch(to, state_[s].profile_next);
+  if (!out.ok()) {
+    handoff_->Put(s, EpochEnvelope{out.status(), SourceEpochOutput{}});
+    return;
+  }
+  const EpochObservation obs = out->observation;
+  handoff_->Put(s, EpochEnvelope{Status::OK(), std::move(*out)});
+  JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(obs);
+  sources_[s]->SetLoadFactors(d.load_factors);
+  if (d.flush_pending) sources_[s]->RequestFlush();
+  state_[s].profile_next = d.request_profile;
+}
+
+Status BuildingBlock::RunEpochParallel(stream::RecordBatch* results) {
+  const Micros from = now_;
+  const Micros to = now_ + epoch_length_;
+  now_ = to;
+  if (!pool_) pool_ = std::make_unique<ExecPool>(threads_);
+  if (!handoff_) {
+    handoff_ = std::make_unique<ShardedHandoff<EpochEnvelope>>(
+        sources_.size());
+  }
+  handoff_->Reset(sources_.size());  // quiescent: pool idle between epochs
+
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (!state_[s].alive) continue;
+    pool_->Submit(s, [this, s, from, to] { RunSourceEpoch(s, from, to); });
+  }
+
+  // Consume on this thread in ascending source order — the serial loop's
+  // merge order — overlapping with still-running sources. On a source
+  // error, keep taking the remaining envelopes (so no task blocks) but
+  // consume nothing further.
+  Status st;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    if (!state_[s].alive) continue;
+    EpochEnvelope env = handoff_->Take(s);
+    if (!st.ok()) continue;
+    if (!env.status.ok()) {
+      st = env.status;
+      continue;
+    }
+    if (tap_) tap_(s, env.out);
+    st = sp_->Consume(s, std::move(env.out), results);
+  }
+  // Epoch barrier: every source finished its pipeline AND its adaptation
+  // decision before the watermark advances or the next round begins.
+  pool_->WaitIdle();
+  JARVIS_RETURN_IF_ERROR(st);
   return sp_->EndEpoch(results);
 }
 
@@ -75,6 +148,22 @@ Status BuildingBlock::FailSource(size_t source_id) {
   release.watermark = std::numeric_limits<Micros>::max() / 2;
   stream::RecordBatch scratch;
   return sp_->Consume(source_id, std::move(release), &scratch);
+}
+
+Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  auto executor = std::make_unique<SourceExecutor>(
+      query_, std::move(spec.cost_model), spec.options);
+  JARVIS_RETURN_IF_ERROR(executor->Init());
+  const size_t id = sources_.size();
+  sp_->AddSource();
+  sources_.push_back(std::move(executor));
+  runtimes_.push_back(std::make_unique<JarvisRuntime>(
+      query_.num_source_ops(), runtime_config_));
+  PerSource ps;
+  ps.generate = std::move(spec.generate);
+  state_.push_back(std::move(ps));
+  return id;
 }
 
 Status BuildingBlock::Finish(stream::RecordBatch* results) {

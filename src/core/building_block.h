@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/exec_pool.h"
 #include "core/runtime.h"
 #include "core/source_executor.h"
 #include "core/sp_executor.h"
@@ -17,18 +18,39 @@ namespace jarvis::core {
 /// runtime, feeding one parent stream processor. This is the deployment
 /// object the query manager creates per query; examples and tests use it to
 /// avoid hand-wiring the epoch loop.
+///
+/// Threading model: with `threads` == 1 every epoch runs the serial
+/// reference loop. With `threads` > 1 the sources run on an ExecPool — each
+/// source's generate + stage pipeline + drain is one task on its per-source
+/// queue — and hand their epoch outputs to the stream processor through a
+/// mutex-sharded channel. The SP consumes them on the caller's thread in
+/// ascending source order (the stable merge order), and one idle barrier per
+/// epoch keeps the adaptation round's boundary consistent. Because every
+/// source is deterministic in isolation (own generator, own RNG, own
+/// runtime) and the merge order is fixed, the multithreaded epoch is
+/// bit-identical to the serial loop — results, stats, observations, and
+/// wire bytes; the cross-thread equivalence fuzz suite asserts exactly this.
 class BuildingBlock {
  public:
   struct SourceSpec {
     std::shared_ptr<const CostModel> cost_model;
     SourceExecutorOptions options;
     /// Produces this source's records for event-time interval [from, to).
+    /// Runs on a pool worker when threads > 1, so it must not share mutable
+    /// state with other sources' generators (give each source its own
+    /// seeded generator — determinism depends on it).
     std::function<stream::RecordBatch(Micros, Micros)> generate;
   };
 
+  /// `threads` < 0 (default) reads the JARVIS_THREADS environment variable
+  /// (unset -> 1, the serial loop; 0 -> all hardware threads); >= 0 is
+  /// explicit with the same convention.
   BuildingBlock(const query::CompiledQuery& query,
                 std::vector<SourceSpec> sources,
-                RuntimeConfig runtime_config = RuntimeConfig());
+                RuntimeConfig runtime_config = RuntimeConfig(),
+                int threads = -1);
+
+  ~BuildingBlock();
 
   Status Init() const { return init_status_; }
 
@@ -48,14 +70,30 @@ class BuildingBlock {
   /// progress for the surviving sources.
   Status FailSource(size_t source_id);
 
+  /// Adds a source mid-run (churn). It participates from the next epoch;
+  /// until its first epoch output lands, the merged watermark holds — the
+  /// same one-epoch stall any newly reporting input causes. Returns the new
+  /// source id.
+  Result<size_t> AddSource(SourceSpec spec);
+
   /// End-of-run flush of all remaining state.
   Status Finish(stream::RecordBatch* results);
+
+  /// Test/diagnostic tap: called once per source per epoch with the epoch
+  /// output, on the consuming thread, immediately before the SP consumes it
+  /// (so calls are ordered by source id regardless of thread count). The
+  /// cross-thread equivalence suite uses this to compare drains, stats, and
+  /// observations across thread counts.
+  using EpochTap =
+      std::function<void(size_t source_id, const SourceEpochOutput& out)>;
+  void SetEpochTap(EpochTap tap) { tap_ = std::move(tap); }
 
   size_t num_sources() const { return sources_.size(); }
   SourceExecutor& source(size_t i) { return *sources_[i]; }
   JarvisRuntime& runtime(size_t i) { return *runtimes_[i]; }
   SpExecutor& stream_processor() { return *sp_; }
   Micros now() const { return now_; }
+  int threads() const { return threads_; }
 
  private:
   struct PerSource {
@@ -64,6 +102,16 @@ class BuildingBlock {
     bool alive = true;
   };
 
+  /// One source's epoch: generate, ingest, run the stage pipeline, hand the
+  /// output to the SP channel, then apply the runtime's decision. Everything
+  /// it touches is owned by source `s` except the hand-off.
+  void RunSourceEpoch(size_t s, Micros from, Micros to);
+
+  Status RunEpochSerial(stream::RecordBatch* results);
+  Status RunEpochParallel(stream::RecordBatch* results);
+
+  RuntimeConfig runtime_config_;
+  query::CompiledQuery query_;  // kept for AddSource's executor construction
   std::vector<std::unique_ptr<SourceExecutor>> sources_;
   std::vector<std::unique_ptr<JarvisRuntime>> runtimes_;
   std::vector<PerSource> state_;
@@ -71,6 +119,17 @@ class BuildingBlock {
   Micros now_ = 0;
   Micros epoch_length_ = Seconds(1);
   Status init_status_;
+  int threads_ = 1;
+  EpochTap tap_;
+  // The executor kernel, created on first parallel epoch and kept across
+  // epochs; the sharded hand-off carries each source's epoch output (status
+  // + drain chunks) to the consuming thread.
+  std::unique_ptr<ExecPool> pool_;
+  struct EpochEnvelope {
+    Status status;
+    SourceEpochOutput out;
+  };
+  std::unique_ptr<ShardedHandoff<EpochEnvelope>> handoff_;
 };
 
 }  // namespace jarvis::core

@@ -1,0 +1,137 @@
+#include "core/exec_pool.h"
+
+#include <cerrno>
+#include <cstdlib>
+
+namespace jarvis::core {
+
+int HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (requested == 0) return HardwareThreads();
+  const char* s = std::getenv("JARVIS_THREADS");
+  if (s == nullptr || *s == '\0') return 1;
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE || v < 0) return 1;
+  return v == 0 ? HardwareThreads() : static_cast<int>(v);
+}
+
+ExecPool::ExecPool(size_t num_threads) {
+  SpawnWorkers(num_threads == 0 ? 1 : num_threads);
+}
+
+ExecPool::~ExecPool() { Stop(); }
+
+void ExecPool::SpawnWorkers(size_t n) {
+  std::lock_guard<std::mutex> lk(mu_);
+  workers_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+void ExecPool::JoinWorkers() {
+  std::vector<std::thread> crew;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    quit_ = true;
+    crew.swap(workers_);
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : crew) w.join();
+  std::lock_guard<std::mutex> lk(mu_);
+  quit_ = false;
+}
+
+bool ExecPool::Submit(size_t key, std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (!accepting_) return false;
+    SourceQueue& q = queues_[key];
+    q.tasks.push_back(std::move(fn));
+    ++pending_;
+    // The key sits in the ready list exactly once whenever it has queued
+    // work and no worker is on it; a worker that leaves the queue non-empty
+    // re-queues it itself.
+    if (!q.running && q.tasks.size() == 1) ready_.push_back(key);
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void ExecPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    work_cv_.wait(lk, [&] { return quit_ || !ready_.empty(); });
+    if (quit_) return;  // queued work survives for Resize's next crew
+    const size_t key = ready_.front();
+    ready_.pop_front();
+    SourceQueue& q = queues_[key];
+    q.running = true;
+    std::function<void()> fn = std::move(q.tasks.front());
+    q.tasks.pop_front();
+    lk.unlock();
+    fn();
+    fn = nullptr;  // destroy captures outside the lock
+    lk.lock();
+    q.running = false;
+    ++executed_;
+    if (!q.tasks.empty()) {
+      ready_.push_back(key);
+      work_cv_.notify_one();
+    }
+    if (--pending_ == 0) idle_cv_.notify_all();
+  }
+}
+
+void ExecPool::WaitIdle() {
+  std::unique_lock<std::mutex> lk(mu_);
+  idle_cv_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void ExecPool::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+    stopped_ = true;
+    accepting_ = false;
+  }
+  // Graceful shutdown: everything already queued still runs (no lost drain
+  // chunks), then the workers exit.
+  WaitIdle();
+  JoinWorkers();
+}
+
+void ExecPool::Resize(size_t num_threads) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stopped_) return;
+  }
+  JoinWorkers();
+  SpawnWorkers(num_threads == 0 ? 1 : num_threads);
+  // Wake the new crew for any work queued across the handover.
+  work_cv_.notify_all();
+}
+
+size_t ExecPool::num_threads() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+uint64_t ExecPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return executed_;
+}
+
+size_t ExecPool::tasks_pending() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return pending_;
+}
+
+}  // namespace jarvis::core

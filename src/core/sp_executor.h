@@ -47,6 +47,10 @@ class SpExecutor {
     if (pipeline_) pipeline_->SetByteAccounting(enabled);
   }
 
+  /// Registers one more source (join churn): returns its id. The merged
+  /// watermark holds until the newcomer's first epoch output arrives.
+  size_t AddSource() { return merger_.AddInput(); }
+
   Micros merged_watermark() const { return merger_.Merged(); }
 
  private:

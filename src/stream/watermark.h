@@ -36,6 +36,14 @@ class WatermarkMerger {
     return m;
   }
 
+  /// Registers a new input (source join churn). It starts uninitialized, so
+  /// the merged watermark holds until the newcomer reports — the rule that
+  /// keeps a late joiner from seeing windows close under it.
+  size_t AddInput() {
+    inputs_.push_back(kUninitialized);
+    return inputs_.size() - 1;
+  }
+
   size_t num_inputs() const { return inputs_.size(); }
 
   static constexpr Micros kUninitialized = -1;

@@ -3,7 +3,10 @@
 // record-at-a-time Process, for fuzzed batches (including kPartial records
 // and awkward chunk boundaries); Pipeline::PushBatch must match Push; and
 // the schema-elided batch wire format must round-trip arbitrary batches —
-// empty, partial-bearing, and schema-divergent — byte-exactly.
+// empty, partial-bearing, and schema-divergent — byte-exactly. The final
+// section extends the same discipline across threads: a BuildingBlock
+// workload at threads=1 and threads=N must be bit-identical in results,
+// drain wire bytes, stats, and observations.
 
 #include <gtest/gtest.h>
 
@@ -13,6 +16,8 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/building_block.h"
+#include "core/exec_pool.h"
 #include "core/source_executor.h"
 #include "core/sp_executor.h"
 #include "query/compile.h"
@@ -25,6 +30,8 @@
 #include "stream/predicate.h"
 #include "stream/record.h"
 #include "testing/test_util.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
 
 namespace jarvis::stream {
 namespace {
@@ -811,6 +818,152 @@ TEST_P(BatchEquivalenceTest, NativeIngestToSpConsumeMatchesRowPlane) {
     ASSERT_TRUE(native_sp.Flush(&native_results).ok());
     ASSERT_TRUE(row_sp.Flush(&row_results).ok());
     EXPECT_EQ(native_results, row_results);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread equivalence: the same workload at threads=1 and threads=N
+// must be bit-identical — final results, per-epoch per-source drain wire
+// bytes, stats, and observations — across backpressure, flush, checkpoint,
+// and profile epochs. This is the multithreaded executor's determinism
+// contract (the serial loop is the reference semantics; the pool is purely
+// an execution strategy).
+// ---------------------------------------------------------------------------
+
+/// One source-epoch fingerprint: everything the SP (and the control plane)
+/// sees from a source, with the drain chunks reduced to their exact wire
+/// bytes via the columnar/batch serializers.
+struct EpochFingerprint {
+  size_t source = 0;
+  uint64_t drained_bytes = 0;
+  Micros watermark = 0;
+  uint64_t wire_hash = 0;
+  size_t chunks = 0;
+  uint64_t input_records = 0;
+  double cpu_spent_seconds = 0.0;
+  uint64_t proxy_counts = 0;  // folded arrived/forwarded/drained counters
+  bool profiles_valid = false;
+
+  bool operator==(const EpochFingerprint&) const = default;
+};
+
+uint64_t Fnv1a(const std::vector<uint8_t>& bytes, uint64_t h) {
+  for (const uint8_t b : bytes) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+EpochFingerprint Fingerprint(size_t source,
+                             const core::SourceEpochOutput& out) {
+  EpochFingerprint fp;
+  fp.source = source;
+  fp.drained_bytes = out.drained_bytes;
+  fp.watermark = out.watermark;
+  fp.chunks = out.to_sp.size();
+  uint64_t h = 14695981039346656037ull;
+  for (const core::DrainChunk& chunk : out.to_sp) {
+    ser::BufferWriter w;
+    w.PutU64(chunk.sp_entry_op);
+    if (chunk.columns.num_rows() > 0) SerializeColumnar(chunk.columns, &w);
+    // Empty schema: every row takes the divergent lane — still byte-exact
+    // and deterministic, which is all a fingerprint needs.
+    if (!chunk.rows.empty()) SerializeBatch(chunk.rows, Schema(), &w);
+    h = Fnv1a(w.data(), h);
+  }
+  fp.wire_hash = h;
+  fp.input_records = out.observation.input_records;
+  fp.cpu_spent_seconds = out.observation.cpu_spent_seconds;
+  for (const auto& p : out.observation.proxies) {
+    fp.proxy_counts = fp.proxy_counts * 1000003 + p.arrived;
+    fp.proxy_counts = fp.proxy_counts * 1000003 + p.forwarded;
+    fp.proxy_counts = fp.proxy_counts * 1000003 + p.drained;
+    fp.proxy_counts = fp.proxy_counts * 1000003 + p.pending;
+  }
+  fp.profiles_valid = out.observation.profiles_valid;
+  return fp;
+}
+
+core::BuildingBlock::SourceSpec PingmeshSpec(uint64_t seed, int pairs,
+                                             double budget) {
+  core::BuildingBlock::SourceSpec spec;
+  spec.cost_model = std::make_shared<core::FixedCostModel>(
+      std::vector<double>{1e-6, 2e-6, 1e-5});
+  spec.options.cpu_budget_fraction = budget;
+  workloads::PingmeshConfig cfg;
+  cfg.seed = seed;
+  cfg.source_ip = static_cast<int64_t>(seed) * 100000;
+  cfg.num_pairs = pairs;
+  cfg.probe_interval = Seconds(1);
+  auto gen = std::make_shared<workloads::PingmeshGenerator>(cfg);
+  spec.generate = [gen](Micros from, Micros to) {
+    return gen->Generate(from, to);
+  };
+  return spec;
+}
+
+/// Runs the full scripted workload (tight budgets => backpressure and drain;
+/// default RuntimeConfig => profile epochs and adaptation flushes; one
+/// mid-run checkpoint) at the given thread count. Returns the final results
+/// and fills `trace` with each (epoch, source) fingerprint in consume order.
+RecordBatch RunWorkloadAt(int threads, uint64_t seed, size_t num_sources,
+                          int epochs,
+                          std::vector<EpochFingerprint>* trace) {
+  auto plan = workloads::MakeS2SProbeQuery();
+  EXPECT_TRUE(plan.ok());
+  auto compiled = query::Compile(std::move(plan).value());
+  EXPECT_TRUE(compiled.ok());
+  std::vector<core::BuildingBlock::SourceSpec> specs;
+  for (size_t s = 0; s < num_sources; ++s) {
+    // Uneven budgets: some sources drain heavily, some relay — the planes
+    // where thread interleaving could plausibly leak in.
+    specs.push_back(
+        PingmeshSpec(seed * 100 + s + 1, 30 + static_cast<int>(s) * 10,
+                     s % 2 == 0 ? 0.3 : 1.0));
+  }
+  core::BuildingBlock block(*compiled, std::move(specs), core::RuntimeConfig(),
+                            threads);
+  EXPECT_TRUE(block.Init().ok());
+  EXPECT_EQ(block.threads(), threads);
+  block.SetEpochTap([trace](size_t source, const core::SourceEpochOutput& o) {
+    trace->push_back(Fingerprint(source, o));
+  });
+  RecordBatch results;
+  for (int e = 0; e < epochs; ++e) {
+    EXPECT_TRUE(block.RunEpoch(&results).ok()) << "epoch " << e;
+    if (e == epochs / 2) {
+      EXPECT_TRUE(block.CheckpointSource(0, &results).ok());
+    }
+  }
+  EXPECT_TRUE(block.Finish(&results).ok());
+  return results;
+}
+
+TEST_P(BatchEquivalenceTest, CrossThreadRunsAreBitIdentical) {
+  const uint64_t seed = GetParam();
+  const size_t num_sources = 3 + seed % 3;
+  const int epochs = 8 + static_cast<int>(seed % 5);
+
+  std::vector<EpochFingerprint> ref_trace;
+  const RecordBatch ref =
+      RunWorkloadAt(1, seed, num_sources, epochs, &ref_trace);
+  ASSERT_FALSE(ref_trace.empty());
+
+  std::vector<int> thread_counts = {2, 4};
+  const int hw = core::HardwareThreads();
+  if (hw != 2 && hw != 4) thread_counts.push_back(hw);
+  for (const int threads : thread_counts) {
+    std::vector<EpochFingerprint> trace;
+    const RecordBatch got =
+        RunWorkloadAt(threads, seed, num_sources, epochs, &trace);
+    EXPECT_EQ(got, ref) << "results diverge at threads=" << threads;
+    ASSERT_EQ(trace.size(), ref_trace.size()) << "threads=" << threads;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i], ref_trace[i])
+          << "threads=" << threads << " trace entry " << i << " (source "
+          << ref_trace[i].source << ")";
+    }
   }
 }
 

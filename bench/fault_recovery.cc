@@ -1,0 +1,190 @@
+// Fault-recovery bench: scripted kill/rejoin against the fault-tolerant
+// epoch runtime. Measures (a) the throughput dip while a crashed source
+// sits in quarantine — depth relative to a clean baseline over the same
+// epochs — and (b) how many epochs the block needs after the kill before
+// its per-epoch delivery matches the baseline again (reconvergence), plus
+// (c) the retransmit overhead of a corruption storm across the startup
+// epochs. Rows are machine-parseable for scripts/run_benches.sh.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/building_block.h"
+#include "core/fault.h"
+#include "stream/record.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
+
+namespace {
+
+using jarvis::Micros;
+using jarvis::Seconds;
+using jarvis::core::BuildingBlock;
+using jarvis::core::FaultPlan;
+using jarvis::core::FaultStats;
+using jarvis::core::FaultToleranceOptions;
+using jarvis::core::FixedCostModel;
+using jarvis::core::RuntimeConfig;
+
+constexpr size_t kSources = 4;
+constexpr int kEpochs = 24;
+constexpr int kKillEpoch = 2;
+constexpr int kReadmitAfter = 4;
+
+BuildingBlock::SourceSpec MakeSpec(uint64_t seed, int pairs) {
+  BuildingBlock::SourceSpec spec;
+  spec.cost_model = std::make_shared<FixedCostModel>(
+      std::vector<double>{1e-6, 2e-6, 1e-5});
+  spec.options.cpu_budget_fraction = 0.4;
+  jarvis::workloads::PingmeshConfig cfg;
+  cfg.seed = seed;
+  cfg.source_ip = static_cast<int64_t>(seed) * 100000;
+  cfg.num_pairs = pairs;
+  cfg.probe_interval = Seconds(1);
+  auto gen = std::make_shared<jarvis::workloads::PingmeshGenerator>(cfg);
+  spec.generate = [gen](Micros from, Micros to) {
+    return gen->Generate(from, to);
+  };
+  return spec;
+}
+
+struct Run {
+  std::vector<uint64_t> per_epoch_delivered;
+  FaultStats stats;
+  uint64_t in_flight = 0;
+  double elapsed_s = 0.0;
+};
+
+Run RunOnce(const jarvis::query::CompiledQuery& q, const std::string& plan) {
+  std::vector<BuildingBlock::SourceSpec> specs;
+  for (uint64_t s = 1; s <= kSources; ++s) specs.push_back(MakeSpec(s, 200));
+  BuildingBlock block(q, std::move(specs), RuntimeConfig(), /*threads=*/1);
+  if (!block.Init().ok()) std::abort();
+  FaultToleranceOptions opts;
+  opts.readmit_after_epochs = kReadmitAfter;
+  block.EnableFaultTolerance(opts);
+  if (!plan.empty()) {
+    auto parsed = FaultPlan::Parse(plan);
+    if (!parsed.ok()) std::abort();
+    block.SetFaultPlan(*parsed);
+  }
+
+  Run run;
+  jarvis::stream::RecordBatch results;
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t prev = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    if (!block.RunEpoch(&results).ok()) std::abort();
+    const uint64_t total = block.fault_stats().records_delivered;
+    run.per_epoch_delivered.push_back(total - prev);
+    prev = total;
+  }
+  if (!block.Finish(&results).ok()) std::abort();
+  run.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  run.stats = block.fault_stats();
+  run.in_flight = block.records_in_flight();
+  return run;
+}
+
+double Rps(const Run& r) {
+  return r.elapsed_s > 0
+             ? static_cast<double>(r.stats.records_delivered) / r.elapsed_s
+             : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Fault recovery: scripted kill/rejoin + corruption storm");
+
+  auto plan_or = jarvis::workloads::MakeS2SProbeQuery();
+  if (!plan_or.ok()) return 1;
+  auto q_or = jarvis::query::Compile(std::move(plan_or).value());
+  if (!q_or.ok()) return 1;
+  const jarvis::query::CompiledQuery q = std::move(q_or).value();
+
+  const Run baseline = RunOnce(q, "");
+  const Run kill = RunOnce(
+      q, "seed=1;crash@" + std::to_string(kKillEpoch) + ":1");
+
+  std::printf(
+      "fault_recovery config sources %zu epochs %d kill_epoch %d "
+      "readmit_after %d\n",
+      kSources, kEpochs, kKillEpoch, kReadmitAfter);
+  std::printf(
+      "fault_recovery baseline records_delivered %llu elapsed_s %.4f "
+      "rps %.0f\n",
+      static_cast<unsigned long long>(baseline.stats.records_delivered),
+      baseline.elapsed_s, Rps(baseline));
+  std::printf(
+      "fault_recovery kill records_sent %llu records_delivered %llu "
+      "records_lost %llu in_flight %llu elapsed_s %.4f rps %.0f\n",
+      static_cast<unsigned long long>(kill.stats.records_sent),
+      static_cast<unsigned long long>(kill.stats.records_delivered),
+      static_cast<unsigned long long>(kill.stats.records_lost),
+      static_cast<unsigned long long>(kill.in_flight), kill.elapsed_s,
+      Rps(kill));
+
+  // Dip depth: delivery shortfall across the quarantine window
+  // [kill_epoch, readmit epoch), chaos vs baseline.
+  const int readmit_epoch = kKillEpoch + 1 + kReadmitAfter;
+  uint64_t base_window = 0, kill_window = 0;
+  for (int e = kKillEpoch; e < readmit_epoch && e < kEpochs; ++e) {
+    base_window += baseline.per_epoch_delivered[e];
+    kill_window += kill.per_epoch_delivered[e];
+  }
+  const double depth_pct =
+      base_window > 0
+          ? 100.0 * (1.0 - static_cast<double>(kill_window) /
+                               static_cast<double>(base_window))
+          : 0.0;
+  std::printf(
+      "fault_recovery dip window_epochs %d baseline_window %llu "
+      "kill_window %llu depth_pct %.1f\n",
+      readmit_epoch - kKillEpoch,
+      static_cast<unsigned long long>(base_window),
+      static_cast<unsigned long long>(kill_window), depth_pct);
+
+  // Reconvergence: epochs after the kill until per-epoch delivery matches
+  // the baseline for the rest of the run.
+  int match_from = kEpochs;
+  for (int e = kEpochs - 1; e >= kKillEpoch; --e) {
+    if (kill.per_epoch_delivered[e] != baseline.per_epoch_delivered[e]) break;
+    match_from = e;
+  }
+  std::printf("fault_recovery reconverge epochs %d\n",
+              match_from - kKillEpoch);
+  std::printf(
+      "fault_recovery stats quarantines %llu readmissions %llu "
+      "replans %llu retransmits %llu\n",
+      static_cast<unsigned long long>(kill.stats.quarantines),
+      static_cast<unsigned long long>(kill.stats.readmissions),
+      static_cast<unsigned long long>(kill.stats.replans_triggered),
+      static_cast<unsigned long long>(kill.stats.retransmits));
+
+  // Corruption storm: one flipped chunk per source per startup epoch; every
+  // frame recovers by retransmit, so the cost shows up purely as overhead.
+  const Run storm = RunOnce(
+      q,
+      "seed=9;flip@1:0;flip@1:1;flip@1:2;flip@1:3;"
+      "flip@2:0;flip@2:1;flip@2:2;flip@2:3;"
+      "flip@3:0;flip@3:1;flip@3:2;flip@3:3");
+  const double overhead_pct =
+      Rps(baseline) > 0 ? 100.0 * (1.0 - Rps(storm) / Rps(baseline)) : 0.0;
+  std::printf(
+      "fault_recovery storm retransmits %llu checksum_failures %llu "
+      "records_lost %llu rps %.0f overhead_pct %.1f\n",
+      static_cast<unsigned long long>(storm.stats.retransmits),
+      static_cast<unsigned long long>(storm.stats.checksum_failures),
+      static_cast<unsigned long long>(storm.stats.records_lost), Rps(storm),
+      overhead_pct);
+  return 0;
+}

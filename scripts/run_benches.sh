@@ -59,6 +59,10 @@ echo "== fig10_scalability --exec-only (multithreaded executor sweep) =="
   --sources 100 --epochs 3 --pairs 100 --threads 1,2,4 \
   | tee "${RESULTS_DIR}/fig10_exec.txt"
 
+echo
+echo "== fault_recovery (kill/rejoin dip + reconvergence, retransmit storm) =="
+"${BUILD_DIR}/bench/fault_recovery" | tee "${RESULTS_DIR}/fault_recovery.txt"
+
 # Optional microbenchmarks (google-benchmark); tolerated if absent.
 if [[ -x "${BUILD_DIR}/bench/overhead_bench" ]]; then
   echo
@@ -191,6 +195,18 @@ def parse_exec(text):
                 "elapsed_s": float(m.group(5))}
     return data
 
+def parse_fault_recovery(text):
+    """Rows 'fault_recovery <section> k1 v1 k2 v2 ...' with numeric values."""
+    data = {}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) < 4 or parts[0] != "fault_recovery":
+            continue
+        section, kv = parts[1], parts[2:]
+        data[section] = {
+            kv[i]: float(kv[i + 1]) for i in range(0, len(kv) - 1, 2)}
+    return data
+
 def parse_latency(text):
     """Sections '(n) <label>' with rows '<policy> median max tput'."""
     scenarios, current = {}, None
@@ -220,6 +236,8 @@ snapshot = {
     "dataplane": parse_fig12((results_dir / "fig12.txt").read_text()),
     "fig10_exec": parse_exec(
         (results_dir / "fig10_exec.txt").read_text()),
+    "fault_recovery": parse_fault_recovery(
+        (results_dir / "fault_recovery.txt").read_text()),
 }
 
 overhead = results_dir / "overhead.json"
@@ -257,6 +275,19 @@ for t in ("threads_1", "threads_2", "threads_4"):
     assert t in ex["threads"], f"fig10 exec sweep missing {t}"
 assert ex["threads"]["threads_1"]["records_per_sec"] > 0, \
     "fig10 exec sweep produced no throughput"
+fr = snapshot["fault_recovery"]
+for section in ("config", "baseline", "kill", "dip", "reconverge", "stats",
+                "storm"):
+    assert section in fr, f"fault_recovery section '{section}' missing"
+assert fr["baseline"]["rps"] > 0, "fault_recovery baseline produced no rate"
+assert fr["stats"]["quarantines"] >= 1 and fr["stats"]["readmissions"] >= 1, \
+    "fault_recovery kill/rejoin did not quarantine and readmit"
+assert fr["storm"]["retransmits"] >= 1 and \
+    fr["storm"]["records_lost"] == 0, \
+    "fault_recovery storm must recover every corrupted frame"
+assert fr["kill"]["records_sent"] == fr["kill"]["records_delivered"] + \
+    fr["kill"]["records_lost"] + fr["kill"]["in_flight"], \
+    "fault_recovery kill run violates record conservation"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

@@ -1,6 +1,9 @@
 #include "core/building_block.h"
 
+#include <algorithm>
+#include <chrono>
 #include <limits>
+#include <optional>
 #include <utility>
 
 namespace jarvis::core {
@@ -11,6 +14,18 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
     : runtime_config_(runtime_config),
       query_(query),
       threads_(ResolveThreads(threads)) {
+  // JARVIS_FAULTS switches every building block onto the fault-tolerant
+  // path with the scripted plan installed — the chaos CI legs run the whole
+  // suite this way without any test opting in.
+  auto injector = FaultInjector::FromEnv();
+  if (!injector.ok()) {
+    init_status_ = injector.status();
+    return;
+  }
+  if (*injector != nullptr) {
+    injector_ = std::move(*injector);
+    ft_.enabled = true;
+  }
   sp_ = std::make_unique<SpExecutor>(query, specs.size());
   if (!sp_->Init().ok()) {
     init_status_ = sp_->Init();
@@ -39,6 +54,7 @@ BuildingBlock::~BuildingBlock() {
 
 Status BuildingBlock::RunEpoch(stream::RecordBatch* results) {
   JARVIS_RETURN_IF_ERROR(init_status_);
+  if (ft_.enabled) return RunEpochFaultTolerant(results);
   if (threads_ <= 1 || sources_.size() <= 1) return RunEpochSerial(results);
   return RunEpochParallel(results);
 }
@@ -73,11 +89,15 @@ void BuildingBlock::RunSourceEpoch(size_t s, Micros from, Micros to) {
   Result<SourceEpochOutput> out =
       sources_[s]->RunEpoch(to, state_[s].profile_next);
   if (!out.ok()) {
-    handoff_->Put(s, EpochEnvelope{out.status(), SourceEpochOutput{}});
+    EpochEnvelope env;
+    env.status = out.status();
+    handoff_->Put(s, std::move(env));
     return;
   }
   const EpochObservation obs = out->observation;
-  handoff_->Put(s, EpochEnvelope{Status::OK(), std::move(*out)});
+  EpochEnvelope env;
+  env.out = std::move(*out);
+  handoff_->Put(s, std::move(env));
   JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(obs);
   sources_[s]->SetLoadFactors(d.load_factors);
   if (d.flush_pending) sources_[s]->RequestFlush();
@@ -141,17 +161,37 @@ Status BuildingBlock::FailSource(size_t source_id) {
   if (source_id >= sources_.size()) {
     return Status::OutOfRange("unknown source");
   }
-  state_[source_id].alive = false;
-  // Release the failed source's watermark so surviving sources' windows
-  // are not held open forever.
-  SourceEpochOutput release;
-  release.watermark = std::numeric_limits<Micros>::max() / 2;
-  stream::RecordBatch scratch;
-  return sp_->Consume(source_id, std::move(release), &scratch);
+  PerSource& ps = state_[source_id];
+  ps.alive = false;
+  if (ft_.enabled) {
+    // Permanent quarantine: an externally failed source never re-admits,
+    // and whatever it had in flight is gone with it.
+    ps.health = SourceHealth::kQuarantined;
+    ps.readmit_at = -1;
+    for (const Delivery& d : ps.inbox) {
+      stats_.records_lost += d.records - d.delivered;
+    }
+    ps.inbox.clear();
+    ps.retained.clear();
+  }
+  // Remove its watermark input so surviving sources' windows are not held
+  // open forever.
+  return sp_->RemoveSource(source_id);
 }
 
 Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
   JARVIS_RETURN_IF_ERROR(init_status_);
+  if (ft_.enabled) {
+    // Growing sources_/state_ reallocates vectors an in-flight epoch task
+    // still indexes into; only the barrier (all envelopes collected)
+    // guarantees quiescence on the fault-tolerant path.
+    for (const PerSource& ps : state_) {
+      if (ps.outstanding) {
+        return Status::FailedPrecondition(
+            "cannot add a source while an epoch task is still in flight");
+      }
+    }
+  }
   auto executor = std::make_unique<SourceExecutor>(
       query_, std::move(spec.cost_model), spec.options);
   JARVIS_RETURN_IF_ERROR(executor->Init());
@@ -168,15 +208,427 @@ Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
 
 Status BuildingBlock::Finish(stream::RecordBatch* results) {
   JARVIS_RETURN_IF_ERROR(init_status_);
+  if (ft_.enabled) {
+    // Land every straggling or stalled delivery before the final flush. A
+    // quarantined source's in-flight stays unconsumed (it is counted in
+    // records_in_flight, not lost — nothing forced its loss).
+    for (size_t s = 0; s < sources_.size(); ++s) {
+      PerSource& ps = state_[s];
+      if (!ps.alive || ps.health == SourceHealth::kQuarantined) continue;
+      if (ps.outstanding) {
+        std::optional<EpochEnvelope> env = handoff_->TryTakeFor(
+            s,
+            std::chrono::milliseconds(std::max(1, ft_.take_deadline_ms) * 64));
+        if (!env.has_value()) continue;  // still wedged: give up on it
+        ps.outstanding = false;
+        JARVIS_RETURN_IF_ERROR(
+            ProcessEnvelope(s, ft_epoch_, std::move(*env), results));
+      }
+      JARVIS_RETURN_IF_ERROR(DeliverReleasable(
+          s, std::numeric_limits<int64_t>::max(), results));
+    }
+    for (const auto& [qs, keep] : pending_quarantine_) {
+      ApplyQuarantine(qs, ft_epoch_, keep);
+    }
+    pending_quarantine_.clear();
+  }
   const Micros far = now_ + Seconds(3600);
   for (size_t s = 0; s < sources_.size(); ++s) {
     if (!state_[s].alive) continue;
+    if (state_[s].health == SourceHealth::kQuarantined) continue;
     JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
                             sources_[s]->RunEpoch(far, false));
     JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
   }
   JARVIS_RETURN_IF_ERROR(sp_->EndEpoch(results));
   return sp_->Flush(results);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-tolerant epoch path
+// ---------------------------------------------------------------------------
+
+void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
+                                     Micros to, bool profile) {
+  EpochEnvelope env;
+  if (injector_ && injector_->ShouldCrash(s, epoch)) {
+    // The epoch task dies before producing anything: no ingest, no drain,
+    // no decision — the generator's records for this interval are gone.
+    env.crashed = true;
+    handoff_->Put(s, std::move(env));
+    return;
+  }
+  sources_[s]->Ingest(state_[s].generate(from, to));
+  Result<SourceEpochOutput> out = sources_[s]->RunEpoch(to, profile);
+  if (!out.ok()) {
+    env.status = out.status();
+    handoff_->Put(s, std::move(env));
+    return;
+  }
+  env.watermark = out->watermark;
+  env.records = out->DrainedRecords();
+  env.wire = SerializeDrain(&*out, &state_[s].next_seq);
+  // The retransmit buffer travels in the envelope: the consumer owns the
+  // retained copies outright, so a late (straggling) Put never races the
+  // consumer's NACK handling.
+  env.pristine = env.wire.frames;
+  if (injector_) {
+    env.late = injector_->StraggleEpochs(s, epoch);
+    injector_->TamperTransmission(s, epoch, &env.wire);
+  }
+  // The adaptation decision runs *before* the hand-off on this path:
+  // collecting the envelope then implies the task has nothing left to
+  // touch, which is what lets the detector skip the global barrier while a
+  // peer straggles.
+  JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(out->observation);
+  sources_[s]->SetLoadFactors(d.load_factors);
+  if (d.flush_pending) sources_[s]->RequestFlush();
+  env.profile_next = d.request_profile;
+  handoff_->Put(s, std::move(env));
+}
+
+Status BuildingBlock::RunEpochFaultTolerant(stream::RecordBatch* results) {
+  const Micros from = now_;
+  const Micros to = now_ + epoch_length_;
+  now_ = to;
+  const int64_t e = ft_epoch_++;
+
+  JARVIS_RETURN_IF_ERROR(MaybeReadmit(e, results));
+
+  if (!handoff_) {
+    handoff_ =
+        std::make_unique<ShardedHandoff<EpochEnvelope>>(sources_.size());
+  }
+  handoff_->EnsureCapacity(sources_.size());
+  const bool parallel = threads_ > 1 && sources_.size() > 1;
+  if (parallel && !pool_) pool_ = std::make_unique<ExecPool>(threads_);
+
+  // Schedule every live, non-quarantined source with no epoch still in
+  // flight. A wedged source's slot is left untouched so its eventual Put
+  // lands; everyone else's slot is recycled per key (no quiescent Reset).
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    PerSource& ps = state_[s];
+    if (!ps.alive || ps.health == SourceHealth::kQuarantined ||
+        ps.outstanding) {
+      continue;
+    }
+    handoff_->ClearSlot(s);
+    ps.outstanding = true;
+    const bool profile = ps.profile_next;
+    if (parallel) {
+      pool_->Submit(s, [this, s, e, from, to, profile] {
+        RunSourceEpochFT(s, e, from, to, profile);
+      });
+    } else {
+      RunSourceEpochFT(s, e, from, to, profile);
+    }
+  }
+
+  // Collect in ascending source order — the stable merge order. With a
+  // wall-clock deadline configured, a missed Take is a straggler signal,
+  // not a wedge; the default (deterministic) mode keeps the blocking take.
+  Status st;
+  bool all_collected = true;
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    PerSource& ps = state_[s];
+    if (!ps.outstanding) continue;
+    std::optional<EpochEnvelope> env;
+    if (ft_.take_deadline_ms > 0) {
+      env = handoff_->TryTakeFor(
+          s, std::chrono::milliseconds(ft_.take_deadline_ms));
+    } else {
+      env = handoff_->Take(s);
+    }
+    if (!env.has_value()) {
+      ++stats_.deadline_misses;
+      NoteMiss(s);
+      all_collected = false;
+      continue;
+    }
+    ps.outstanding = false;
+    if (!st.ok()) continue;
+    st = ProcessEnvelope(s, e, std::move(*env), results);
+  }
+  // The epoch barrier runs only when every envelope was collected; the FT
+  // tasks made all their side effects before the hand-off, so a collected
+  // envelope means its task is effectively done and only a straggler's own
+  // task can still be running when the barrier is skipped.
+  if (parallel && all_collected) pool_->WaitIdle();
+  JARVIS_RETURN_IF_ERROR(st);
+
+  // Quarantines apply at this deterministic point — after the collect loop
+  // and the barrier — so detection order cannot depend on interleaving.
+  for (const auto& [qs, keep] : pending_quarantine_) {
+    ApplyQuarantine(qs, e, keep);
+  }
+  pending_quarantine_.clear();
+
+  return sp_->EndEpoch(results);
+}
+
+Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
+                                      EpochEnvelope&& env,
+                                      stream::RecordBatch* results) {
+  PerSource& ps = state_[s];
+  if (env.crashed) {
+    // The crashed task produced nothing, and a crashed source's process
+    // state (its retransmit history) is gone with it: quarantine discards
+    // the in-flight and re-syncs sequences at re-admission.
+    ++stats_.crashes;
+    pending_quarantine_.emplace_back(s, /*keep_inflight=*/false);
+    return Status::OK();
+  }
+  // A genuine pipeline error is a bug, not an injected fault — propagate.
+  JARVIS_RETURN_IF_ERROR(env.status);
+  ps.profile_next = env.profile_next;
+  stats_.frames_sent += env.wire.frame_count;
+  stats_.records_sent += env.records;
+  for (WireFrame& f : env.pristine) {
+    ps.retained.emplace(f.seq, std::move(f));
+  }
+  Delivery d;
+  d.release_epoch = e + env.late;
+  d.wire = std::move(env.wire);
+  d.watermark = env.watermark;
+  d.records = env.records;
+  ps.inbox.push_back(std::move(d));
+  if (env.late > 0) {
+    ++stats_.straggles;
+    NoteMiss(s);
+  } else {
+    ps.misses = 0;
+    if (ps.health == SourceHealth::kSuspect) {
+      ps.health = SourceHealth::kHealthy;
+    }
+  }
+  // A quarantined source's output stays in its inbox until re-admission
+  // revives its watermark input.
+  if (ps.health == SourceHealth::kQuarantined) return Status::OK();
+  if (injector_ && injector_->ShouldStall(s, e)) {
+    // The SP sits on this source's drain this epoch; the inbox holds it
+    // and the next epoch's delivery pass catches up.
+    ++stats_.stalls;
+    return Status::OK();
+  }
+  return DeliverReleasable(s, e, results);
+}
+
+Status BuildingBlock::DeliverReleasable(size_t s, int64_t e,
+                                        stream::RecordBatch* results) {
+  PerSource& ps = state_[s];
+  while (!ps.inbox.empty() && ps.inbox.front().release_epoch <= e) {
+    Delivery d = std::move(ps.inbox.front());
+    ps.inbox.pop_front();
+    bool exhausted = false;
+    JARVIS_RETURN_IF_ERROR(DeliverWire(s, &d, results, &exhausted));
+    if (exhausted) {
+      stats_.records_lost += d.records - d.delivered;
+      pending_quarantine_.emplace_back(s, /*keep_inflight=*/false);
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+Status BuildingBlock::DeliverWire(size_t s, Delivery* d,
+                                  stream::RecordBatch* results,
+                                  bool* exhausted) {
+  *exhausted = false;
+  PerSource& ps = state_[s];
+  std::deque<WireFrame> pending(
+      std::make_move_iterator(d->wire.frames.begin()),
+      std::make_move_iterator(d->wire.frames.end()));
+  d->wire.frames.clear();
+  const uint32_t seq_end = d->wire.first_seq + d->wire.frame_count;
+  int attempts = 0;
+  // NACK answer: fetch the expected frame's pristine copy (it rides the
+  // same faulty link, so the injector gets another shot at it) and account
+  // one modeled exponential-backoff round.
+  auto retransmit = [&](uint32_t want, WireFrame* out_frame) -> bool {
+    auto it = ps.retained.find(want);
+    if (it == ps.retained.end()) return false;
+    WireFrame copy = it->second;
+    if (injector_) injector_->TamperRetransmit(s, want, &copy);
+    ++stats_.retransmits;
+    stats_.backoff_ms_total += static_cast<uint64_t>(ft_.backoff_base_ms)
+                               << std::min(attempts - 1, 20);
+    *out_frame = std::move(copy);
+    return true;
+  };
+  auto ack = [&](const WireFrame& f) {
+    ++stats_.frames_delivered;
+    stats_.records_delivered += f.records;
+    d->delivered += f.records;
+    ps.retained.erase(f.seq);
+    if (wire_tap_) wire_tap_(s, f.seq, f.bytes);
+  };
+  while (!pending.empty()) {
+    JARVIS_ASSIGN_OR_RETURN(FrameDisposition disp,
+                            sp_->ConsumeFrame(s, pending.front(), results));
+    switch (disp) {
+      case FrameDisposition::kDelivered:
+        ack(pending.front());
+        pending.pop_front();
+        attempts = 0;
+        break;
+      case FrameDisposition::kDuplicate:
+        ++stats_.duplicates_dropped;
+        pending.pop_front();
+        attempts = 0;
+        break;
+      case FrameDisposition::kCorrupt:
+      case FrameDisposition::kGap: {
+        if (disp == FrameDisposition::kCorrupt) {
+          ++stats_.checksum_failures;
+        } else {
+          ++stats_.gaps;
+        }
+        const uint32_t want = sp_->expected_seq(s);
+        if (want >= seq_end) {
+          // Every real frame of this epoch already delivered: the offender
+          // is leftover garbage (e.g. a corrupted duplicate) — drop it
+          // rather than retransmitting toward a seq the SP will never want.
+          ++stats_.duplicates_dropped;
+          pending.pop_front();
+          attempts = 0;
+          break;
+        }
+        WireFrame copy;
+        if (++attempts > ft_.max_retransmits || !retransmit(want, &copy)) {
+          ++stats_.retransmit_failures;
+          *exhausted = true;
+          return Status::OK();
+        }
+        if (disp == FrameDisposition::kCorrupt) {
+          pending.front() = std::move(copy);   // replace the bad frame
+        } else {
+          pending.push_front(std::move(copy));  // fill the gap, then retry
+        }
+        break;
+      }
+    }
+  }
+  // Trailing gaps: a dropped tail frame exposes no gap through a later
+  // frame, but the epoch manifest (first_seq + frame_count) names exactly
+  // what is still missing.
+  while (sp_->expected_seq(s) < seq_end) {
+    // A fresh missing seq (attempts carries within one seq's retry chain).
+    if (attempts == 0) ++stats_.gaps;
+    WireFrame copy;
+    if (++attempts > ft_.max_retransmits ||
+        !retransmit(sp_->expected_seq(s), &copy)) {
+      ++stats_.retransmit_failures;
+      *exhausted = true;
+      return Status::OK();
+    }
+    JARVIS_ASSIGN_OR_RETURN(FrameDisposition disp,
+                            sp_->ConsumeFrame(s, copy, results));
+    if (disp == FrameDisposition::kDelivered) {
+      ack(copy);
+      attempts = 0;
+    } else if (disp == FrameDisposition::kCorrupt) {
+      ++stats_.checksum_failures;
+    }
+    // kDuplicate/kGap are impossible here: the copy carries exactly the
+    // expected sequence number (unless its header was corrupted, which
+    // reads as kCorrupt).
+  }
+  // Watermark last: event time advances only once the epoch has delivered
+  // whole — a partially delivered epoch must not promise progress.
+  sp_->ConsumeWatermark(s, d->watermark);
+  return Status::OK();
+}
+
+void BuildingBlock::NoteMiss(size_t s) {
+  PerSource& ps = state_[s];
+  ++ps.misses;
+  if (ps.health == SourceHealth::kQuarantined) return;
+  if (ps.misses >= ft_.quarantine_after_misses) {
+    // Straggler quarantine keeps the in-flight: the source is slow, not
+    // gone, and its deliveries land after re-admission (late, not lost).
+    pending_quarantine_.emplace_back(s, /*keep_inflight=*/true);
+  } else if (ps.misses >= ft_.suspect_after_misses &&
+             ps.health == SourceHealth::kHealthy) {
+    ps.health = SourceHealth::kSuspect;
+    ++stats_.suspects;
+  }
+}
+
+void BuildingBlock::ApplyQuarantine(size_t s, int64_t e, bool keep_inflight) {
+  PerSource& ps = state_[s];
+  if (ps.health == SourceHealth::kQuarantined) return;
+  sp_->RemoveSource(s);  // s < num_sources by construction
+  ps.health = SourceHealth::kQuarantined;
+  ps.misses = 0;
+  ps.readmit_at =
+      ft_.readmit_after_epochs >= 0 ? e + 1 + ft_.readmit_after_epochs : -1;
+  if (!keep_inflight) {
+    for (const Delivery& d : ps.inbox) {
+      stats_.records_lost += d.records - d.delivered;
+    }
+    ps.inbox.clear();
+    ps.retained.clear();
+    // Delivery history is gone; at re-admission the SP's expected sequence
+    // jumps to the source's counter instead of NACKing forever.
+    ps.resync_on_readmit = true;
+  }
+  ++stats_.quarantines;
+  // The source set changed: every survivor's plan is stale. Re-profile and
+  // re-plan over the surviving configuration (degraded mode keeps serving
+  // in the meantime). A wedged survivor is skipped — its runtime object is
+  // still owned by its running task — and catches the next re-plan.
+  bool any_survivor = false;
+  for (size_t x = 0; x < state_.size(); ++x) {
+    if (x == s || !state_[x].alive || state_[x].outstanding) continue;
+    if (state_[x].health == SourceHealth::kQuarantined) continue;
+    runtimes_[x]->TriggerReplan();
+    state_[x].profile_next = true;
+    any_survivor = true;
+  }
+  if (any_survivor) ++stats_.replans_triggered;
+}
+
+Status BuildingBlock::MaybeReadmit(int64_t e, stream::RecordBatch* results) {
+  for (size_t s = 0; s < sources_.size(); ++s) {
+    PerSource& ps = state_[s];
+    if (ps.health != SourceHealth::kQuarantined || !ps.alive) continue;
+    if (ps.readmit_at < 0 || e < ps.readmit_at) continue;
+    std::optional<EpochEnvelope> stale;
+    if (ps.outstanding) {
+      // A wedged task must surface before re-admission; give it one
+      // bounded chance per epoch and stay quarantined otherwise.
+      stale = handoff_->TryTakeFor(
+          s, std::chrono::milliseconds(std::max(1, ft_.take_deadline_ms)));
+      if (!stale.has_value()) continue;
+      ps.outstanding = false;
+    }
+    JARVIS_RETURN_IF_ERROR(sp_->ReadmitSource(s));
+    if (ps.resync_on_readmit) {
+      sp_->ResyncSequence(s, ps.next_seq);
+      ps.resync_on_readmit = false;
+    }
+    ps.health = SourceHealth::kHealthy;
+    ps.misses = 0;
+    ps.readmit_at = -1;
+    ++stats_.readmissions;
+    // The quarantine-held inbox delivers now that the watermark input is
+    // revived; a just-collected stale envelope books behind it in order.
+    if (stale.has_value()) {
+      JARVIS_RETURN_IF_ERROR(
+          ProcessEnvelope(s, e, std::move(*stale), results));
+    } else {
+      JARVIS_RETURN_IF_ERROR(DeliverReleasable(s, e, results));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t BuildingBlock::records_in_flight() const {
+  uint64_t n = 0;
+  for (const PerSource& ps : state_) {
+    for (const Delivery& d : ps.inbox) n += d.records - d.delivered;
+  }
+  return n;
 }
 
 }  // namespace jarvis::core

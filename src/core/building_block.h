@@ -1,17 +1,87 @@
 #ifndef JARVIS_CORE_BUILDING_BLOCK_H_
 #define JARVIS_CORE_BUILDING_BLOCK_H_
 
+#include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "core/drain_wire.h"
 #include "core/exec_pool.h"
+#include "core/fault.h"
 #include "core/runtime.h"
 #include "core/source_executor.h"
 #include "core/sp_executor.h"
 #include "query/compile.h"
 
 namespace jarvis::core {
+
+/// Failure-detector view of one source.
+enum class SourceHealth : uint8_t {
+  kHealthy = 0,
+  /// Missed an epoch deadline (or delivered late); still serving.
+  kSuspect = 1,
+  /// Removed from the epoch barrier and the watermark merge; its drain is
+  /// not consumed until re-admission.
+  kQuarantined = 2,
+};
+
+/// Knobs of the fault-tolerant epoch runtime (all detection and recovery is
+/// driven by these; nothing is wall-clock-random).
+struct FaultToleranceOptions {
+  /// Master switch: set by EnableFaultTolerance/SetFaultPlan or implicitly
+  /// by the JARVIS_FAULTS environment variable.
+  bool enabled = false;
+  /// Retransmission bound per delivery: a frame that cannot be delivered
+  /// within this many NACK rounds quarantines its source.
+  int max_retransmits = 3;
+  /// Modeled exponential backoff base per retransmission (accounted in
+  /// FaultStats::backoff_ms_total; the in-process wire has no real latency
+  /// to wait out, and sleeping would break determinism).
+  int backoff_base_ms = 1;
+  /// Consecutive missed epoch deadlines before a source is marked suspect /
+  /// quarantined.
+  int suspect_after_misses = 1;
+  int quarantine_after_misses = 2;
+  /// Epochs a quarantined source sits out before re-admission through the
+  /// AddSource join path; < 0 disables re-admission.
+  int readmit_after_epochs = 3;
+  /// Wall-clock per-source epoch deadline in milliseconds; 0 keeps the
+  /// deterministic barrier (scripted straggles only). When > 0, a source
+  /// that misses the deadline is suspected and its output collected late —
+  /// the runtime path never blocks indefinitely on one wedged source.
+  int take_deadline_ms = 0;
+};
+
+/// Counters of everything the fault-tolerant runtime detected and did.
+/// Deterministic under scripted fault plans: part of the recovery
+/// fingerprint the chaos tests compare across thread counts.
+struct FaultStats {
+  uint64_t crashes = 0;
+  uint64_t straggles = 0;
+  uint64_t stalls = 0;
+  uint64_t deadline_misses = 0;
+  uint64_t suspects = 0;
+  uint64_t quarantines = 0;
+  uint64_t readmissions = 0;
+  uint64_t checksum_failures = 0;
+  uint64_t gaps = 0;
+  uint64_t duplicates_dropped = 0;
+  uint64_t retransmits = 0;
+  uint64_t retransmit_failures = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_delivered = 0;
+  uint64_t records_sent = 0;
+  uint64_t records_delivered = 0;
+  uint64_t records_lost = 0;
+  uint64_t replans_triggered = 0;
+  uint64_t backoff_ms_total = 0;
+
+  bool operator==(const FaultStats&) const = default;
+};
 
 /// One *core building block* of the monitoring pipeline (Figure 4b): N data
 /// sources, each with its own executor and fully decentralized Jarvis
@@ -88,6 +158,41 @@ class BuildingBlock {
       std::function<void(size_t source_id, const SourceEpochOutput& out)>;
   void SetEpochTap(EpochTap tap) { tap_ = std::move(tap); }
 
+  /// Switches RunEpoch onto the fault-tolerant path: drains travel the
+  /// checksummed wire format, the SP verifies and acks every frame, sources
+  /// retain serialized epochs for retransmission, and the failure detector
+  /// quarantines crashed/exhausted sources instead of wedging the epoch
+  /// barrier. Call before the first epoch.
+  void EnableFaultTolerance(FaultToleranceOptions opts) {
+    ft_ = opts;
+    ft_.enabled = true;
+  }
+
+  /// Installs a scripted fault plan and enables fault tolerance. The
+  /// constructor installs one automatically when JARVIS_FAULTS is set.
+  void SetFaultPlan(FaultPlan plan) {
+    injector_ = std::make_unique<FaultInjector>(std::move(plan));
+    ft_.enabled = true;
+  }
+
+  const FaultToleranceOptions& fault_tolerance() const { return ft_; }
+  const FaultStats& fault_stats() const { return stats_; }
+  SourceHealth health(size_t i) const { return state_[i].health; }
+
+  /// Records queued for delivery but not yet consumed by the SP (straggling
+  /// or stalled epochs, quarantine-held inboxes). Conservation invariant the
+  /// chaos tests assert after the recovery fence:
+  ///   records_sent == records_delivered + records_lost + records_in_flight.
+  uint64_t records_in_flight() const;
+
+  /// Diagnostic tap over every wire frame the SP accepted (verification and
+  /// dedup already passed), called on the consuming thread in delivery
+  /// order. The chaos suite fingerprints delivered bytes through it and
+  /// asserts no sequence number is ever consumed twice.
+  using WireTap = std::function<void(size_t source_id, uint32_t seq,
+                                     const std::vector<uint8_t>& bytes)>;
+  void SetWireTap(WireTap tap) { wire_tap_ = std::move(tap); }
+
   size_t num_sources() const { return sources_.size(); }
   SourceExecutor& source(size_t i) { return *sources_[i]; }
   JarvisRuntime& runtime(size_t i) { return *runtimes_[i]; }
@@ -96,10 +201,48 @@ class BuildingBlock {
   int threads() const { return threads_; }
 
  private:
+  /// One epoch's wire drain waiting to be consumed by the SP. Held in the
+  /// source's inbox while it straggles (release_epoch > current) or while a
+  /// stall fault defers consumption; `delivered` tracks how many of its
+  /// records landed so conservation survives partial deliveries.
+  struct Delivery {
+    int64_t release_epoch = 0;
+    WireDrain wire;
+    Micros watermark = -1;
+    uint64_t records = 0;
+    uint64_t delivered = 0;
+  };
+
   struct PerSource {
     std::function<stream::RecordBatch(Micros, Micros)> generate;
     bool profile_next = false;
     bool alive = true;
+    // --- fault-tolerant runtime state (consumer thread only, except
+    // next_seq which the source's own serial task increments) ---
+    SourceHealth health = SourceHealth::kHealthy;
+    int misses = 0;            ///< consecutive missed/late epochs
+    int64_t readmit_at = -1;   ///< epoch at which quarantine may lift
+    bool outstanding = false;  ///< task submitted, envelope not collected
+    bool resync_on_readmit = false;  ///< in-flight history was discarded
+    uint32_t next_seq = 0;     ///< task-side wire sequence counter
+    /// Consumer-owned retransmit buffer: pristine copies of every frame not
+    /// yet acked by the SP (ack == delivered, erased on delivery).
+    std::map<uint32_t, WireFrame> retained;
+    /// Epoch drains not yet consumed, in epoch order.
+    std::deque<Delivery> inbox;
+  };
+
+  struct EpochEnvelope {
+    Status status;
+    SourceEpochOutput out;  // non-FT path payload
+    // --- FT path payload (the drain travels as wire frames instead) ---
+    bool crashed = false;      ///< scripted crash: task died, no output
+    int late = 0;              ///< scripted straggle: epochs of lateness
+    WireDrain wire;            ///< possibly tampered in-flight copy
+    std::vector<WireFrame> pristine;  ///< clean copies for retransmission
+    Micros watermark = -1;
+    uint64_t records = 0;
+    bool profile_next = false;  ///< the decision, made before the hand-off
   };
 
   /// One source's epoch: generate, ingest, run the stage pipeline, hand the
@@ -109,6 +252,37 @@ class BuildingBlock {
 
   Status RunEpochSerial(stream::RecordBatch* results);
   Status RunEpochParallel(stream::RecordBatch* results);
+
+  // --- fault-tolerant epoch path ---
+  Status RunEpochFaultTolerant(stream::RecordBatch* results);
+  /// FT variant of RunSourceEpoch: serializes the drain to wire frames,
+  /// applies scripted transmission faults, and — unlike the non-FT path —
+  /// runs the adaptation decision *before* the hand-off, so a collected
+  /// envelope means the task has nothing left to touch and the detector may
+  /// skip the global barrier while a peer straggles.
+  void RunSourceEpochFT(size_t s, int64_t epoch, Micros from, Micros to,
+                        bool profile);
+  /// Books a collected envelope: retains pristine frames, queues the
+  /// delivery, updates the failure detector, and delivers what is releasable.
+  Status ProcessEnvelope(size_t s, int64_t epoch, EpochEnvelope&& env,
+                         stream::RecordBatch* results);
+  /// Delivers every inbox entry whose release epoch has arrived.
+  Status DeliverReleasable(size_t s, int64_t epoch,
+                           stream::RecordBatch* results);
+  /// Drives one epoch drain through the SP frame by frame, answering NACKs
+  /// (gap/corrupt dispositions) with bounded retransmission from the
+  /// retained copies. Sets *exhausted when the retry budget ran out or a
+  /// needed frame has no retained copy.
+  Status DeliverWire(size_t s, Delivery* d, stream::RecordBatch* results,
+                     bool* exhausted);
+  /// Failure-detector tick for a missed deadline or late delivery.
+  void NoteMiss(size_t s);
+  /// Removes a source from the barrier and the watermark merge, schedules
+  /// its re-admission, and triggers a re-plan on the survivors.
+  void ApplyQuarantine(size_t s, int64_t epoch, bool keep_inflight);
+  /// Lifts quarantines whose backoff expired (the AddSource join path:
+  /// revived watermark input holds the merge until the first delivery).
+  Status MaybeReadmit(int64_t epoch, stream::RecordBatch* results);
 
   RuntimeConfig runtime_config_;
   query::CompiledQuery query_;  // kept for AddSource's executor construction
@@ -125,11 +299,17 @@ class BuildingBlock {
   // epochs; the sharded hand-off carries each source's epoch output (status
   // + drain chunks) to the consuming thread.
   std::unique_ptr<ExecPool> pool_;
-  struct EpochEnvelope {
-    Status status;
-    SourceEpochOutput out;
-  };
   std::unique_ptr<ShardedHandoff<EpochEnvelope>> handoff_;
+
+  // --- fault-tolerant runtime ---
+  FaultToleranceOptions ft_;
+  FaultStats stats_;
+  std::unique_ptr<FaultInjector> injector_;
+  WireTap wire_tap_;
+  int64_t ft_epoch_ = 0;  ///< epoch counter driving the fault script
+  /// Quarantines detected during the consume pass, applied at the epoch's
+  /// deterministic end point (after the barrier): (source, keep_inflight).
+  std::vector<std::pair<size_t, bool>> pending_quarantine_;
 };
 
 }  // namespace jarvis::core

@@ -1,0 +1,98 @@
+#include "core/drain_wire.h"
+
+#include <limits>
+#include <utility>
+
+#include "ser/buffer.h"
+#include "stream/columnar.h"
+
+namespace jarvis::core {
+
+WireDrain SerializeDrain(SourceEpochOutput* out, uint32_t* next_seq) {
+  WireDrain wire;
+  wire.first_seq = *next_seq;
+  wire.frames.reserve(out->to_sp.size());
+  for (DrainChunk& chunk : out->to_sp) {
+    WireFrame f;
+    f.seq = (*next_seq)++;
+    ser::BufferWriter w;
+    w.PutU8(kWireFrameVersion);
+    const size_t crc_pos = w.size();
+    w.PutU32(0);
+    const size_t header_start = w.size();
+    w.PutVarU64(f.seq);
+    w.PutVarU64(chunk.sp_entry_op);
+    const bool columnar = !chunk.columns.empty();
+    w.PutU8(static_cast<uint8_t>(columnar ? WireLane::kColumnar
+                                          : WireLane::kRows));
+    w.PatchU32(crc_pos, ser::FrameChecksum(w.data().data() + header_start,
+                                           w.size() - header_start));
+    if (columnar) {
+      f.records = static_cast<uint32_t>(chunk.columns.num_rows());
+      stream::SerializeColumnar(chunk.columns, &w);
+    } else {
+      // Row-lane frames use an empty schema: every record takes the
+      // inline-tagged fallback section, which round-trips any record —
+      // checkpoint state, watermark emissions — losslessly.
+      f.records = static_cast<uint32_t>(chunk.rows.size());
+      stream::SerializeBatch(chunk.rows, stream::Schema(), &w);
+    }
+    f.bytes = w.Release();
+    wire.wire_bytes += f.bytes.size();
+    wire.records += f.records;
+    wire.frames.push_back(std::move(f));
+  }
+  out->to_sp.clear();
+  wire.frame_count = static_cast<uint32_t>(wire.frames.size());
+  return wire;
+}
+
+Result<WireFrameHeader> PeekFrameHeader(const WireFrame& frame) {
+  ser::BufferReader r(frame.bytes);
+  uint8_t version;
+  JARVIS_RETURN_IF_ERROR(r.GetU8(&version));
+  if (version != kWireFrameVersion) {
+    return Status::SerializationError("bad wire frame version");
+  }
+  uint32_t crc;
+  JARVIS_RETURN_IF_ERROR(r.GetU32(&crc));
+  const size_t header_start = r.position();
+  uint64_t seq, entry;
+  JARVIS_RETURN_IF_ERROR(r.GetVarU64(&seq));
+  JARVIS_RETURN_IF_ERROR(r.GetVarU64(&entry));
+  uint8_t lane;
+  JARVIS_RETURN_IF_ERROR(r.GetU8(&lane));
+  const size_t header_end = r.position();
+  if (ser::FrameChecksum(frame.bytes.data() + header_start,
+                         header_end - header_start) != crc) {
+    return Status::SerializationError("wire frame header checksum mismatch");
+  }
+  if (seq > std::numeric_limits<uint32_t>::max() ||
+      lane > static_cast<uint8_t>(WireLane::kRows)) {
+    return Status::SerializationError("bad wire frame header");
+  }
+  WireFrameHeader hdr;
+  hdr.seq = static_cast<uint32_t>(seq);
+  hdr.entry_op = static_cast<size_t>(entry);
+  hdr.lane = static_cast<WireLane>(lane);
+  hdr.payload_offset = header_end;
+  return hdr;
+}
+
+Status DecodeFramePayload(const WireFrame& frame, const WireFrameHeader& hdr,
+                          stream::RecordBatch* rows) {
+  rows->clear();
+  ser::BufferReader r(frame.bytes.data() + hdr.payload_offset,
+                      frame.bytes.size() - hdr.payload_offset);
+  if (hdr.lane == WireLane::kColumnar) {
+    JARVIS_RETURN_IF_ERROR(stream::DeserializeColumnar(&r, rows));
+  } else {
+    JARVIS_RETURN_IF_ERROR(stream::DeserializeBatch(&r, rows));
+  }
+  if (!r.AtEnd()) {
+    return Status::SerializationError("trailing bytes after frame payload");
+  }
+  return Status::OK();
+}
+
+}  // namespace jarvis::core

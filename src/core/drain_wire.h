@@ -1,0 +1,80 @@
+#ifndef JARVIS_CORE_DRAIN_WIRE_H_
+#define JARVIS_CORE_DRAIN_WIRE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/source_executor.h"
+#include "stream/record.h"
+
+namespace jarvis::core {
+
+// ---------------------------------------------------------------------------
+// Drain wire frames
+// ---------------------------------------------------------------------------
+// The fault-tolerant drain path ships each DrainChunk as one self-contained
+// frame a stream processor can verify, deduplicate, and NACK independently:
+//
+//   [u8 version][u32 header_crc][varint seq][varint entry_op][u8 lane][payload]
+//
+// The header checksum covers seq/entry_op/lane, so a flipped routing byte is
+// caught before any record is pushed at the wrong operator; the payload is a
+// v3 columnar frame or a v2 batch frame, each carrying its own payload
+// checksum. `seq` is a per-source monotone sequence number — the SP delivers
+// frames exactly once in order, detects gaps (dropped frames) and duplicates
+// by sequence, and asks the source to retransmit from its retained copies.
+
+inline constexpr uint8_t kWireFrameVersion = 1;
+
+enum class WireLane : uint8_t { kColumnar = 0, kRows = 1 };
+
+/// One drain chunk, encoded. `seq` and `records` are control-plane metadata
+/// (the authoritative seq also rides inside the checksummed header; `records`
+/// feeds delivery accounting and is not serialized).
+struct WireFrame {
+  uint32_t seq = 0;
+  uint32_t records = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// Decoded and checksum-verified frame header.
+struct WireFrameHeader {
+  uint32_t seq = 0;
+  size_t entry_op = 0;
+  WireLane lane = WireLane::kColumnar;
+  /// Offset of the payload within WireFrame::bytes.
+  size_t payload_offset = 0;
+};
+
+/// One epoch's drain on the wire. `first_seq`/`frame_count` are the epoch
+/// manifest: transferred reliably (like a transport-level length header), so
+/// the receiver knows when trailing frames were dropped and can NACK them
+/// even though no later frame exposes the gap.
+struct WireDrain {
+  std::vector<WireFrame> frames;
+  uint32_t first_seq = 0;
+  uint32_t frame_count = 0;
+  uint64_t wire_bytes = 0;
+  uint64_t records = 0;
+};
+
+/// Encodes every drain chunk of `out` into wire frames, consuming the
+/// chunks; `*next_seq` is the source's running sequence counter and advances
+/// by one per frame.
+WireDrain SerializeDrain(SourceEpochOutput* out, uint32_t* next_seq);
+
+/// Verifies and decodes a frame's header only — the cheap first step that
+/// lets the receiver drop duplicates and detect misrouted/corrupt frames
+/// before paying for payload decode. SerializationError on any mismatch.
+Result<WireFrameHeader> PeekFrameHeader(const WireFrame& frame);
+
+/// Decodes the frame payload into row records. The payload formats carry
+/// their own checksums, so corruption surfaces as SerializationError, never
+/// as UB or silently wrong records.
+Status DecodeFramePayload(const WireFrame& frame, const WireFrameHeader& hdr,
+                          stream::RecordBatch* rows);
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_DRAIN_WIRE_H_

@@ -1,6 +1,7 @@
 #ifndef JARVIS_CORE_EXEC_POOL_H_
 #define JARVIS_CORE_EXEC_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -131,6 +132,47 @@ class BoundedQueue {
     return v;
   }
 
+  /// Deadline-bounded Push: waits at most `timeout` for room. Returns false
+  /// (keeping `v` unconsumed only in the sense that nothing was enqueued) on
+  /// timeout or close. This is the failure-detector's tool against a stalled
+  /// consumer: a runtime path that must not block forever pushes with a
+  /// deadline and treats the timeout as a detection signal, not a deadlock.
+  template <typename Rep, typename Period>
+  bool TryPushFor(T v, std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!space_cv_.wait_for(lk, timeout, [&] {
+          return closed_ || items_.size() < capacity_;
+        })) {
+      return false;
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(v));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Deadline-bounded Pop: waits at most `timeout` for an item. nullopt on
+  /// timeout or on closed-and-drained — the caller distinguishes via
+  /// closed() if it needs to.
+  template <typename Rep, typename Period>
+  std::optional<T> TryPopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lk(mu_);
+    if (!item_cv_.wait_for(lk, timeout,
+                           [&] { return closed_ || !items_.empty(); })) {
+      return std::nullopt;
+    }
+    if (items_.empty()) return std::nullopt;
+    T v = std::move(items_.front());
+    items_.pop_front();
+    space_cv_.notify_one();
+    return v;
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return closed_;
+  }
+
   void Close() {
     std::lock_guard<std::mutex> lk(mu_);
     closed_ = true;
@@ -167,6 +209,27 @@ class ShardedHandoff {
   /// anywhere between the idle barrier and the next round's submissions.
   void Reset(size_t num_keys) { slots_.assign(num_keys, std::nullopt); }
 
+  /// Empties one slot under its shard lock. The fault-tolerant epoch loop
+  /// uses this instead of the quiescent Reset: when a straggler's Put may
+  /// still be in flight for *its* slot, the other slots can still be
+  /// recycled safely one key at a time.
+  void ClearSlot(size_t key) {
+    Shard& shard = ShardOf(key);
+    std::lock_guard<std::mutex> lk(shard.mu);
+    slots_[key].reset();
+  }
+
+  /// Grows the slot vector to hold `num_keys` keys (never shrinks; existing
+  /// values survive). Takes every shard lock, so it is safe against
+  /// concurrent Put/Take on other keys — growth may reallocate the vector.
+  void EnsureCapacity(size_t num_keys) {
+    if (slots_.size() >= num_keys) return;
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(shards_.size());
+    for (Shard& s : shards_) locks.emplace_back(s.mu);
+    if (slots_.size() < num_keys) slots_.resize(num_keys);
+  }
+
   void Put(size_t key, T v) {
     Shard& shard = ShardOf(key);
     {
@@ -181,6 +244,24 @@ class ShardedHandoff {
     Shard& shard = ShardOf(key);
     std::unique_lock<std::mutex> lk(shard.mu);
     shard.cv.wait(lk, [&] { return slots_[key].has_value(); });
+    T v = std::move(*slots_[key]);
+    slots_[key].reset();
+    return v;
+  }
+
+  /// Deadline-bounded Take: waits at most `timeout` for `key`'s slot, then
+  /// returns nullopt. The straggler detector's probe — a missed deadline is
+  /// a suspect signal, and the producer's eventual Put stays valid: a later
+  /// TryTakeFor/Take on the same key picks the value up.
+  template <typename Rep, typename Period>
+  std::optional<T> TryTakeFor(size_t key,
+                              std::chrono::duration<Rep, Period> timeout) {
+    Shard& shard = ShardOf(key);
+    std::unique_lock<std::mutex> lk(shard.mu);
+    if (!shard.cv.wait_for(lk, timeout,
+                           [&] { return slots_[key].has_value(); })) {
+      return std::nullopt;
+    }
     T v = std::move(*slots_[key]);
     slots_[key].reset();
     return v;

@@ -1,0 +1,232 @@
+#include "core/fault.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <iterator>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace jarvis::core {
+
+namespace {
+
+constexpr std::string_view kKindNames[] = {"crash", "straggle", "drop",
+                                           "dup",   "flip",     "stall"};
+
+Result<FaultKind> ParseKind(std::string_view s) {
+  for (size_t i = 0; i < std::size(kKindNames); ++i) {
+    if (s == kKindNames[i]) return static_cast<FaultKind>(i);
+  }
+  return Status::InvalidArgument("unknown fault kind: " + std::string(s));
+}
+
+Result<uint64_t> ParseU64(std::string_view s) {
+  uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("bad number in fault spec: " +
+                                   std::string(s));
+  }
+  return v;
+}
+
+uint64_t FlipKey(size_t source, uint32_t seq) {
+  return (static_cast<uint64_t>(source) << 32) | seq;
+}
+
+}  // namespace
+
+std::string_view FaultKindToString(FaultKind k) {
+  return kKindNames[static_cast<size_t>(k)];
+}
+
+Result<FaultPlan> FaultPlan::Parse(std::string_view spec) {
+  FaultPlan plan;
+  while (!spec.empty()) {
+    const size_t semi = spec.find(';');
+    std::string_view tok = spec.substr(0, semi);
+    spec = (semi == std::string_view::npos) ? std::string_view()
+                                            : spec.substr(semi + 1);
+    if (tok.empty()) continue;
+    if (tok.substr(0, 5) == "seed=") {
+      JARVIS_ASSIGN_OR_RETURN(plan.seed, ParseU64(tok.substr(5)));
+      continue;
+    }
+    // kind@epoch:source[#chunk][xcount]
+    const size_t at = tok.find('@');
+    if (at == std::string_view::npos) {
+      return Status::InvalidArgument("fault event missing '@': " +
+                                     std::string(tok));
+    }
+    FaultEvent ev;
+    JARVIS_ASSIGN_OR_RETURN(ev.kind, ParseKind(tok.substr(0, at)));
+    std::string_view rest = tok.substr(at + 1);
+    const size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      return Status::InvalidArgument("fault event missing ':': " +
+                                     std::string(tok));
+    }
+    JARVIS_ASSIGN_OR_RETURN(uint64_t epoch, ParseU64(rest.substr(0, colon)));
+    ev.epoch = static_cast<int64_t>(epoch);
+    rest = rest.substr(colon + 1);
+    // Optional suffixes, in order: #chunk then xcount.
+    const size_t x = rest.find('x');
+    std::string_view count_part;
+    if (x != std::string_view::npos) {
+      count_part = rest.substr(x + 1);
+      rest = rest.substr(0, x);
+      if (count_part.empty()) {
+        return Status::InvalidArgument("fault event has 'x' but no count: " +
+                                       std::string(tok));
+      }
+    }
+    const size_t hash = rest.find('#');
+    std::string_view chunk_part;
+    if (hash != std::string_view::npos) {
+      chunk_part = rest.substr(hash + 1);
+      rest = rest.substr(0, hash);
+      if (chunk_part.empty()) {
+        return Status::InvalidArgument("fault event has '#' but no chunk: " +
+                                       std::string(tok));
+      }
+    }
+    JARVIS_ASSIGN_OR_RETURN(uint64_t source, ParseU64(rest));
+    ev.source = static_cast<size_t>(source);
+    if (!chunk_part.empty()) {
+      JARVIS_ASSIGN_OR_RETURN(uint64_t chunk, ParseU64(chunk_part));
+      ev.chunk = static_cast<size_t>(chunk);
+    }
+    if (!count_part.empty()) {
+      JARVIS_ASSIGN_OR_RETURN(uint64_t count, ParseU64(count_part));
+      if (count == 0) {
+        return Status::InvalidArgument("fault count must be positive");
+      }
+      ev.count = static_cast<int>(count);
+    }
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const FaultEvent& ev : events) {
+    out += ';';
+    out += FaultKindToString(ev.kind);
+    out += '@' + std::to_string(ev.epoch) + ':' + std::to_string(ev.source);
+    if (ev.chunk != 0) out += '#' + std::to_string(ev.chunk);
+    if (ev.count != 1) out += 'x' + std::to_string(ev.count);
+  }
+  return out;
+}
+
+Result<std::unique_ptr<FaultInjector>> FaultInjector::FromEnv() {
+  const char* spec = std::getenv("JARVIS_FAULTS");
+  if (spec == nullptr || spec[0] == '\0') {
+    return std::unique_ptr<FaultInjector>();
+  }
+  JARVIS_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Parse(spec));
+  return std::make_unique<FaultInjector>(std::move(plan));
+}
+
+bool FaultInjector::ShouldCrash(size_t source, int64_t epoch) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kCrash && ev.source == source &&
+        ev.epoch == epoch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int FaultInjector::StraggleEpochs(size_t source, int64_t epoch) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kStraggle && ev.source == source &&
+        ev.epoch == epoch) {
+      return ev.count;
+    }
+  }
+  return 0;
+}
+
+bool FaultInjector::ShouldStall(size_t source, int64_t epoch) const {
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind == FaultKind::kStall && ev.source == source &&
+        ev.epoch == epoch) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::FlipBit(size_t source, uint32_t seq, uint64_t attempt,
+                            WireFrame* frame) const {
+  if (frame->bytes.empty()) return;
+  // The flipped bit is a pure function of (seed, source, seq, attempt):
+  // replaying the plan flips the same bit, and retransmission attempts each
+  // corrupt a (usually) different position.
+  uint64_t h = SplitMix64(plan_.seed ^ SplitMix64(
+      (static_cast<uint64_t>(source) << 40) ^ (static_cast<uint64_t>(seq) << 8)
+      ^ attempt));
+  const uint64_t bit = h % (frame->bytes.size() * 8);
+  frame->bytes[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+}
+
+void FaultInjector::TamperTransmission(size_t source, int64_t epoch,
+                                       WireDrain* wire) {
+  std::set<size_t> drops, dups;
+  std::vector<const FaultEvent*> flips;
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.source != source || ev.epoch != epoch) continue;
+    switch (ev.kind) {
+      case FaultKind::kDrop:
+        drops.insert(ev.chunk);
+        break;
+      case FaultKind::kDup:
+        dups.insert(ev.chunk);
+        break;
+      case FaultKind::kFlip:
+        flips.push_back(&ev);
+        break;
+      default:
+        break;
+    }
+  }
+  if (drops.empty() && dups.empty() && flips.empty()) return;
+
+  std::lock_guard<std::mutex> lk(mu_);
+  // Flips first, addressed by the frame's original index; any remaining
+  // budget registers against the frame's seq so retransmits get hit too.
+  for (const FaultEvent* ev : flips) {
+    if (ev->chunk >= wire->frames.size()) continue;
+    WireFrame& f = wire->frames[ev->chunk];
+    FlipBit(source, f.seq, /*attempt=*/0, &f);
+    if (ev->count > 1) flip_budget_[FlipKey(source, f.seq)] = ev->count - 1;
+  }
+  // Then rebuild the in-flight sequence honoring drops and dups. A dropped
+  // frame loses its duplicates too (nothing of it ever arrives).
+  if (!drops.empty() || !dups.empty()) {
+    std::vector<WireFrame> rebuilt;
+    rebuilt.reserve(wire->frames.size() + dups.size());
+    for (size_t i = 0; i < wire->frames.size(); ++i) {
+      if (drops.count(i)) continue;
+      rebuilt.push_back(std::move(wire->frames[i]));
+      if (dups.count(i)) rebuilt.push_back(rebuilt.back());
+    }
+    wire->frames = std::move(rebuilt);
+  }
+}
+
+void FaultInjector::TamperRetransmit(size_t source, uint32_t seq,
+                                     WireFrame* frame) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = flip_budget_.find(FlipKey(source, seq));
+  if (it == flip_budget_.end() || it->second <= 0) return;
+  FlipBit(source, seq, /*attempt=*/static_cast<uint64_t>(it->second), frame);
+  --it->second;
+}
+
+}  // namespace jarvis::core

@@ -64,6 +64,13 @@ class JarvisRuntime {
   /// configuration.
   Decision OnEpochEnd(const EpochObservation& obs);
 
+  /// Failure-detector hook: the source set changed (a peer was quarantined
+  /// or re-admitted), so the current plan's assumptions are stale. Forces
+  /// the control loop back into the Profile phase — the next epoch
+  /// re-profiles and the LP re-plans from fresh observations over the
+  /// surviving configuration.
+  void TriggerReplan() { EnterProfile(); }
+
   Phase phase() const { return phase_; }
   QueryState last_state() const { return last_state_; }
   const std::vector<double>& load_factors() const { return load_factors_; }

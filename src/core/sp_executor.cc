@@ -3,7 +3,7 @@
 namespace jarvis::core {
 
 SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
-    : merger_(num_sources) {
+    : merger_(num_sources), expect_seq_(num_sources, 0) {
   auto pipeline = query.MakeSpPipeline();
   if (!pipeline.ok()) {
     init_status_ = pipeline.status();
@@ -61,6 +61,53 @@ Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
   if (out.watermark >= 0) {
     merger_.Update(source_id, out.watermark);
   }
+  return Status::OK();
+}
+
+Result<FrameDisposition> SpExecutor::ConsumeFrame(
+    size_t source_id, const WireFrame& frame, stream::RecordBatch* results) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= merger_.num_inputs()) {
+    return Status::OutOfRange("unknown source id");
+  }
+  // Header first: a failed header checksum means even the sequence number
+  // is untrustworthy, so the frame is rejected before any dedup decision.
+  Result<WireFrameHeader> hdr = PeekFrameHeader(frame);
+  if (!hdr.ok()) return FrameDisposition::kCorrupt;
+  const uint32_t expect = expect_seq_[source_id];
+  if (hdr->seq < expect) return FrameDisposition::kDuplicate;
+  if (hdr->seq > expect) return FrameDisposition::kGap;
+  if (hdr->entry_op > pipeline_->size()) {
+    // Header checksum passed but the entry is impossible: encoder bug or a
+    // colliding corruption. Either way, refuse to misroute records.
+    return FrameDisposition::kCorrupt;
+  }
+  entry_batch_.clear();
+  if (!DecodeFramePayload(frame, *hdr, &entry_batch_).ok()) {
+    return FrameDisposition::kCorrupt;
+  }
+  JARVIS_RETURN_IF_ERROR(pipeline_->PushBatchFrom(
+      hdr->entry_op, std::move(entry_batch_), results));
+  entry_batch_.clear();
+  expect_seq_[source_id] = expect + 1;
+  return FrameDisposition::kDelivered;
+}
+
+Status SpExecutor::RemoveSource(size_t source_id) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= merger_.num_inputs()) {
+    return Status::OutOfRange("unknown source id");
+  }
+  merger_.RemoveInput(source_id);
+  return Status::OK();
+}
+
+Status SpExecutor::ReadmitSource(size_t source_id) {
+  JARVIS_RETURN_IF_ERROR(init_status_);
+  if (source_id >= merger_.num_inputs()) {
+    return Status::OutOfRange("unknown source id");
+  }
+  merger_.ReviveInput(source_id);
   return Status::OK();
 }
 

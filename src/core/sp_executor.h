@@ -1,15 +1,28 @@
 #ifndef JARVIS_CORE_SP_EXECUTOR_H_
 #define JARVIS_CORE_SP_EXECUTOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "core/drain_wire.h"
 #include "core/source_executor.h"
 #include "query/compile.h"
 #include "stream/pipeline.h"
 #include "stream/watermark.h"
 
 namespace jarvis::core {
+
+/// What the stream processor decided about one delivered wire frame. kGap
+/// and kCorrupt are the NACK signals: the frame was not consumed and the
+/// source should retransmit from its retained copy (kGap names the missing
+/// sequence number via expected_seq()).
+enum class FrameDisposition : uint8_t {
+  kDelivered,  ///< verified, decoded, pushed; the sequence advanced
+  kDuplicate,  ///< already-delivered sequence number; dropped, no effect
+  kGap,        ///< sequence number ahead of expected — earlier frame missing
+  kCorrupt,    ///< checksum/decode failure; nothing was consumed
+};
 
 /// The stream-processor side of one core building block (Figure 4b): runs
 /// the full operator chain in finalize mode, resumes drained records at the
@@ -49,7 +62,48 @@ class SpExecutor {
 
   /// Registers one more source (join churn): returns its id. The merged
   /// watermark holds until the newcomer's first epoch output arrives.
-  size_t AddSource() { return merger_.AddInput(); }
+  size_t AddSource() {
+    expect_seq_.push_back(0);
+    return merger_.AddInput();
+  }
+
+  /// Ingests one wire frame from `source_id` with integrity and exactly-once
+  /// checks: header + payload checksums verified, duplicates dropped by
+  /// sequence number, gaps NACKed without consuming. Only a genuine pipeline
+  /// failure is a Status error; transmission problems come back as the
+  /// disposition so the caller can drive retransmission.
+  Result<FrameDisposition> ConsumeFrame(size_t source_id,
+                                        const WireFrame& frame,
+                                        stream::RecordBatch* results);
+
+  /// Applies `source_id`'s epoch watermark (the caller advances it only
+  /// after the epoch's frames all delivered — a partially delivered epoch
+  /// must not promise event-time progress).
+  void ConsumeWatermark(size_t source_id, Micros wm) {
+    if (wm >= 0) merger_.Update(source_id, wm);
+  }
+
+  /// The next sequence number this source must deliver (the NACK content).
+  uint32_t expected_seq(size_t source_id) const {
+    return expect_seq_[source_id];
+  }
+
+  /// Quarantines a source: its watermark input is released so the merge and
+  /// the epoch barrier stop waiting on it (surviving sources keep closing
+  /// windows — degraded mode keeps serving).
+  Status RemoveSource(size_t source_id);
+
+  /// Re-admits a quarantined source through the join rule: its watermark
+  /// input restarts uninitialized, holding the merge until its first
+  /// post-readmission delivery (AddSource newcomer semantics, same id).
+  Status ReadmitSource(size_t source_id);
+
+  /// Re-synchronizes the expected sequence after a readmission that
+  /// discarded in-flight frames (crash recovery): delivery resumes at the
+  /// source's current counter instead of NACKing unrecoverable history.
+  void ResyncSequence(size_t source_id, uint32_t expect) {
+    expect_seq_[source_id] = expect;
+  }
 
   Micros merged_watermark() const { return merger_.Merged(); }
 
@@ -63,6 +117,8 @@ class SpExecutor {
   std::vector<uint8_t> columnar_from_;
   // Reused per Consume call for chunks that must regroup to rows.
   stream::RecordBatch entry_batch_;
+  // Per-source next expected wire sequence number (exactly-once delivery).
+  std::vector<uint32_t> expect_seq_;
 };
 
 }  // namespace jarvis::core

@@ -2,6 +2,37 @@
 
 namespace jarvis::ser {
 
+namespace {
+
+inline uint64_t MixWord(uint64_t h, uint64_t w) {
+  h ^= w * 0x9e3779b97f4a7c15ull;
+  h = (h << 29) | (h >> 35);
+  return h * 0xbf58476d1ce4e5b9ull;
+}
+
+inline uint64_t LoadWord(const uint8_t* p, size_t n) {
+  uint64_t w = 0;
+  for (size_t i = 0; i < n; ++i) w |= static_cast<uint64_t>(p[i]) << (8 * i);
+  return w;
+}
+
+}  // namespace
+
+uint32_t FrameChecksum(const uint8_t* data, size_t len) {
+  uint64_t h = 0x2545f4914f6cdd1dull ^ (static_cast<uint64_t>(len) *
+                                        0x9e3779b97f4a7c15ull);
+  size_t i = 0;
+  for (; i + 8 <= len; i += 8) h = MixWord(h, LoadWord(data + i, 8));
+  if (i < len) h = MixWord(h, LoadWord(data + i, len - i));
+  // fmix64 finalizer, folded to 32 bits.
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdull;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ull;
+  h ^= h >> 33;
+  return static_cast<uint32_t>(h ^ (h >> 32));
+}
+
 void BufferWriter::PutU32(uint32_t v) {
   uint8_t tmp[4];
   StoreLe(v, tmp);

@@ -79,9 +79,17 @@ class BufferWriter {
   void PutString(std::string_view s);
   void PutBytes(const uint8_t* data, size_t len);
 
+  /// Overwrites 4 already-written bytes at `pos` with a little-endian u32.
+  /// Frame encoders reserve a checksum/length slot with PutU32(0), write the
+  /// payload, then patch the real value here — no second buffer, no copy.
+  void PatchU32(size_t pos, uint32_t v) { StoreLe(v, buf_.data() + pos); }
+
   const std::vector<uint8_t>& data() const { return buf_; }
   size_t size() const { return buf_.size(); }
   void Clear() { buf_.clear(); }
+
+  /// Moves the encoded bytes out (the writer is left empty but usable).
+  std::vector<uint8_t> Release() { return std::move(buf_); }
 
  private:
   std::vector<uint8_t> buf_;
@@ -121,6 +129,17 @@ class BufferReader {
   size_t size_;
   size_t pos_;
 };
+
+/// Fast 32-bit frame checksum over a byte span (multiply-rotate mix over
+/// 8-byte words, wyhash-style). Not cryptographic: it exists to catch wire
+/// corruption — bit flips, truncation, splices — with probability ~1-2^-32,
+/// at memory-bandwidth speed. The length participates in the seed so a
+/// truncated frame cannot collide with its own prefix.
+uint32_t FrameChecksum(const uint8_t* data, size_t len);
+
+inline uint32_t FrameChecksum(const std::vector<uint8_t>& buf) {
+  return FrameChecksum(buf.data(), buf.size());
+}
 
 /// Zigzag transform helpers (exposed for testing).
 constexpr uint64_t ZigZagEncode(int64_t v) {

@@ -546,14 +546,24 @@ void WriteStringColumn(const std::vector<std::string>& values,
   for (const std::string& s : values) w->String(s);
 }
 
+/// Decodes the version-independent frame body (everything after the version
+/// byte / integrity header). Shared by the v3 and legacy-v2 read paths.
+Status DecodeColumnarBody(ser::BufferReader* in, RecordBatch* out);
+
 }  // namespace
 
 size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out) {
   const size_t start = out->size();
   const size_t n = batch.num_rows();
   const size_t nf = batch.num_columns();
-  out->Reserve(16 + nf + n * 4);
+  out->Reserve(32 + nf + n * 4);
   out->PutU8(kColumnarFormatVersion);
+  // Integrity header: payload length + checksum, patched in place once the
+  // body is written (the encoder stays single-pass, no staging buffer).
+  const size_t len_pos = out->size();
+  out->PutU32(0);
+  out->PutU32(0);
+  const size_t body_start = out->size();
   out->PutVarU64(n);
   out->PutVarU64(nf);
   for (size_t j = 0; j < nf; ++j) {
@@ -625,15 +635,47 @@ size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out) {
     for (const Value& v : rec.fields) WriteTaggedValue(v, &w);
   }
   w.Flush();
+  const size_t body_len = out->size() - body_start;
+  out->PatchU32(len_pos, static_cast<uint32_t>(body_len));
+  out->PatchU32(len_pos + 4,
+                ser::FrameChecksum(out->data().data() + body_start, body_len));
   return out->size() - start;
 }
 
 Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out) {
   uint8_t version;
   JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version == kColumnarFormatVersionLegacy) {
+    // Pre-checksum frames: decode the bare body (rolling-upgrade path).
+    return DecodeColumnarBody(in, out);
+  }
   if (version != kColumnarFormatVersion) {
     return Status::SerializationError("bad columnar format version");
   }
+  uint32_t body_len, crc;
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&body_len));
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&crc));
+  if (body_len > in->remaining()) {
+    return Status::SerializationError("truncated columnar frame");
+  }
+  if (ser::FrameChecksum(in->cursor(), body_len) != crc) {
+    return Status::SerializationError("columnar frame checksum mismatch");
+  }
+  // Decode against a reader bounded to the declared payload: a corrupt body
+  // can never read past its frame, and a short decode (trailing garbage
+  // inside the frame) is itself corruption.
+  ser::BufferReader body(in->cursor(), body_len);
+  JARVIS_RETURN_IF_ERROR(DecodeColumnarBody(&body, out));
+  if (!body.AtEnd()) {
+    return Status::SerializationError("columnar frame payload length mismatch");
+  }
+  in->Advance(body_len);
+  return Status::OK();
+}
+
+namespace {
+
+Status DecodeColumnarBody(ser::BufferReader* in, RecordBatch* out) {
   uint64_t n;
   JARVIS_RETURN_IF_ERROR(in->GetVarU64(&n));
   // Every row costs at least its two time varints downstream of the RLE
@@ -815,5 +857,7 @@ Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out) {
   }
   return Status::OK();
 }
+
+}  // namespace
 
 }  // namespace jarvis::stream

@@ -214,13 +214,23 @@ class ColumnarBatch {
 //     format, so any batch round-trips losslessly.
 // The format is self-describing; the read side needs no schema and produces
 // row records (the stream processor consumes rows).
+//
+// Version 3 wraps the v2 body in an integrity header:
+//   [u8 version=3][u32 payload_len][u32 FrameChecksum(payload)][payload]
+// so the consuming stream processor detects bit flips, truncation, and
+// splices before any decode work touches the payload. Version-2 frames
+// (no header) still decode — old sources keep working across a rollout.
 
-inline constexpr uint8_t kColumnarFormatVersion = 2;
+inline constexpr uint8_t kColumnarFormatVersion = 3;
+inline constexpr uint8_t kColumnarFormatVersionLegacy = 2;
 
 /// Serializes the batch column-wise and returns the bytes written.
 size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out);
 
 /// Decodes a batch previously written by SerializeColumnar into row records.
+/// Verifies the v3 integrity header (checksum + exact payload length) and
+/// fails with SerializationError — never UB — on any corrupt, truncated, or
+/// bit-flipped input; legacy v2 frames decode through the same body path.
 Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out);
 
 }  // namespace jarvis::stream

@@ -208,8 +208,14 @@ size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
   const size_t nf = schema.num_fields();
   // Header + roughly flag/time bytes; the chunked column writer amortizes
   // the rest of the growth.
-  out->Reserve(16 + nf + n * 8);
+  out->Reserve(32 + nf + n * 8);
   out->PutU8(kBatchFormatVersion);
+  // Integrity header: payload length + checksum, patched once the body is
+  // written (same framing as the columnar format).
+  const size_t len_pos = out->size();
+  out->PutU32(0);
+  out->PutU32(0);
+  const size_t body_start = out->size();
   out->PutVarU64(n);
   out->PutVarU64(nf);
   for (size_t j = 0; j < nf; ++j) {
@@ -264,15 +270,18 @@ size_t SerializeBatch(const RecordBatch& batch, const Schema& schema,
     for (const Value& v : batch[i].fields) WriteTaggedValue(v, &w);
   }
   w.Flush();
+  const size_t body_len = out->size() - body_start;
+  out->PatchU32(len_pos, static_cast<uint32_t>(body_len));
+  out->PatchU32(len_pos + 4,
+                ser::FrameChecksum(out->data().data() + body_start, body_len));
   return out->size() - start;
 }
 
-Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
-  uint8_t version;
-  JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
-  if (version != kBatchFormatVersion) {
-    return Status::SerializationError("bad batch format version");
-  }
+namespace {
+
+/// Decodes the version-independent batch body (everything after the version
+/// byte / integrity header). Shared by the v2 and legacy-v1 read paths.
+Status DecodeBatchBody(ser::BufferReader* in, RecordBatch* out) {
   uint64_t n;
   JARVIS_RETURN_IF_ERROR(in->GetVarU64(&n));
   // Every record costs at least a flag byte plus two time varints, so a
@@ -361,6 +370,38 @@ Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
       rec.fields.push_back(std::move(v));
     }
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DeserializeBatch(ser::BufferReader* in, RecordBatch* out) {
+  uint8_t version;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version == kBatchFormatVersionLegacy) {
+    // Pre-checksum frames: decode the bare body (rolling-upgrade path).
+    return DecodeBatchBody(in, out);
+  }
+  if (version != kBatchFormatVersion) {
+    return Status::SerializationError("bad batch format version");
+  }
+  uint32_t body_len, crc;
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&body_len));
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&crc));
+  if (body_len > in->remaining()) {
+    return Status::SerializationError("truncated batch frame");
+  }
+  if (ser::FrameChecksum(in->cursor(), body_len) != crc) {
+    return Status::SerializationError("batch frame checksum mismatch");
+  }
+  // Bounded body decode: corruption can never read past the frame, and a
+  // short decode (trailing garbage inside the frame) is itself corruption.
+  ser::BufferReader body(in->cursor(), body_len);
+  JARVIS_RETURN_IF_ERROR(DecodeBatchBody(&body, out));
+  if (!body.AtEnd()) {
+    return Status::SerializationError("batch frame payload length mismatch");
+  }
+  in->Advance(body_len);
   return Status::OK();
 }
 

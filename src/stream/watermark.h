@@ -25,15 +25,21 @@ class WatermarkMerger {
     if (wm > inputs_[i]) inputs_[i] = wm;
   }
 
-  /// The merged watermark: min over inputs, or kUninitialized until every
-  /// input has reported at least once.
+  /// The merged watermark: min over active inputs, or kUninitialized until
+  /// every active input has reported at least once. Removed inputs are
+  /// skipped — a quarantined source neither holds the merge back nor drags
+  /// it forward. With no active inputs at all the merge is kUninitialized
+  /// (nothing can state a time bound).
   Micros Merged() const {
     Micros m = std::numeric_limits<Micros>::max();
+    bool any_active = false;
     for (Micros wm : inputs_) {
+      if (wm == kRemoved) continue;
       if (wm == kUninitialized) return kUninitialized;
+      any_active = true;
       if (wm < m) m = wm;
     }
-    return m;
+    return any_active ? m : kUninitialized;
   }
 
   /// Registers a new input (source join churn). It starts uninitialized, so
@@ -44,9 +50,34 @@ class WatermarkMerger {
     return inputs_.size() - 1;
   }
 
+  /// Releases input `i` from the merge (source crash/quarantine churn, the
+  /// inverse of AddInput): the merged watermark stops waiting on it — if it
+  /// held the minimum, the merge jumps forward to the surviving minimum.
+  /// Ids stay stable; further Updates on a removed input are ignored.
+  void RemoveInput(size_t i) { inputs_[i] = kRemoved; }
+
+  /// Re-admits a removed input through the join rule: it restarts
+  /// uninitialized, so the merge holds until its first post-readmission
+  /// report — exactly the AddInput newcomer semantics, at the same id.
+  void ReviveInput(size_t i) { inputs_[i] = kUninitialized; }
+
+  bool IsRemoved(size_t i) const { return inputs_[i] == kRemoved; }
+
   size_t num_inputs() const { return inputs_.size(); }
 
+  /// Active (not removed) input count.
+  size_t num_active() const {
+    size_t n = 0;
+    for (Micros wm : inputs_) n += (wm != kRemoved);
+    return n;
+  }
+
   static constexpr Micros kUninitialized = -1;
+  /// Sentinel for a removed input. A watermark is a promise that no earlier
+  /// event will arrive; +inf is the vacuous promise a permanently silent
+  /// source keeps, and min() ignores it for free. Update's monotonicity test
+  /// (wm > inputs_[i]) also rejects every real update against it.
+  static constexpr Micros kRemoved = std::numeric_limits<Micros>::max();
 
  private:
   std::vector<Micros> inputs_;

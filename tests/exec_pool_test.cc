@@ -188,6 +188,66 @@ TEST(ExecPoolTest, ShardedHandoffDeliversInTakeOrder) {
   }
 }
 
+TEST(ExecPoolTest, BoundedQueueDeadlineVariantsTimeOutAndRecover) {
+  BoundedQueue<int> q(1);
+  // Empty queue: TryPopFor times out without consuming anything.
+  EXPECT_FALSE(q.TryPopFor(std::chrono::milliseconds(1)).has_value());
+  ASSERT_TRUE(q.TryPushFor(7, std::chrono::milliseconds(1)));
+  // Full queue: TryPushFor times out and drops, leaving the queue intact.
+  EXPECT_FALSE(q.TryPushFor(8, std::chrono::milliseconds(1)));
+  EXPECT_EQ(q.size(), 1u);
+  auto v = q.TryPopFor(std::chrono::milliseconds(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  // A blocked deadline pop is satisfied by a late producer within bound.
+  std::thread producer([&] {
+    SleepMs(5);
+    ASSERT_TRUE(q.Push(9));
+  });
+  auto late = q.TryPopFor(std::chrono::seconds(10));
+  producer.join();
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(*late, 9);
+  // Close wakes deadline waiters with nullopt / false.
+  q.Close();
+  EXPECT_FALSE(q.TryPopFor(std::chrono::milliseconds(1)).has_value());
+  EXPECT_FALSE(q.TryPushFor(1, std::chrono::milliseconds(1)));
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(ExecPoolTest, ShardedHandoffTryTakeForMissesThenPicksUpLatePut) {
+  ShardedHandoff<int> handoff(4, 2);
+  // Nothing produced: the deadline take misses — the straggler signal.
+  EXPECT_FALSE(handoff.TryTakeFor(2, std::chrono::milliseconds(1)).has_value());
+  // The producer's eventual Put stays valid for a later take.
+  handoff.Put(2, 42);
+  auto v = handoff.TryTakeFor(2, std::chrono::milliseconds(1));
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 42);
+  std::thread producer([&] {
+    SleepMs(5);
+    handoff.Put(3, 43);
+  });
+  auto late = handoff.TryTakeFor(3, std::chrono::seconds(10));
+  producer.join();
+  ASSERT_TRUE(late.has_value());
+  EXPECT_EQ(*late, 43);
+}
+
+TEST(ExecPoolTest, ShardedHandoffClearSlotAndEnsureCapacity) {
+  ShardedHandoff<int> handoff(2, 2);
+  handoff.Put(0, 5);
+  // ClearSlot recycles one key without the quiescence Reset requires.
+  handoff.ClearSlot(0);
+  EXPECT_FALSE(handoff.TryTakeFor(0, std::chrono::milliseconds(1)).has_value());
+  handoff.Put(1, 6);
+  // Growth preserves existing values and makes new keys usable.
+  handoff.EnsureCapacity(6);
+  EXPECT_EQ(handoff.Take(1), 6);
+  handoff.Put(5, 7);
+  EXPECT_EQ(handoff.Take(5), 7);
+}
+
 TEST(ExecPoolTest, ResolveThreadsConventions) {
   EXPECT_EQ(ResolveThreads(3), 3);
   EXPECT_EQ(ResolveThreads(0), HardwareThreads());

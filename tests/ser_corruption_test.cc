@@ -1,0 +1,212 @@
+// Adversarial decode hardening for the drain wire formats: every decode path
+// must return a Status — never assert, crash, over-read, or silently accept
+// wrong bytes — on truncated or bit-flipped input. The suite runs a corpus
+// of batch (v2) and columnar (v3) frames through exhaustive truncation and
+// seeded bit-flips; the ASan/UBSan CI leg is the real judge of the "no UB"
+// half of the contract. Legacy (pre-checksum) frames must keep decoding.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "ser/buffer.h"
+#include "stream/columnar.h"
+#include "stream/record.h"
+#include "testing/test_util.h"
+
+namespace jarvis::stream {
+namespace {
+
+using jarvis::testing::FuzzSeeds;
+using jarvis::testing::KvSchema;
+using jarvis::testing::MakeRecord;
+using jarvis::testing::MakeWindowedRecord;
+
+/// One corpus entry: a row batch plus the schema its columnar form uses.
+struct Corpus {
+  std::string name;
+  RecordBatch rows;
+  Schema schema;
+};
+
+std::vector<Corpus> BuildCorpus() {
+  std::vector<Corpus> corpus;
+  corpus.push_back({"empty", RecordBatch{}, KvSchema()});
+
+  Corpus kv{"kv", {}, KvSchema()};
+  for (int i = 0; i < 24; ++i) {
+    kv.rows.push_back(MakeRecord(Seconds(i), int64_t{i * 7}, i * 0.5));
+  }
+  corpus.push_back(std::move(kv));
+
+  Corpus strings{"strings",
+                 {},
+                 Schema::Of({{"host", ValueType::kString},
+                             {"lat", ValueType::kDouble}})};
+  for (int i = 0; i < 16; ++i) {
+    strings.rows.push_back(MakeRecord(
+        Seconds(i), "host-" + std::string(1 + i % 5, 'x'), i * 1.25));
+  }
+  corpus.push_back(std::move(strings));
+
+  Corpus mixed{"mixed", {}, KvSchema()};
+  for (int i = 0; i < 12; ++i) {
+    Record r = MakeWindowedRecord(Seconds(i), Seconds(i - i % 3),
+                                  int64_t{i}, 2.0 * i);
+    if (i % 4 == 0) r.kind = RecordKind::kPartial;
+    mixed.rows.push_back(std::move(r));
+  }
+  // Non-conforming rows exercise the columnar fallback lane.
+  mixed.rows.push_back(MakeRecord(Seconds(99), "stray", int64_t{1}, 3.5));
+  corpus.push_back(std::move(mixed));
+  return corpus;
+}
+
+std::vector<uint8_t> EncodeBatch(const Corpus& c) {
+  ser::BufferWriter w;
+  SerializeBatch(c.rows, c.schema, &w);
+  return w.Release();
+}
+
+std::vector<uint8_t> EncodeColumnar(const Corpus& c) {
+  RecordBatch rows = c.rows;  // FromRows consumes
+  ColumnarBatch cb = ColumnarBatch::FromRows(std::move(rows), c.schema);
+  ser::BufferWriter w;
+  SerializeColumnar(cb, &w);
+  return w.Release();
+}
+
+/// The two wire formats under test, driven through one reader-level decode
+/// so the frame-boundary behavior (bounded consumption) is also covered.
+struct Format {
+  const char* name;
+  std::vector<uint8_t> (*encode)(const Corpus&);
+  Status (*decode)(ser::BufferReader*, RecordBatch*);
+  uint8_t legacy_version;
+};
+
+constexpr Format kFormats[] = {
+    {"batch", &EncodeBatch, &DeserializeBatch, kBatchFormatVersionLegacy},
+    {"columnar", &EncodeColumnar, &DeserializeColumnar,
+     kColumnarFormatVersionLegacy},
+};
+
+Status DecodeBytes(const Format& fmt, const std::vector<uint8_t>& bytes,
+                   RecordBatch* out) {
+  ser::BufferReader r(bytes.data(), bytes.size());
+  return fmt.decode(&r, out);
+}
+
+// ---------------------------------------------------------------------------
+// Round trips and framing
+// ---------------------------------------------------------------------------
+
+TEST(SerCorruptionTest, RoundTripsAndStopsAtFrameBoundary) {
+  for (const Corpus& c : BuildCorpus()) {
+    for (const Format& fmt : kFormats) {
+      SCOPED_TRACE(c.name + std::string("/") + fmt.name);
+      std::vector<uint8_t> bytes = fmt.encode(c);
+      RecordBatch out;
+      ASSERT_TRUE(DecodeBytes(fmt, bytes, &out).ok());
+      EXPECT_EQ(out, c.rows);
+      // The checksummed frame knows its own length: trailing bytes after
+      // the frame belong to the next frame, not to this decode.
+      bytes.push_back(0xAB);
+      ser::BufferReader r(bytes.data(), bytes.size());
+      RecordBatch again;
+      ASSERT_TRUE(fmt.decode(&r, &again).ok());
+      EXPECT_EQ(again, c.rows);
+      EXPECT_EQ(r.remaining(), 1u);
+    }
+  }
+}
+
+TEST(SerCorruptionTest, LegacyUnchecksummedFramesStillDecode) {
+  // A v3 columnar / v2 batch frame is [version][u32 len][u32 crc][body]
+  // where the body is byte-identical to the previous format version; strip
+  // the integrity header and rewrite the version byte to fabricate frames
+  // from before the format bump.
+  for (const Corpus& c : BuildCorpus()) {
+    for (const Format& fmt : kFormats) {
+      SCOPED_TRACE(c.name + std::string("/") + fmt.name);
+      const std::vector<uint8_t> framed = fmt.encode(c);
+      ASSERT_GE(framed.size(), 9u);
+      std::vector<uint8_t> legacy{fmt.legacy_version};
+      legacy.insert(legacy.end(), framed.begin() + 9, framed.end());
+      RecordBatch out;
+      ASSERT_TRUE(DecodeBytes(fmt, legacy, &out).ok());
+      EXPECT_EQ(out, c.rows);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Truncation: every prefix must fail cleanly
+// ---------------------------------------------------------------------------
+
+TEST(SerCorruptionTest, EveryTruncationFailsWithStatus) {
+  for (const Corpus& c : BuildCorpus()) {
+    for (const Format& fmt : kFormats) {
+      SCOPED_TRACE(c.name + std::string("/") + fmt.name);
+      const std::vector<uint8_t> bytes = fmt.encode(c);
+      for (size_t len = 0; len < bytes.size(); ++len) {
+        const std::vector<uint8_t> prefix(bytes.begin(), bytes.begin() + len);
+        RecordBatch out;
+        const Status st = DecodeBytes(fmt, prefix, &out);
+        EXPECT_FALSE(st.ok()) << "prefix length " << len << " of "
+                              << bytes.size() << " decoded";
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit flips: detected by checksum or rejected by a bounds check, never UB
+// ---------------------------------------------------------------------------
+
+TEST(SerCorruptionTest, SingleBitFlipsNeverCrash) {
+  for (const Corpus& c : BuildCorpus()) {
+    for (const Format& fmt : kFormats) {
+      SCOPED_TRACE(c.name + std::string("/") + fmt.name);
+      const std::vector<uint8_t> bytes = fmt.encode(c);
+      for (size_t i = 0; i < bytes.size(); ++i) {
+        for (const int bit : {0, 3, 7}) {
+          std::vector<uint8_t> bad = bytes;
+          bad[i] ^= static_cast<uint8_t>(1u << bit);
+          RecordBatch out;
+          // The contract under sanitizers: a Status comes back — ok only
+          // in the astronomically unlikely event of a checksum collision
+          // or when the flip lands in redundant header space — and the
+          // process neither crashes nor reads out of bounds.
+          (void)DecodeBytes(fmt, bad, &out);
+        }
+      }
+    }
+  }
+}
+
+TEST(SerCorruptionTest, RandomMultiByteCorruptionIsSafe) {
+  for (const uint64_t seed : FuzzSeeds()) {
+    Rng rng(seed ^ 0xc0ffee);
+    for (const Corpus& c : BuildCorpus()) {
+      for (const Format& fmt : kFormats) {
+        std::vector<uint8_t> bytes = fmt.encode(c);
+        if (bytes.empty()) continue;
+        const size_t flips = 1 + rng.NextBounded(8);
+        for (size_t f = 0; f < flips; ++f) {
+          bytes[rng.NextBounded(bytes.size())] ^=
+              static_cast<uint8_t>(1 + rng.NextBounded(255));
+        }
+        RecordBatch out;
+        (void)DecodeBytes(fmt, bytes, &out);  // Status; sanitizers judge
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jarvis::stream

@@ -45,5 +45,72 @@ TEST(WatermarkTest, ManyInputsAdvanceTogether) {
   EXPECT_EQ(m.Merged(), 1000);
 }
 
+TEST(WatermarkTest, RemoveInputReleasesTheMinimum) {
+  WatermarkMerger m(3);
+  m.Update(0, 100);
+  m.Update(1, 50);
+  m.Update(2, 200);
+  ASSERT_EQ(m.Merged(), 50);
+  // Quarantining the slowest input releases the merge to the survivors.
+  m.RemoveInput(1);
+  EXPECT_EQ(m.Merged(), 100);
+  EXPECT_TRUE(m.IsRemoved(1));
+  EXPECT_EQ(m.num_active(), 2u);
+  // A removed input's updates are ignored: it cannot drag the merge back.
+  m.Update(1, 10);
+  EXPECT_EQ(m.Merged(), 100);
+}
+
+TEST(WatermarkTest, RemoveHoldsUntilSurvivorsReportThenAdvances) {
+  WatermarkMerger m(2);
+  m.Update(0, 100);
+  m.Update(1, 40);
+  ASSERT_EQ(m.Merged(), 40);
+  m.RemoveInput(1);
+  EXPECT_EQ(m.Merged(), 100);
+  m.Update(0, 300);
+  EXPECT_EQ(m.Merged(), 300);
+}
+
+TEST(WatermarkTest, RemovingEveryInputUninitializesTheMerge) {
+  WatermarkMerger m(2);
+  m.Update(0, 10);
+  m.Update(1, 20);
+  m.RemoveInput(0);
+  m.RemoveInput(1);
+  // No active inputs: no watermark claim at all (never "infinity", which
+  // would close every window).
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  EXPECT_EQ(m.num_active(), 0u);
+}
+
+TEST(WatermarkTest, ReviveRejoinsWithNewcomerSemantics) {
+  WatermarkMerger m(2);
+  m.Update(0, 100);
+  m.Update(1, 80);
+  m.RemoveInput(1);
+  ASSERT_EQ(m.Merged(), 100);
+  // Re-admission: the revived input restarts uninitialized and holds the
+  // merge — exactly the AddSource join rule — until it reports again.
+  m.ReviveInput(1);
+  EXPECT_FALSE(m.IsRemoved(1));
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  m.Update(1, 90);
+  EXPECT_EQ(m.Merged(), 90);
+}
+
+TEST(WatermarkTest, RemoveReviveIsSymmetricWithAddInput) {
+  WatermarkMerger m(1);
+  m.Update(0, 50);
+  const size_t joiner = m.AddInput();
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  m.RemoveInput(joiner);
+  EXPECT_EQ(m.Merged(), 50);  // the silent joiner no longer holds the merge
+  m.ReviveInput(joiner);
+  EXPECT_EQ(m.Merged(), WatermarkMerger::kUninitialized);
+  m.Update(joiner, 70);
+  EXPECT_EQ(m.Merged(), 50);
+}
+
 }  // namespace
 }  // namespace jarvis::stream

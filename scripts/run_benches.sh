@@ -277,7 +277,8 @@ assert ex["threads"]["threads_1"]["records_per_sec"] > 0, \
     "fig10 exec sweep produced no throughput"
 fr = snapshot["fault_recovery"]
 for section in ("config", "baseline", "kill", "dip", "reconverge", "stats",
-                "storm"):
+                "storm", "ckpt_kill", "ckpt_dip", "ckpt_reconverge",
+                "ckpt_overhead"):
     assert section in fr, f"fault_recovery section '{section}' missing"
 assert fr["baseline"]["rps"] > 0, "fault_recovery baseline produced no rate"
 assert fr["stats"]["quarantines"] >= 1 and fr["stats"]["readmissions"] >= 1, \
@@ -288,6 +289,16 @@ assert fr["storm"]["retransmits"] >= 1 and \
 assert fr["kill"]["records_sent"] == fr["kill"]["records_delivered"] + \
     fr["kill"]["records_lost"] + fr["kill"]["in_flight"], \
     "fault_recovery kill run violates record conservation"
+assert fr["ckpt_kill"]["records_lost"] == 0, \
+    "fault_recovery checkpointed kill must lose zero records"
+assert fr["ckpt_kill"]["restores"] >= 1, \
+    "fault_recovery checkpointed kill did not restore from a checkpoint"
+assert fr["ckpt_kill"]["records_sent"] == \
+    fr["ckpt_kill"]["records_delivered"] + fr["ckpt_kill"]["in_flight"], \
+    "fault_recovery checkpointed kill violates lossless conservation"
+assert fr["ckpt_overhead"]["checkpoints"] >= 1 and \
+    fr["ckpt_overhead"]["wire_bytes"] > 0, \
+    "fault_recovery checkpoint overhead section is empty"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

@@ -6,6 +6,9 @@
 #include <optional>
 #include <utility>
 
+#include "core/checkpoint.h"
+#include "ser/buffer.h"
+
 namespace jarvis::core {
 
 BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
@@ -26,12 +29,22 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
     injector_ = std::move(*injector);
     ft_.enabled = true;
   }
+  // Environment knobs are read once here; worker tasks consult the cached
+  // values through CkptInterval()/CkptRetain() (no getenv off-thread).
+  env_ckpt_interval_ = CheckpointIntervalFromEnv();
+  env_ckpt_retain_ = CheckpointRetainFromEnv();
+  if (env_ckpt_retain_ <= 0) env_ckpt_retain_ = 4;
   sp_ = std::make_unique<SpExecutor>(query, specs.size());
   if (!sp_->Init().ok()) {
     init_status_ = sp_->Init();
     return;
   }
   for (SourceSpec& spec : specs) {
+    PerSource ps;
+    // Spec copies stashed before the executor construction consumes the
+    // spec: crash recovery rebuilds the executor from them.
+    ps.cost_model = spec.cost_model;
+    ps.options = spec.options;
     auto executor = std::make_unique<SourceExecutor>(
         query, std::move(spec.cost_model), spec.options);
     if (!executor->Init().ok()) {
@@ -42,7 +55,6 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
     sources_.push_back(std::move(executor));
     runtimes_.push_back(std::make_unique<JarvisRuntime>(
         query.num_source_ops(), runtime_config));
-    PerSource ps;
     ps.generate = std::move(spec.generate);
     state_.push_back(std::move(ps));
   }
@@ -173,6 +185,12 @@ Status BuildingBlock::FailSource(size_t source_id) {
     }
     ps.inbox.clear();
     ps.retained.clear();
+    // A pending checkpoint recovery dies with the source: its replayable
+    // in-flight becomes genuine loss.
+    stats_.records_lost += ps.replay_outstanding;
+    ps.replay_outstanding = 0;
+    ps.ckpt_recover = false;
+    ps.trace.clear();
   }
   // Remove its watermark input so surviving sources' windows are not held
   // open forever.
@@ -192,6 +210,9 @@ Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
       }
     }
   }
+  PerSource ps;
+  ps.cost_model = spec.cost_model;
+  ps.options = spec.options;
   auto executor = std::make_unique<SourceExecutor>(
       query_, std::move(spec.cost_model), spec.options);
   JARVIS_RETURN_IF_ERROR(executor->Init());
@@ -200,7 +221,6 @@ Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
   sources_.push_back(std::move(executor));
   runtimes_.push_back(std::make_unique<JarvisRuntime>(
       query_.num_source_ops(), runtime_config_));
-  PerSource ps;
   ps.generate = std::move(spec.generate);
   state_.push_back(std::move(ps));
   return id;
@@ -231,6 +251,18 @@ Status BuildingBlock::Finish(stream::RecordBatch* results) {
       ApplyQuarantine(qs, ft_epoch_, keep);
     }
     pending_quarantine_.clear();
+    // End-of-run recovery: a source still waiting out its checkpoint
+    // re-admission backoff recovers now — the final flush must not close
+    // windows missing records that replay can still deliver.
+    for (size_t s = 0; s < sources_.size(); ++s) {
+      PerSource& ps = state_[s];
+      if (!ps.alive || !ps.ckpt_recover) continue;
+      JARVIS_RETURN_IF_ERROR(RestoreAndReplay(s, ft_epoch_, results));
+      ps.health = SourceHealth::kHealthy;
+      ps.misses = 0;
+      ps.readmit_at = -1;
+      ++stats_.readmissions;
+    }
   }
   const Micros far = now_ + Seconds(3600);
   for (size_t s = 0; s < sources_.size(); ++s) {
@@ -268,6 +300,25 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
   env.watermark = out->watermark;
   env.records = out->DrainedRecords();
   env.wire = SerializeDrain(&*out, &state_[s].next_seq);
+  // Checkpoint barriers append the sealed state frame as the epoch's last
+  // wire frame — before the pristine copy (so it is retransmittable) and
+  // before the injector's pass (so faults get a shot at it like any frame).
+  {
+    CkptFrameOut ck;
+    Status cst = MaybeBuildCheckpointFrame(s, epoch, &state_[s].next_seq, &ck);
+    if (!cst.ok()) {
+      env.status = cst;
+      handoff_->Put(s, std::move(env));
+      return;
+    }
+    if (ck.emitted) {
+      env.ckpt_fence = ck.fence;
+      env.ckpt_bytes = ck.frame.bytes.size();
+      env.wire.wire_bytes += ck.frame.bytes.size();
+      ++env.wire.frame_count;
+      env.wire.frames.push_back(std::move(ck.frame));
+    }
+  }
   // The retransmit buffer travels in the envelope: the consumer owns the
   // retained copies outright, so a late (straggling) Put never races the
   // consumer's NACK handling.
@@ -284,6 +335,12 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
   sources_[s]->SetLoadFactors(d.load_factors);
   if (d.flush_pending) sources_[s]->RequestFlush();
   env.profile_next = d.request_profile;
+  if (CkptInterval() > 0) {
+    // Entry conditions of the *next* epoch, bound for the decision trace so
+    // crash replay reproduces the original frame boundaries bit-exactly.
+    env.decided_lfs = std::move(d.load_factors);
+    env.decided_flush = d.flush_pending;
+  }
   handoff_->Put(s, std::move(env));
 }
 
@@ -293,6 +350,9 @@ Status BuildingBlock::RunEpochFaultTolerant(stream::RecordBatch* results) {
   now_ = to;
   const int64_t e = ft_epoch_++;
 
+  if (CkptInterval() > 0) {
+    sp_->SetCheckpointRetain(static_cast<size_t>(std::max(1, CkptRetain())));
+  }
   JARVIS_RETURN_IF_ERROR(MaybeReadmit(e, results));
 
   if (!handoff_) {
@@ -383,6 +443,24 @@ Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
   ps.profile_next = env.profile_next;
   stats_.frames_sent += env.wire.frame_count;
   stats_.records_sent += env.records;
+  if (CkptInterval() > 0) {
+    stats_.wire_bytes_sent += env.wire.wire_bytes;
+    if (env.ckpt_bytes > 0) {
+      ++stats_.checkpoints_emitted;
+      stats_.checkpoint_bytes += env.ckpt_bytes;
+    }
+    // Decision trace entry for epoch e+1, and pruning below the oldest
+    // restorable checkpoint — replay can never start before the ring base.
+    TraceEntry t;
+    t.lfs = std::move(env.decided_lfs);
+    t.flush = env.decided_flush;
+    t.profile = env.profile_next;
+    ps.trace[e + 1] = std::move(t);
+    const int64_t base = sp_->checkpoint_store(s).base_epoch();
+    if (base >= 0) {
+      ps.trace.erase(ps.trace.begin(), ps.trace.lower_bound(base + 1));
+    }
+  }
   for (WireFrame& f : env.pristine) {
     ps.retained.emplace(f.seq, std::move(f));
   }
@@ -391,6 +469,7 @@ Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
   d.wire = std::move(env.wire);
   d.watermark = env.watermark;
   d.records = env.records;
+  d.ckpt_fence = env.ckpt_fence;
   ps.inbox.push_back(std::move(d));
   if (env.late > 0) {
     ++stats_.straggles;
@@ -422,7 +501,13 @@ Status BuildingBlock::DeliverReleasable(size_t s, int64_t e,
     bool exhausted = false;
     JARVIS_RETURN_IF_ERROR(DeliverWire(s, &d, results, &exhausted));
     if (exhausted) {
-      stats_.records_lost += d.records - d.delivered;
+      if (CkptInterval() > 0) {
+        // Zero-loss path: the interrupted delivery's remainder stays in
+        // flight until checkpoint replay re-delivers it.
+        ps.replay_outstanding += d.records - d.delivered;
+      } else {
+        stats_.records_lost += d.records - d.delivered;
+      }
       pending_quarantine_.emplace_back(s, /*keep_inflight=*/false);
       return Status::OK();
     }
@@ -455,11 +540,15 @@ Status BuildingBlock::DeliverWire(size_t s, Delivery* d,
     *out_frame = std::move(copy);
     return true;
   };
+  // With checkpointing on, delivery does not release the retained copy:
+  // frames stay retransmittable back to the oldest restorable checkpoint
+  // fence and are pruned in bulk once a newer checkpoint lands (below).
+  const bool ckpt_on = CkptInterval() > 0;
   auto ack = [&](const WireFrame& f) {
     ++stats_.frames_delivered;
     stats_.records_delivered += f.records;
     d->delivered += f.records;
-    ps.retained.erase(f.seq);
+    if (!ckpt_on) ps.retained.erase(f.seq);
     if (wire_tap_) wire_tap_(s, f.seq, f.bytes);
   };
   while (!pending.empty()) {
@@ -533,6 +622,16 @@ Status BuildingBlock::DeliverWire(size_t s, Delivery* d,
     // expected sequence number (unless its header was corrupted, which
     // reads as kCorrupt).
   }
+  // This epoch's checkpoint landed whole: retained frames below the ring's
+  // base fence can never be needed again (replay regenerates frames, and
+  // the live NACK window starts at the oldest restorable checkpoint).
+  if (ckpt_on && d->ckpt_fence > 0) {
+    const CheckpointStore& store = sp_->checkpoint_store(s);
+    if (store.size() > 0) {
+      ps.retained.erase(ps.retained.begin(),
+                        ps.retained.lower_bound(store.entry(0).fence));
+    }
+  }
   // Watermark last: event time advances only once the epoch has delivered
   // whole — a partially delivered epoch must not promise progress.
   sp_->ConsumeWatermark(s, d->watermark);
@@ -557,26 +656,48 @@ void BuildingBlock::NoteMiss(size_t s) {
 void BuildingBlock::ApplyQuarantine(size_t s, int64_t e, bool keep_inflight) {
   PerSource& ps = state_[s];
   if (ps.health == SourceHealth::kQuarantined) return;
-  sp_->RemoveSource(s);  // s < num_sources by construction
+  // Checkpoint recovery holds the source's watermark input instead of
+  // releasing it: replay will re-deliver every discarded record, and the
+  // windows they belong to must not close without them. (The lossy path
+  // trades exactly this — degraded mode keeps serving — for the loss.)
+  const bool ckpt_recovery = !keep_inflight && CkptInterval() > 0;
+  if (!ckpt_recovery) sp_->RemoveSource(s);  // s < num_sources by construction
   ps.health = SourceHealth::kQuarantined;
   ps.misses = 0;
   ps.readmit_at =
       ft_.readmit_after_epochs >= 0 ? e + 1 + ft_.readmit_after_epochs : -1;
   if (!keep_inflight) {
-    for (const Delivery& d : ps.inbox) {
-      stats_.records_lost += d.records - d.delivered;
+    if (ckpt_recovery) {
+      // Nothing is lost: undelivered in-flight transfers to the replay
+      // ledger, and the retained pristine frames stay — they remain the
+      // NACK answer for the post-recovery live window.
+      for (const Delivery& d : ps.inbox) {
+        ps.replay_outstanding += d.records - d.delivered;
+      }
+      ps.inbox.clear();
+      ps.crash_next_seq = ps.next_seq;
+      ps.ckpt_recover = true;
+    } else {
+      for (const Delivery& d : ps.inbox) {
+        stats_.records_lost += d.records - d.delivered;
+      }
+      ps.inbox.clear();
+      ps.retained.clear();
+      // Delivery history is gone; at re-admission the SP's expected sequence
+      // jumps to the source's counter instead of NACKing forever.
+      ps.resync_on_readmit = true;
     }
-    ps.inbox.clear();
-    ps.retained.clear();
-    // Delivery history is gone; at re-admission the SP's expected sequence
-    // jumps to the source's counter instead of NACKing forever.
-    ps.resync_on_readmit = true;
   }
   ++stats_.quarantines;
+  if (ckpt_recovery) return;
   // The source set changed: every survivor's plan is stale. Re-profile and
   // re-plan over the surviving configuration (degraded mode keeps serving
   // in the meantime). A wedged survivor is skipped — its runtime object is
   // still owned by its running task — and catches the next re-plan.
+  // Checkpoint recoveries skip the replan entirely (the early return
+  // above): the source returns with identical state, so survivors keep
+  // their fault-free trajectory — which is what makes post-recovery results
+  // bit-identical to a run without the fault.
   bool any_survivor = false;
   for (size_t x = 0; x < state_.size(); ++x) {
     if (x == s || !state_[x].alive || state_[x].outstanding) continue;
@@ -601,6 +722,16 @@ Status BuildingBlock::MaybeReadmit(int64_t e, stream::RecordBatch* results) {
           s, std::chrono::milliseconds(std::max(1, ft_.take_deadline_ms)));
       if (!stale.has_value()) continue;
       ps.outstanding = false;
+    }
+    if (ps.ckpt_recover) {
+      // Zero-loss re-admission: no join rule, no resync — the watermark
+      // input was never released, and replay re-delivers the hole.
+      JARVIS_RETURN_IF_ERROR(RestoreAndReplay(s, e, results));
+      ps.health = SourceHealth::kHealthy;
+      ps.misses = 0;
+      ps.readmit_at = -1;
+      ++stats_.readmissions;
+      continue;
     }
     JARVIS_RETURN_IF_ERROR(sp_->ReadmitSource(s));
     if (ps.resync_on_readmit) {
@@ -627,8 +758,180 @@ uint64_t BuildingBlock::records_in_flight() const {
   uint64_t n = 0;
   for (const PerSource& ps : state_) {
     for (const Delivery& d : ps.inbox) n += d.records - d.delivered;
+    n += ps.replay_outstanding;
   }
   return n;
+}
+
+// ---------------------------------------------------------------------------
+// Epoch-aligned checkpointing
+// ---------------------------------------------------------------------------
+
+Status BuildingBlock::MaybeBuildCheckpointFrame(size_t s, int64_t epoch,
+                                                uint32_t* next_seq,
+                                                CkptFrameOut* out) {
+  out->emitted = false;
+  const int interval = CkptInterval();
+  if (interval <= 0 || (epoch + 1) % interval != 0) return Status::OK();
+  // Barrier index of this checkpoint; every retain-th one is a full
+  // keyframe that compacts the SP's ring. Replay recomputes the same
+  // cadence, so regenerated frames occupy the same sequence numbers.
+  const uint64_t ckpt_index =
+      static_cast<uint64_t>((epoch + 1) / interval) - 1;
+  const uint64_t retain = static_cast<uint64_t>(std::max(1, CkptRetain()));
+  const bool full = ckpt_index % retain == 0;
+  ser::BufferWriter body;
+  JARVIS_RETURN_IF_ERROR(sources_[s]->ExportCheckpointBody(
+      &body,
+      full ? stream::StateExport::kFull : stream::StateExport::kDelta));
+  const uint32_t seq = (*next_seq)++;
+  out->fence = seq + 1;
+  out->frame = MakeCheckpointFrame(
+      seq, SealCheckpointPayload(full, epoch, out->fence, body.data()));
+  out->emitted = true;
+  return Status::OK();
+}
+
+Status BuildingBlock::RestoreAndReplay(size_t s, int64_t e,
+                                       stream::RecordBatch* results) {
+  PerSource& ps = state_[s];
+  ps.ckpt_recover = false;
+  const CheckpointStore& store = sp_->checkpoint_store(s);
+  const CheckpointRestorePlan plan = store.PlanRestore();
+  if (plan.skipped > 0) ++stats_.checkpoint_fallbacks;
+  int64_t from_epoch = 0;
+  if (plan.valid) {
+    from_epoch = plan.epoch + 1;
+  } else if (store.size() > 0) {
+    // Retained checkpoints exist but none is restorable (corrupt keyframe).
+    // The decision trace was pruned against them, so genesis replay is off
+    // the table too: fall back to the lossy resync re-admission.
+    stats_.records_lost += ps.replay_outstanding;
+    ps.replay_outstanding = 0;
+    ps.crash_next_seq = 0;
+    ps.retained.clear();
+    ps.trace.clear();
+    sp_->ResyncSequence(s, ps.next_seq);
+    return Status::OK();
+  }
+  // else: no checkpoint ever landed — genesis replay (fresh executor, full
+  // trace, wire sequences from zero).
+  ++stats_.checkpoint_restores;
+
+  // Rebuild the executor from its spec and apply the checkpoint chain,
+  // keyframe first, deltas in epoch order. The control-plane runtime is
+  // deliberately NOT rebuilt: its state is the decision history, and the
+  // replayed epochs below feed it exactly the observations the crash
+  // swallowed.
+  auto fresh =
+      std::make_unique<SourceExecutor>(query_, ps.cost_model, ps.options);
+  JARVIS_RETURN_IF_ERROR(fresh->Init());
+  sources_[s] = std::move(fresh);
+  if (plan.valid) {
+    for (size_t idx : plan.chain) {
+      const CheckpointStore::Entry& entry = store.entry(idx);
+      JARVIS_ASSIGN_OR_RETURN(
+          CheckpointHeader hdr,
+          PeekCheckpointHeader(entry.payload.data(), entry.payload.size()));
+      ser::BufferReader r(entry.payload.data() + hdr.body_offset,
+                          entry.payload.size() - hdr.body_offset);
+      JARVIS_RETURN_IF_ERROR(sources_[s]->RestoreCheckpointBody(&r));
+    }
+  }
+  ps.next_seq = plan.valid ? plan.fence : 0;
+  ps.retained.clear();  // superseded: replay regenerates pristine frames
+
+  // Deterministically re-run every epoch past the checkpoint. Epochs the
+  // original run completed replay under their traced decisions, so their
+  // frames are bit-identical and the SP's sequence dedup drops what it
+  // already consumed; epochs the crash and the quarantine window swallowed
+  // run their decisions live on the preserved runtime — exactly the
+  // decisions the fault-free run would have made. Delivery rides the clean
+  // channel: the injector already had its shot at these epochs.
+  for (int64_t r = from_epoch; r < e; ++r) {
+    bool profile = ps.profile_next;
+    if (auto it = ps.trace.find(r); it != ps.trace.end()) {
+      sources_[s]->SetLoadFactors(it->second.lfs);
+      if (it->second.flush) sources_[s]->RequestFlush();
+      profile = it->second.profile;
+    }
+    const Micros from = static_cast<Micros>(r) * epoch_length_;
+    const Micros to = from + epoch_length_;
+    sources_[s]->Ingest(ps.generate(from, to));
+    JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
+                            sources_[s]->RunEpoch(to, profile));
+    const EpochObservation obs = out.observation;
+    const Micros wm = out.watermark;
+    WireDrain wire = SerializeDrain(&out, &ps.next_seq);
+    CkptFrameOut ck;
+    JARVIS_RETURN_IF_ERROR(
+        MaybeBuildCheckpointFrame(s, r, &ps.next_seq, &ck));
+    if (ck.emitted) wire.frames.push_back(std::move(ck.frame));
+    for (WireFrame& f : wire.frames) {
+      const bool resend = f.seq < ps.crash_next_seq;
+      const bool is_ckpt = ck.emitted && f.seq == ck.fence - 1;
+      JARVIS_ASSIGN_OR_RETURN(FrameDisposition disp,
+                              sp_->ConsumeFrame(s, f, results));
+      switch (disp) {
+        case FrameDisposition::kDelivered:
+          ++stats_.frames_delivered;
+          stats_.records_delivered += f.records;
+          if (resend) {
+            // Re-delivery of a frame the crash stranded in flight.
+            ++stats_.frames_replayed;
+            stats_.records_replayed += f.records;
+            ps.replay_outstanding -=
+                std::min<uint64_t>(ps.replay_outstanding, f.records);
+          } else {
+            // The quarantine window's first-ever delivery of this frame.
+            ++stats_.frames_sent;
+            stats_.records_sent += f.records;
+            stats_.wire_bytes_sent += f.bytes.size();
+            if (is_ckpt) {
+              ++stats_.checkpoints_emitted;
+              stats_.checkpoint_bytes += f.bytes.size();
+            }
+          }
+          if (wire_tap_) wire_tap_(s, f.seq, f.bytes);
+          break;
+        case FrameDisposition::kDuplicate:
+          ++stats_.duplicates_dropped;
+          break;
+        case FrameDisposition::kCorrupt:
+        case FrameDisposition::kGap:
+          // The replay channel is clean and in order by construction.
+          return Status::Internal("checkpoint replay frame rejected");
+      }
+      ps.retained.emplace(f.seq, std::move(f));
+    }
+    sp_->ConsumeWatermark(s, wm);
+    if (ps.trace.find(r + 1) == ps.trace.end()) {
+      // The original run never decided for epoch r+1 (it was dead): decide
+      // now, exactly as the fault-free run would have, and extend the trace
+      // so a later crash can replay through this window too.
+      JarvisRuntime::Decision d = runtimes_[s]->OnEpochEnd(obs);
+      sources_[s]->SetLoadFactors(d.load_factors);
+      if (d.flush_pending) sources_[s]->RequestFlush();
+      ps.profile_next = d.request_profile;
+      TraceEntry t;
+      t.lfs = std::move(d.load_factors);
+      t.flush = d.flush_pending;
+      t.profile = d.request_profile;
+      ps.trace[r + 1] = std::move(t);
+    }
+  }
+  // Conservation safety valve: anything replay could not re-deliver (it
+  // should re-deliver everything) is accounted as loss, never leaked.
+  stats_.records_lost += ps.replay_outstanding;
+  ps.replay_outstanding = 0;
+  ps.crash_next_seq = 0;
+  // Prune regenerated retained frames below the oldest restorable fence,
+  // the same bound the live delivery path maintains.
+  if (store.size() > 0) {
+    ps.retained.erase(ps.retained.begin(),
+                      ps.retained.lower_bound(store.entry(0).fence));
+  }
+  return Status::OK();
 }
 
 }  // namespace jarvis::core

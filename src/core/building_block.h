@@ -54,6 +54,18 @@ struct FaultToleranceOptions {
   /// that misses the deadline is suspected and its output collected late —
   /// the runtime path never blocks indefinitely on one wedged source.
   int take_deadline_ms = 0;
+  /// Epoch-aligned checkpointing (zero-loss crash recovery). > 0: every Nth
+  /// epoch barrier each source appends a checkpoint frame — its operator
+  /// state deltas and pending stage queues — to the epoch's wire drain; a
+  /// crashed source restores from the newest retained checkpoint chain and
+  /// replays forward instead of resyncing past the hole. 0 reads the
+  /// JARVIS_CKPT_INTERVAL environment variable (unset/invalid -> off);
+  /// < 0 forces checkpointing off regardless of the environment.
+  int checkpoint_interval = 0;
+  /// Checkpoint ring size K: every Kth checkpoint is a full keyframe and
+  /// resets the SP's retained ring, so at most K payloads are ever kept per
+  /// source. > 0 explicit; 0 reads JARVIS_CKPT_RETAIN (unset/invalid -> 4).
+  int checkpoint_retain = 0;
 };
 
 /// Counters of everything the fault-tolerant runtime detected and did.
@@ -79,6 +91,16 @@ struct FaultStats {
   uint64_t records_lost = 0;
   uint64_t replans_triggered = 0;
   uint64_t backoff_ms_total = 0;
+  // --- epoch-aligned checkpointing ---
+  uint64_t checkpoints_emitted = 0;  ///< checkpoint frames shipped
+  uint64_t checkpoint_bytes = 0;     ///< wire bytes of those frames
+  uint64_t checkpoint_restores = 0;  ///< recoveries that applied a chain
+  uint64_t checkpoint_fallbacks = 0; ///< restores that skipped corrupt tails
+                                     ///< or fell back to the lossy path
+  uint64_t frames_replayed = 0;      ///< regenerated frames re-delivered
+  uint64_t records_replayed = 0;     ///< records in those frames
+  uint64_t wire_bytes_sent = 0;      ///< all frame bytes shipped (overhead
+                                     ///< denominator for checkpoint_bytes)
 
   bool operator==(const FaultStats&) const = default;
 };
@@ -211,10 +233,28 @@ class BuildingBlock {
     Micros watermark = -1;
     uint64_t records = 0;
     uint64_t delivered = 0;
+    /// Nonzero when this epoch carried a checkpoint frame: the sequence
+    /// number right after it. Once the whole delivery lands, retained
+    /// frames below the SP store's oldest restorable fence are pruned.
+    uint32_t ckpt_fence = 0;
+  };
+
+  /// One epoch's adaptation-decision entry conditions, recorded consumer-
+  /// side from the envelope so crash replay reproduces the original frame
+  /// boundaries bit-exactly (the decision for epoch e+1 is made at the end
+  /// of epoch e; replay re-applies it before re-running e+1).
+  struct TraceEntry {
+    std::vector<double> lfs;
+    bool flush = false;
+    bool profile = false;
   };
 
   struct PerSource {
     std::function<stream::RecordBatch(Micros, Micros)> generate;
+    /// Spec copies kept for crash recovery: RestoreAndReplay rebuilds the
+    /// executor from scratch before applying the checkpoint chain.
+    std::shared_ptr<const CostModel> cost_model;
+    SourceExecutorOptions options;
     bool profile_next = false;
     bool alive = true;
     // --- fault-tolerant runtime state (consumer thread only, except
@@ -226,10 +266,24 @@ class BuildingBlock {
     bool resync_on_readmit = false;  ///< in-flight history was discarded
     uint32_t next_seq = 0;     ///< task-side wire sequence counter
     /// Consumer-owned retransmit buffer: pristine copies of every frame not
-    /// yet acked by the SP (ack == delivered, erased on delivery).
+    /// yet acked by the SP (ack == delivered, erased on delivery). With
+    /// checkpointing on, delivery does not erase — frames are pruned below
+    /// the oldest restorable checkpoint fence instead.
     std::map<uint32_t, WireFrame> retained;
     /// Epoch drains not yet consumed, in epoch order.
     std::deque<Delivery> inbox;
+    // --- checkpoint recovery (consumer thread only) ---
+    /// Records whose delivery was interrupted by a crash quarantine; they
+    /// stay in flight until replay re-delivers them (zero-loss accounting).
+    uint64_t replay_outstanding = 0;
+    /// Sequence horizon at quarantine time: replayed frames below it are
+    /// resends of already-sent frames, at/above it are brand new.
+    uint32_t crash_next_seq = 0;
+    /// Quarantined with checkpoint recovery pending (watermark held, no
+    /// resync; MaybeReadmit runs RestoreAndReplay instead of the join rule).
+    bool ckpt_recover = false;
+    /// Per-epoch decision trace, pruned below the store's restorable base.
+    std::map<int64_t, TraceEntry> trace;
   };
 
   struct EpochEnvelope {
@@ -243,6 +297,13 @@ class BuildingBlock {
     Micros watermark = -1;
     uint64_t records = 0;
     bool profile_next = false;  ///< the decision, made before the hand-off
+    // --- epoch-aligned checkpoint (interval barriers only) ---
+    uint32_t ckpt_fence = 0;   ///< seq after the checkpoint frame; 0 = none
+    uint64_t ckpt_bytes = 0;   ///< wire bytes of the checkpoint frame
+    /// Decision entry conditions for the *next* epoch, recorded into the
+    /// trace so crash replay reproduces the original execution bit-exactly.
+    std::vector<double> decided_lfs;
+    bool decided_flush = false;
   };
 
   /// One source's epoch: generate, ingest, run the stage pipeline, hand the
@@ -284,6 +345,37 @@ class BuildingBlock {
   /// revived watermark input holds the merge until the first delivery).
   Status MaybeReadmit(int64_t epoch, stream::RecordBatch* results);
 
+  // --- epoch-aligned checkpointing ---
+  /// Effective checkpoint interval/ring size after environment resolution
+  /// (see FaultToleranceOptions); interval <= 0 means checkpointing is off.
+  int CkptInterval() const {
+    return ft_.checkpoint_interval != 0 ? ft_.checkpoint_interval
+                                        : env_ckpt_interval_;
+  }
+  int CkptRetain() const {
+    return ft_.checkpoint_retain > 0 ? ft_.checkpoint_retain
+                                     : env_ckpt_retain_;
+  }
+  struct CkptFrameOut {
+    bool emitted = false;
+    WireFrame frame;
+    uint32_t fence = 0;
+  };
+  /// When `epoch` is a checkpoint barrier, exports source `s`'s state and
+  /// builds the sealed checkpoint frame (consumes one sequence number).
+  /// Runs on whichever thread owns the source at the time — the epoch task
+  /// on the live path, the consumer during replay.
+  Status MaybeBuildCheckpointFrame(size_t s, int64_t epoch,
+                                   uint32_t* next_seq, CkptFrameOut* out);
+  /// Zero-loss crash re-admission: rebuilds the executor, applies the
+  /// newest complete checkpoint chain, and deterministically re-runs every
+  /// epoch past the checkpoint fence — regenerated frames re-deliver the
+  /// discarded in-flight records (SP sequence dedup drops the duplicates)
+  /// and the quarantine window's records are produced for the first time.
+  /// Falls back to the lossy resync path when no restorable chain exists.
+  Status RestoreAndReplay(size_t s, int64_t epoch,
+                          stream::RecordBatch* results);
+
   RuntimeConfig runtime_config_;
   query::CompiledQuery query_;  // kept for AddSource's executor construction
   std::vector<std::unique_ptr<SourceExecutor>> sources_;
@@ -307,6 +399,10 @@ class BuildingBlock {
   std::unique_ptr<FaultInjector> injector_;
   WireTap wire_tap_;
   int64_t ft_epoch_ = 0;  ///< epoch counter driving the fault script
+  /// JARVIS_CKPT_INTERVAL / JARVIS_CKPT_RETAIN, read once at construction
+  /// (worker tasks consult CkptInterval() — no getenv off the main thread).
+  int env_ckpt_interval_ = 0;
+  int env_ckpt_retain_ = 4;
   /// Quarantines detected during the consume pass, applied at the epoch's
   /// deterministic end point (after the barrier): (source, keep_inflight).
   std::vector<std::pair<size_t, bool>> pending_quarantine_;

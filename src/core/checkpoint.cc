@@ -1,0 +1,121 @@
+#include "core/checkpoint.h"
+
+#include <cstdlib>
+
+namespace jarvis::core {
+
+namespace {
+
+constexpr uint8_t kFlagFull = 0x01;
+
+int EnvInt(const char* name) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || parsed < 0 || parsed > 1'000'000) return 0;
+  return static_cast<int>(parsed);
+}
+
+}  // namespace
+
+std::vector<uint8_t> SealCheckpointPayload(bool full, int64_t epoch,
+                                           uint32_t fence,
+                                           const std::vector<uint8_t>& body) {
+  ser::BufferWriter w;
+  w.PutU8(kCheckpointPayloadVersion);
+  const size_t crc_pos = w.size();
+  w.PutU32(0);  // patched below
+  const size_t covered_from = w.size();
+  w.PutU8(full ? kFlagFull : 0);
+  w.PutVarU64(static_cast<uint64_t>(epoch));
+  w.PutVarU64(fence);
+  w.PutBytes(body.data(), body.size());
+  w.PatchU32(crc_pos,
+             ser::FrameChecksum(w.data().data() + covered_from,
+                                w.size() - covered_from));
+  return std::move(w).Release();
+}
+
+Result<CheckpointHeader> PeekCheckpointHeader(const uint8_t* data,
+                                              size_t size) {
+  ser::BufferReader r(data, size);
+  uint8_t version = 0;
+  JARVIS_RETURN_IF_ERROR(r.GetU8(&version));
+  if (version != kCheckpointPayloadVersion) {
+    return Status::SerializationError("checkpoint payload version mismatch");
+  }
+  uint32_t crc = 0;
+  JARVIS_RETURN_IF_ERROR(r.GetU32(&crc));
+  const size_t covered_from = r.position();
+  if (ser::FrameChecksum(data + covered_from, size - covered_from) != crc) {
+    return Status::SerializationError("checkpoint payload checksum mismatch");
+  }
+  CheckpointHeader hdr;
+  uint8_t flags = 0;
+  JARVIS_RETURN_IF_ERROR(r.GetU8(&flags));
+  if ((flags & ~kFlagFull) != 0) {
+    return Status::SerializationError("checkpoint payload has unknown flags");
+  }
+  hdr.full = (flags & kFlagFull) != 0;
+  uint64_t epoch = 0, fence = 0;
+  JARVIS_RETURN_IF_ERROR(r.GetVarU64(&epoch));
+  JARVIS_RETURN_IF_ERROR(r.GetVarU64(&fence));
+  if (epoch > static_cast<uint64_t>(INT64_MAX) || fence > UINT32_MAX) {
+    return Status::SerializationError("checkpoint header out of range");
+  }
+  hdr.epoch = static_cast<int64_t>(epoch);
+  hdr.fence = static_cast<uint32_t>(fence);
+  hdr.body_offset = r.position();
+  return hdr;
+}
+
+void CheckpointStore::Add(bool full, int64_t epoch, uint32_t fence,
+                          std::vector<uint8_t> payload) {
+  // Replayed frames re-deliver checkpoints the store already holds.
+  if (!ring_.empty() && epoch <= ring_.back().epoch) return;
+  if (full) {
+    for (const Entry& e : ring_) bytes_retained_ -= e.payload.size();
+    if (!ring_.empty()) ++compactions_;
+    ring_.clear();
+  } else if (ring_.empty()) {
+    return;  // a delta without its keyframe base can never be applied
+  }
+  bytes_retained_ += payload.size();
+  ring_.push_back(Entry{full, epoch, fence, std::move(payload)});
+  // Safety valve: the keyframe cadence bounds the ring at `retain_`, but a
+  // misconfigured producer must not grow it without limit. Dropping the
+  // newest delta keeps the chain (rooted at the keyframe) intact.
+  while (ring_.size() > retain_ * 2 + 1) {
+    bytes_retained_ -= ring_.back().payload.size();
+    ring_.pop_back();
+  }
+}
+
+CheckpointRestorePlan CheckpointStore::PlanRestore() const {
+  CheckpointRestorePlan plan;
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    const Entry& e = ring_[i];
+    auto hdr = PeekCheckpointHeader(e.payload.data(), e.payload.size());
+    const bool usable = hdr.ok() && hdr.value().epoch == e.epoch &&
+                        hdr.value().fence == e.fence &&
+                        hdr.value().full == e.full &&
+                        (i == 0 ? e.full : !e.full);
+    if (!usable) {
+      plan.skipped = ring_.size() - i;
+      break;
+    }
+    plan.chain.push_back(i);
+    plan.valid = true;
+    plan.epoch = e.epoch;
+    plan.fence = e.fence;
+  }
+  if (!plan.valid) plan.chain.clear();
+  return plan;
+}
+
+int CheckpointIntervalFromEnv() { return EnvInt("JARVIS_CKPT_INTERVAL"); }
+
+int CheckpointRetainFromEnv() { return EnvInt("JARVIS_CKPT_RETAIN"); }
+
+}  // namespace jarvis::core

@@ -1,0 +1,124 @@
+#ifndef JARVIS_CORE_CHECKPOINT_H_
+#define JARVIS_CORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "core/types.h"
+#include "ser/buffer.h"
+
+namespace jarvis::core {
+
+/// Epoch-aligned operator checkpointing (ROADMAP item 6, the asynchronous
+/// barrier-snapshotting lineage the paper's Section IV-E checkpoint lane
+/// anticipates). At every JARVIS_CKPT_INTERVAL-th epoch barrier the source
+/// serializes its recoverable state — stage queues, per-operator state
+/// deltas, routing entry conditions — into a checkpoint payload that rides
+/// the drain as a first-class checksummed frame (WireLane::kCheckpoint).
+/// The stream processor retains the last K payloads per source in a ring;
+/// every K-th checkpoint is a *full* keyframe (all operator state, not just
+/// the delta since the last export), which is what lets the ring compact:
+/// a new keyframe supersedes every older entry. Crash re-admission rebuilds
+/// the source executor, applies the newest valid keyframe-rooted chain, and
+/// replays input from the checkpoint fence — zero records lost.
+
+/// Version tag of the checkpoint payload envelope (the drain wire's v4
+/// addition; WireFrame headers themselves stay at kWireFrameVersion).
+inline constexpr uint8_t kCheckpointPayloadVersion = 4;
+
+/// Decoded checkpoint payload envelope. `body_offset` is where the
+/// executor-defined body (queues + operator deltas) starts.
+struct CheckpointHeader {
+  bool full = false;       // keyframe (complete state) vs incremental delta
+  int64_t epoch = -1;      // epoch whose barrier this checkpoint snapshots
+  uint32_t fence = 0;      // first wire sequence NOT covered: replay start
+  size_t body_offset = 0;  // byte offset of the body within the payload
+};
+
+/// Seals a checkpoint body into a payload:
+///   [u8 version][u32 crc][u8 flags][varint epoch][varint fence][body]
+/// The CRC covers everything after itself, so any truncation or bit flip in
+/// flags/epoch/fence/body is detected before restore ever parses the body.
+std::vector<uint8_t> SealCheckpointPayload(bool full, int64_t epoch,
+                                           uint32_t fence,
+                                           const std::vector<uint8_t>& body);
+
+/// Validates the envelope (version, CRC, header fields) and returns the
+/// decoded header. Fails with a Status — never UB — on truncated or
+/// corrupted payloads.
+Result<CheckpointHeader> PeekCheckpointHeader(const uint8_t* data,
+                                              size_t size);
+
+/// Longest valid keyframe-rooted restore chain in a CheckpointStore.
+struct CheckpointRestorePlan {
+  bool valid = false;
+  int64_t epoch = -1;    // epoch of the newest usable checkpoint
+  uint32_t fence = 0;    // its fence: replay wire sequences from here
+  std::vector<size_t> chain;  // store indices, keyframe first
+  size_t skipped = 0;    // corrupt/invalid entries skipped past (fallback)
+};
+
+/// SP-side per-source checkpoint ring. Entries arrive in epoch order from
+/// the drain; a full keyframe compacts the ring (older entries can never be
+/// needed again — the keyframe re-encodes their cumulative state). With the
+/// source emitting a keyframe every `retain`-th checkpoint, the ring never
+/// holds more than `retain` entries.
+class CheckpointStore {
+ public:
+  struct Entry {
+    bool full = false;
+    int64_t epoch = -1;
+    uint32_t fence = 0;
+    std::vector<uint8_t> payload;
+  };
+
+  void set_retain(size_t k) { retain_ = k == 0 ? 1 : k; }
+  size_t retain() const { return retain_; }
+
+  /// Admits one checkpoint payload. Re-deliveries of already-stored epochs
+  /// (crash replay re-sends retained frames) are dropped; a keyframe clears
+  /// everything older; a delta with no anchoring base is unusable and
+  /// dropped.
+  void Add(bool full, int64_t epoch, uint32_t fence,
+           std::vector<uint8_t> payload);
+
+  /// Longest valid prefix of the ring, re-verifying each entry's envelope CRC:
+  /// a corrupt newest entry falls back to the previous retained epoch; a
+  /// corrupt keyframe invalidates the whole chain (restore then falls back
+  /// to genesis replay or, without a full trace, to accounted loss).
+  CheckpointRestorePlan PlanRestore() const;
+
+  /// Oldest retained epoch (the keyframe), or -1 when empty. Decision
+  /// traces older than this can be pruned.
+  int64_t base_epoch() const { return ring_.empty() ? -1 : ring_.front().epoch; }
+  int64_t newest_epoch() const {
+    return ring_.empty() ? -1 : ring_.back().epoch;
+  }
+
+  size_t size() const { return ring_.size(); }
+  const Entry& entry(size_t i) const { return ring_[i]; }
+  /// Test hook: lets corruption tests flip bytes in a retained payload.
+  Entry& mutable_entry(size_t i) { return ring_[i]; }
+
+  uint64_t bytes_retained() const { return bytes_retained_; }
+  uint64_t compactions() const { return compactions_; }
+
+ private:
+  std::deque<Entry> ring_;
+  size_t retain_ = 4;
+  uint64_t bytes_retained_ = 0;
+  uint64_t compactions_ = 0;
+};
+
+/// JARVIS_CKPT_INTERVAL: epochs between checkpoints (unset/invalid -> 0,
+/// i.e. checkpointing off).
+int CheckpointIntervalFromEnv();
+
+/// JARVIS_CKPT_RETAIN: ring size K / keyframe cadence (unset/invalid -> 0,
+/// caller applies its default).
+int CheckpointRetainFromEnv();
+
+}  // namespace jarvis::core
+
+#endif  // JARVIS_CORE_CHECKPOINT_H_

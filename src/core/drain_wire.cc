@@ -47,6 +47,25 @@ WireDrain SerializeDrain(SourceEpochOutput* out, uint32_t* next_seq) {
   return wire;
 }
 
+WireFrame MakeCheckpointFrame(uint32_t seq, std::vector<uint8_t> payload) {
+  WireFrame f;
+  f.seq = seq;
+  f.records = 0;
+  ser::BufferWriter w;
+  w.PutU8(kWireFrameVersion);
+  const size_t crc_pos = w.size();
+  w.PutU32(0);
+  const size_t header_start = w.size();
+  w.PutVarU64(f.seq);
+  w.PutVarU64(0);  // entry_op is meaningless for the checkpoint lane
+  w.PutU8(static_cast<uint8_t>(WireLane::kCheckpoint));
+  w.PatchU32(crc_pos, ser::FrameChecksum(w.data().data() + header_start,
+                                         w.size() - header_start));
+  w.PutBytes(payload.data(), payload.size());
+  f.bytes = w.Release();
+  return f;
+}
+
 Result<WireFrameHeader> PeekFrameHeader(const WireFrame& frame) {
   ser::BufferReader r(frame.bytes);
   uint8_t version;
@@ -68,7 +87,7 @@ Result<WireFrameHeader> PeekFrameHeader(const WireFrame& frame) {
     return Status::SerializationError("wire frame header checksum mismatch");
   }
   if (seq > std::numeric_limits<uint32_t>::max() ||
-      lane > static_cast<uint8_t>(WireLane::kRows)) {
+      lane > static_cast<uint8_t>(WireLane::kCheckpoint)) {
     return Status::SerializationError("bad wire frame header");
   }
   WireFrameHeader hdr;
@@ -84,6 +103,10 @@ Status DecodeFramePayload(const WireFrame& frame, const WireFrameHeader& hdr,
   rows->clear();
   ser::BufferReader r(frame.bytes.data() + hdr.payload_offset,
                       frame.bytes.size() - hdr.payload_offset);
+  if (hdr.lane == WireLane::kCheckpoint) {
+    return Status::SerializationError(
+        "checkpoint frames carry no record payload");
+  }
   if (hdr.lane == WireLane::kColumnar) {
     JARVIS_RETURN_IF_ERROR(stream::DeserializeColumnar(&r, rows));
   } else {

@@ -27,7 +27,11 @@ namespace jarvis::core {
 
 inline constexpr uint8_t kWireFrameVersion = 1;
 
-enum class WireLane : uint8_t { kColumnar = 0, kRows = 1 };
+/// kCheckpoint (the wire's v4 addition) carries an epoch-aligned checkpoint
+/// payload (see core/checkpoint.h) instead of records: same header, same
+/// sequence numbering, same retransmit path, zero records for delivery
+/// accounting.
+enum class WireLane : uint8_t { kColumnar = 0, kRows = 1, kCheckpoint = 2 };
 
 /// One drain chunk, encoded. `seq` and `records` are control-plane metadata
 /// (the authoritative seq also rides inside the checksummed header; `records`
@@ -63,6 +67,12 @@ struct WireDrain {
 /// chunks; `*next_seq` is the source's running sequence counter and advances
 /// by one per frame.
 WireDrain SerializeDrain(SourceEpochOutput* out, uint32_t* next_seq);
+
+/// Encodes a sealed checkpoint payload (core/checkpoint.h) as a wire frame
+/// on the checkpoint lane. Rides the same sequence space, manifest, and
+/// retransmit machinery as data frames; `records` is 0 (checkpoints are
+/// accounting-neutral).
+WireFrame MakeCheckpointFrame(uint32_t seq, std::vector<uint8_t> payload);
 
 /// Verifies and decodes a frame's header only — the cheap first step that
 /// lets the receiver drop duplicates and detect misrouted/corrupt frames

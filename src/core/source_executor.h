@@ -114,6 +114,21 @@ class SourceExecutor {
   /// merging is additive.
   Result<SourceEpochOutput> Checkpoint(Micros watermark);
 
+  /// Serializes the executor's recoverable state as an epoch-aligned
+  /// checkpoint body (core/checkpoint.h): the routing entry conditions
+  /// (pending-flush flag, per-proxy load factors), then per stage the
+  /// pending queues — row and columnar, as schema-less row batches — and
+  /// the operator's state delta (ExportStateDelta). Non-destructive: the
+  /// epoch continues unaffected. kFull keyframes re-encode all operator
+  /// state; queues are always snapshotted whole (they replace on restore).
+  Status ExportCheckpointBody(ser::BufferWriter* w, stream::StateExport mode);
+
+  /// Applies one checkpoint body on top of current state. Restoring a
+  /// checkpoint chain calls this once per retained payload in epoch order
+  /// on a freshly built executor: entry conditions and queues replace
+  /// (last write wins), operator deltas apply incrementally.
+  Status RestoreCheckpointBody(ser::BufferReader* r);
+
   /// Changes the compute budget (models foreground-service demand shifts).
   void SetCpuBudget(double fraction) {
     options_.cpu_budget_fraction = fraction;

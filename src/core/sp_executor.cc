@@ -3,7 +3,10 @@
 namespace jarvis::core {
 
 SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
-    : merger_(num_sources), expect_seq_(num_sources, 0) {
+    : merger_(num_sources),
+      expect_seq_(num_sources, 0),
+      ckpt_stores_(num_sources) {
+  for (CheckpointStore& s : ckpt_stores_) s.set_retain(ckpt_retain_);
   auto pipeline = query.MakeSpPipeline();
   if (!pipeline.ok()) {
     init_status_ = pipeline.status();
@@ -77,6 +80,20 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
   const uint32_t expect = expect_seq_[source_id];
   if (hdr->seq < expect) return FrameDisposition::kDuplicate;
   if (hdr->seq > expect) return FrameDisposition::kGap;
+  if (hdr->lane == WireLane::kCheckpoint) {
+    // Checkpoint lane: validate the sealed payload end to end before
+    // retaining it — a corrupt checkpoint is NACKed like a corrupt data
+    // frame and recovers by retransmission, never by storing garbage.
+    const uint8_t* payload = frame.bytes.data() + hdr->payload_offset;
+    const size_t payload_len = frame.bytes.size() - hdr->payload_offset;
+    Result<CheckpointHeader> ckpt = PeekCheckpointHeader(payload, payload_len);
+    if (!ckpt.ok()) return FrameDisposition::kCorrupt;
+    ckpt_stores_[source_id].Add(
+        ckpt->full, ckpt->epoch, ckpt->fence,
+        std::vector<uint8_t>(payload, payload + payload_len));
+    expect_seq_[source_id] = expect + 1;
+    return FrameDisposition::kDelivered;
+  }
   if (hdr->entry_op > pipeline_->size()) {
     // Header checksum passed but the entry is impossible: encoder bug or a
     // colliding corruption. Either way, refuse to misroute records.

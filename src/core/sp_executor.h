@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/checkpoint.h"
 #include "core/drain_wire.h"
 #include "core/source_executor.h"
 #include "query/compile.h"
@@ -64,6 +65,8 @@ class SpExecutor {
   /// watermark holds until the newcomer's first epoch output arrives.
   size_t AddSource() {
     expect_seq_.push_back(0);
+    ckpt_stores_.emplace_back();
+    ckpt_stores_.back().set_retain(ckpt_retain_);
     return merger_.AddInput();
   }
 
@@ -107,6 +110,21 @@ class SpExecutor {
 
   Micros merged_watermark() const { return merger_.Merged(); }
 
+  /// Sets the checkpoint ring size (K) on every per-source store.
+  void SetCheckpointRetain(size_t k) {
+    ckpt_retain_ = k == 0 ? 1 : k;
+    for (CheckpointStore& s : ckpt_stores_) s.set_retain(ckpt_retain_);
+  }
+
+  /// Per-source retained checkpoints (crash recovery reads these).
+  const CheckpointStore& checkpoint_store(size_t source_id) const {
+    return ckpt_stores_[source_id];
+  }
+  /// Test hook: corruption-fallback tests flip bytes in retained payloads.
+  CheckpointStore& mutable_checkpoint_store(size_t source_id) {
+    return ckpt_stores_[source_id];
+  }
+
  private:
   std::unique_ptr<stream::Pipeline> pipeline_;
   stream::WatermarkMerger merger_;
@@ -119,6 +137,9 @@ class SpExecutor {
   stream::RecordBatch entry_batch_;
   // Per-source next expected wire sequence number (exactly-once delivery).
   std::vector<uint32_t> expect_seq_;
+  // Per-source retained checkpoint rings (WireLane::kCheckpoint frames).
+  std::vector<CheckpointStore> ckpt_stores_;
+  size_t ckpt_retain_ = 4;
 };
 
 }  // namespace jarvis::core

@@ -141,6 +141,7 @@ Status GroupAggregateOp::UpdateFromData(const Record& rec,
     // other windows within the same batch.
     cursor->groups = &windows_[rec.window_start];
     cursor->window_start = rec.window_start;
+    MarkDirty(rec.window_start);
   }
   Group& g = FindOrCreateGroup(*cursor->groups, [&] {
     std::vector<Value> keys;
@@ -176,6 +177,7 @@ Status GroupAggregateOp::MergeFromPartial(const Record& rec,
   if (cursor->groups == nullptr || cursor->window_start != rec.window_start) {
     cursor->groups = &windows_[rec.window_start];
     cursor->window_start = rec.window_start;
+    MarkDirty(rec.window_start);
   }
   Group& g = FindOrCreateGroup(*cursor->groups, [&] {
     return std::vector<Value>(rec.fields.begin(), rec.fields.begin() + nk);
@@ -255,6 +257,10 @@ Status GroupAggregateOp::OnWatermark(Micros wm, RecordBatch* out) {
   const size_t first = out->size();
   auto it = windows_.begin();
   while (it != windows_.end() && it->first + window_width_ <= wm) {
+    if (delta_tracking_) {
+      flushed_windows_.insert(it->first);
+      dirty_windows_.erase(it->first);
+    }
     EmitWindow(it->first, it->second, out);
     it = windows_.erase(it);
   }
@@ -267,11 +273,163 @@ Status GroupAggregateOp::ExportPartialState(RecordBatch* out) {
   const bool saved = emit_partials_;
   emit_partials_ = true;
   for (auto& [start, groups] : windows_) {
+    if (delta_tracking_) {
+      flushed_windows_.insert(start);
+      dirty_windows_.erase(start);
+    }
     EmitWindow(start, groups, out);
   }
   emit_partials_ = saved;
   windows_.clear();
   CountOutputs(*out, first);
+  return Status::OK();
+}
+
+void GroupAggregateOp::WriteWindowSection(ser::BufferWriter* w,
+                                          Micros window_start,
+                                          const GroupMap& groups) {
+  section_buf_.Clear();
+  section_buf_.PutVarU64(groups.size());
+  for (const auto& [key, group] : groups) {
+    section_buf_.PutVarU64(key.size());
+    section_buf_.PutBytes(reinterpret_cast<const uint8_t*>(key.data()),
+                          key.size());
+    for (const Acc& acc : group.accs) {
+      section_buf_.PutVarI64(acc.count);
+      section_buf_.PutDouble(acc.sum);
+      section_buf_.PutDouble(acc.min);
+      section_buf_.PutDouble(acc.max);
+    }
+  }
+  w->PutVarI64(window_start);
+  w->PutVarU64(section_buf_.size());
+  w->PutBytes(section_buf_.data().data(), section_buf_.size());
+}
+
+Status GroupAggregateOp::ExportStateDelta(ser::BufferWriter* w,
+                                          StateExport mode) {
+  // Before the first export there is no "previous export" to delta against,
+  // so a delta request degenerates to a full keyframe.
+  const bool full = mode == StateExport::kFull || !delta_tracking_;
+  delta_tracking_ = true;
+  if (full) {
+    w->PutVarU64(0);  // a keyframe re-encodes everything; no tombstones
+    w->PutVarU64(windows_.size());
+    for (const auto& [start, groups] : windows_) {
+      WriteWindowSection(w, start, groups);
+    }
+  } else {
+    w->PutVarU64(flushed_windows_.size());
+    for (Micros start : flushed_windows_) w->PutVarI64(start);
+    size_t n_sections = 0;
+    for (Micros start : dirty_windows_) {
+      n_sections += windows_.count(start) != 0 ? 1 : 0;
+    }
+    w->PutVarU64(n_sections);
+    for (Micros start : dirty_windows_) {
+      auto it = windows_.find(start);
+      if (it != windows_.end()) WriteWindowSection(w, start, it->second);
+    }
+  }
+  flushed_windows_.clear();
+  dirty_windows_.clear();
+  return Status::OK();
+}
+
+namespace {
+
+/// Decodes the AppendKeyValue byte encoding back into key column values
+/// ([u8 type][payload] per component).
+Status DecodeEncodedKeys(const uint8_t* data, size_t len,
+                         std::vector<Value>* keys) {
+  ser::BufferReader kr(data, len);
+  while (!kr.AtEnd()) {
+    uint8_t type = 0;
+    JARVIS_RETURN_IF_ERROR(kr.GetU8(&type));
+    switch (static_cast<ValueType>(type)) {
+      case ValueType::kInt64: {
+        uint64_t v = 0;
+        JARVIS_RETURN_IF_ERROR(kr.GetU64(&v));
+        keys->emplace_back(static_cast<int64_t>(v));
+        break;
+      }
+      case ValueType::kDouble: {
+        double v = 0.0;
+        JARVIS_RETURN_IF_ERROR(kr.GetDouble(&v));
+        keys->emplace_back(v);
+        break;
+      }
+      case ValueType::kString: {
+        std::string v;
+        JARVIS_RETURN_IF_ERROR(kr.GetString(&v));
+        keys->emplace_back(std::move(v));
+        break;
+      }
+      default:
+        return Status::SerializationError("bad key type tag in checkpoint");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GroupAggregateOp::RestoreState(ser::BufferReader* r) {
+  uint64_t n_tombstones = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_tombstones));
+  for (uint64_t i = 0; i < n_tombstones; ++i) {
+    int64_t start = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&start));
+    windows_.erase(start);
+    dirty_windows_.erase(start);
+    flushed_windows_.erase(start);
+  }
+  uint64_t n_sections = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_sections));
+  for (uint64_t i = 0; i < n_sections; ++i) {
+    int64_t start = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&start));
+    uint64_t len = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarU64(&len));
+    if (len > r->remaining()) {
+      return Status::SerializationError("window section overruns checkpoint");
+    }
+    ser::BufferReader section(r->cursor(), len);
+    r->Advance(len);
+    uint64_t n_groups = 0;
+    JARVIS_RETURN_IF_ERROR(section.GetVarU64(&n_groups));
+    GroupMap groups;
+    for (uint64_t gi = 0; gi < n_groups; ++gi) {
+      uint64_t klen = 0;
+      JARVIS_RETURN_IF_ERROR(section.GetVarU64(&klen));
+      if (klen > section.remaining()) {
+        return Status::SerializationError("group key overruns window section");
+      }
+      std::string key(reinterpret_cast<const char*>(section.cursor()), klen);
+      section.Advance(klen);
+      Group group;
+      JARVIS_RETURN_IF_ERROR(
+          DecodeEncodedKeys(reinterpret_cast<const uint8_t*>(key.data()),
+                            key.size(), &group.keys));
+      if (group.keys.size() != key_fields_.size()) {
+        return Status::SerializationError("group key arity mismatch");
+      }
+      group.accs.resize(aggs_.size());
+      for (Acc& acc : group.accs) {
+        JARVIS_RETURN_IF_ERROR(section.GetVarI64(&acc.count));
+        JARVIS_RETURN_IF_ERROR(section.GetDouble(&acc.sum));
+        JARVIS_RETURN_IF_ERROR(section.GetDouble(&acc.min));
+        JARVIS_RETURN_IF_ERROR(section.GetDouble(&acc.max));
+      }
+      groups.emplace(std::move(key), std::move(group));
+    }
+    if (!section.AtEnd()) {
+      return Status::SerializationError("trailing bytes in window section");
+    }
+    windows_[start] = std::move(groups);
+    dirty_windows_.erase(start);
+    flushed_windows_.erase(start);
+  }
   return Status::OK();
 }
 

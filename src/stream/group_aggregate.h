@@ -2,6 +2,7 @@
 #define JARVIS_STREAM_GROUP_AGGREGATE_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -48,6 +49,15 @@ class GroupAggregateOp : public Operator {
 
   Status OnWatermark(Micros wm, RecordBatch* out) override;
   Status ExportPartialState(RecordBatch* out) override;
+
+  /// Checkpoint state API. Sections are keyed by window_start: a section
+  /// replaces that window's whole group map (min/max accumulators are not
+  /// arithmetically delta-able, so deltas work at window granularity);
+  /// tombstones name windows flushed since the previous export. Delta
+  /// tracking starts at the first export — before that, a delta degenerates
+  /// to a full export, and non-checkpointed runs pay nothing.
+  Status ExportStateDelta(ser::BufferWriter* w, StateExport mode) override;
+  Status RestoreState(ser::BufferReader* r) override;
 
   /// Output schema for the finalize mode (keys then aggregate columns).
   static Schema MakeOutputSchema(const Schema& input,
@@ -98,6 +108,15 @@ class GroupAggregateOp : public Operator {
   Status MergeFromPartial(const Record& rec, WindowCursor* cursor);
   void EmitWindow(Micros window_start, GroupMap& groups, RecordBatch* out);
 
+  /// Appends one window's section ([zigzag window_start][varint len][groups])
+  /// to `w` via the reused section scratch buffer.
+  void WriteWindowSection(ser::BufferWriter* w, Micros window_start,
+                          const GroupMap& groups);
+  /// Records that `window_start`'s contents changed (delta bookkeeping).
+  void MarkDirty(Micros window_start) {
+    if (delta_tracking_) dirty_windows_.insert(window_start);
+  }
+
   /// Appends one key component's binary encoding to key_buf_.
   void AppendKeyValue(const Value& v);
   /// View of key_buf_'s contents as the map probe key.
@@ -113,6 +132,13 @@ class GroupAggregateOp : public Operator {
   bool emit_partials_;
   std::map<Micros, GroupMap> windows_;
   ser::BufferWriter key_buf_;  // reused across records; never shrinks
+
+  // Checkpoint delta bookkeeping, active only once ExportStateDelta has been
+  // called (no cost and no unbounded growth in non-checkpointed runs).
+  bool delta_tracking_ = false;
+  std::set<Micros> dirty_windows_;    // changed since the previous export
+  std::set<Micros> flushed_windows_;  // discarded since the previous export
+  ser::BufferWriter section_buf_;     // reused section scratch
 };
 
 }  // namespace jarvis::stream

@@ -1,5 +1,7 @@
 #include "stream/join.h"
 
+#include "ser/buffer.h"
+
 namespace jarvis::stream {
 
 JoinOp::JoinOp(std::string name, const Schema& input_schema,
@@ -59,6 +61,54 @@ Status JoinOp::DoProcessBatchInPlace(RecordBatch* batch) {
     ++w;
   }
   batch->resize(w);
+  return Status::OK();
+}
+
+Status JoinOp::ExportStateDelta(ser::BufferWriter* w, StateExport mode) {
+  w->PutVarU64(0);  // no tombstones: the counter is replaced, never dropped
+  if (mode == StateExport::kFull || misses_ != exported_misses_) {
+    w->PutVarU64(1);
+    w->PutVarI64(0);  // section key 0: the miss counter
+    ser::BufferWriter section;
+    section.PutVarU64(misses_);
+    w->PutVarU64(section.size());
+    w->PutBytes(section.data().data(), section.size());
+  } else {
+    w->PutVarU64(0);
+  }
+  exported_misses_ = misses_;
+  return Status::OK();
+}
+
+Status JoinOp::RestoreState(ser::BufferReader* r) {
+  uint64_t n_tombstones = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_tombstones));
+  if (n_tombstones != 0) {
+    return Status::SerializationError("join state has no tombstones");
+  }
+  uint64_t n_sections = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_sections));
+  for (uint64_t i = 0; i < n_sections; ++i) {
+    int64_t key = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&key));
+    uint64_t len = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarU64(&len));
+    if (len > r->remaining()) {
+      return Status::SerializationError("join state section overruns");
+    }
+    if (key != 0) {
+      return Status::SerializationError("unknown join state section");
+    }
+    ser::BufferReader section(r->cursor(), len);
+    r->Advance(len);
+    uint64_t misses = 0;
+    JARVIS_RETURN_IF_ERROR(section.GetVarU64(&misses));
+    if (!section.AtEnd()) {
+      return Status::SerializationError("trailing bytes in join state");
+    }
+    misses_ = misses;
+    exported_misses_ = misses;
+  }
   return Status::OK();
 }
 

@@ -52,6 +52,12 @@ class JoinOp : public Operator {
   const StaticTable& table() const { return *table_; }
   bool HasInPlaceBatch() const override { return true; }
 
+  /// The build side is immutable (why this op is replicable, rule R-3), so
+  /// the only recoverable state is the miss counter: exported as a single
+  /// replacement section (key 0) when it changed since the last export.
+  Status ExportStateDelta(ser::BufferWriter* w, StateExport mode) override;
+  Status RestoreState(ser::BufferReader* r) override;
+
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
   Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;
@@ -64,6 +70,7 @@ class JoinOp : public Operator {
   std::shared_ptr<const StaticTable> table_;
   size_t stream_key_field_;
   uint64_t misses_ = 0;
+  uint64_t exported_misses_ = 0;  // value at the previous state export
 };
 
 }  // namespace jarvis::stream

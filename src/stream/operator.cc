@@ -1,5 +1,6 @@
 #include "stream/operator.h"
 
+#include "ser/buffer.h"
 #include "stream/columnar.h"
 
 namespace jarvis::stream {
@@ -58,6 +59,46 @@ Status Operator::ProcessColumnar(ColumnarBatch* batch) {
   JARVIS_RETURN_IF_ERROR(DoProcessColumnar(batch));
   stats_.records_out += batch->num_rows();
   if (count_bytes_) stats_.bytes_out += batch->RowWireBytes();
+  return Status::OK();
+}
+
+Status Operator::ExportStateDelta(ser::BufferWriter* w, StateExport mode) {
+  (void)mode;
+  if (IsStateful()) {
+    return Status::Unimplemented(name_ +
+                                 ": stateful operator without ExportStateDelta");
+  }
+  w->PutVarU64(0);  // tombstones
+  w->PutVarU64(0);  // sections
+  return Status::OK();
+}
+
+Status Operator::RestoreState(ser::BufferReader* r) {
+  uint64_t n_tombstones = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_tombstones));
+  int64_t key = 0;
+  for (uint64_t i = 0; i < n_tombstones; ++i) {
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&key));
+  }
+  uint64_t n_sections = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_sections));
+  for (uint64_t i = 0; i < n_sections; ++i) {
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&key));
+    uint64_t len = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarU64(&len));
+    if (len > r->remaining()) {
+      return Status::SerializationError(name_ + ": state section overruns");
+    }
+    r->Advance(len);
+  }
+  if (IsStateful()) {
+    return Status::Unimplemented(name_ +
+                                 ": stateful operator without RestoreState");
+  }
+  if (n_tombstones != 0 || n_sections != 0) {
+    return Status::SerializationError(name_ +
+                                      ": state delta for a stateless operator");
+  }
   return Status::OK();
 }
 

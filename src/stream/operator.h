@@ -9,9 +9,19 @@
 #include "common/units.h"
 #include "stream/record.h"
 
+namespace jarvis::ser {
+class BufferWriter;
+class BufferReader;
+}  // namespace jarvis::ser
+
 namespace jarvis::stream {
 
 class ColumnarBatch;
+
+/// How much state ExportStateDelta serializes: the delta since the previous
+/// export, or a full keyframe re-encoding everything (what the checkpoint
+/// ring compacts onto).
+enum class StateExport : uint8_t { kDelta, kFull };
 
 /// Streaming primitive kinds (Section II-A). The kind drives both the query
 /// optimizer's placement rules and the calibrated cost model.
@@ -117,6 +127,24 @@ class Operator {
     (void)out;
     return Status::OK();
   }
+
+  /// Serializes operator state into `w` using the checkpoint state-delta
+  /// grammar (self-delimiting):
+  ///   [varint n_tombstones] n*[zigzag key]
+  ///   [varint n_sections]   n*([zigzag key][varint len][len bytes])
+  /// kDelta covers state created or changed since the previous export, with
+  /// tombstones for state discarded since; kFull re-encodes everything and
+  /// resets the delta tracking. Must not mutate processing-visible state.
+  /// The base implementation writes an empty delta for stateless operators
+  /// and *errors* for stateful ones — a stateful operator without an
+  /// override is a bug, not a silently empty checkpoint.
+  virtual Status ExportStateDelta(ser::BufferWriter* w, StateExport mode);
+
+  /// Applies one exported delta on top of current state: tombstones erase by
+  /// key, sections overwrite by key. Restoring a checkpoint chain applies
+  /// the full keyframe and then each delta in order onto a freshly built
+  /// operator. The base implementation parses (and requires) an empty delta.
+  virtual Status RestoreState(ser::BufferReader* r);
 
   /// True when this operator keeps cross-record state (grouping, joins with
   /// accumulated build sides).

@@ -1,5 +1,6 @@
 #include "stream/ops.h"
 
+#include "ser/buffer.h"
 #include "stream/columnar.h"
 #include "stream/kernels.h"
 
@@ -52,6 +53,55 @@ Status WindowOp::DoProcessColumnar(ColumnarBatch* batch) {
   for (Record& rec : batch->fallback()) {
     if (rec.kind == RecordKind::kData) {
       rec.window_start = rec.event_time - (rec.event_time % width_);
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowOp::ExportStateDelta(ser::BufferWriter* w, StateExport mode) {
+  w->PutVarU64(0);  // no tombstones
+  if (mode == StateExport::kFull) {
+    w->PutVarU64(1);
+    w->PutVarI64(0);  // section key 0: the configured width guard
+    ser::BufferWriter section;
+    section.PutVarU64(static_cast<uint64_t>(width_));
+    w->PutVarU64(section.size());
+    w->PutBytes(section.data().data(), section.size());
+  } else {
+    w->PutVarU64(0);  // width never changes: deltas are empty
+  }
+  return Status::OK();
+}
+
+Status WindowOp::RestoreState(ser::BufferReader* r) {
+  uint64_t n_tombstones = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_tombstones));
+  if (n_tombstones != 0) {
+    return Status::SerializationError("window state has no tombstones");
+  }
+  uint64_t n_sections = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&n_sections));
+  for (uint64_t i = 0; i < n_sections; ++i) {
+    int64_t key = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarI64(&key));
+    uint64_t len = 0;
+    JARVIS_RETURN_IF_ERROR(r->GetVarU64(&len));
+    if (len > r->remaining()) {
+      return Status::SerializationError("window state section overruns");
+    }
+    if (key != 0) {
+      return Status::SerializationError("unknown window state section");
+    }
+    ser::BufferReader section(r->cursor(), len);
+    r->Advance(len);
+    uint64_t width = 0;
+    JARVIS_RETURN_IF_ERROR(section.GetVarU64(&width));
+    if (!section.AtEnd()) {
+      return Status::SerializationError("trailing bytes in window state");
+    }
+    if (width != static_cast<uint64_t>(width_)) {
+      return Status::SerializationError(
+          "checkpoint window width does not match the deployed plan");
     }
   }
   return Status::OK();

@@ -23,6 +23,12 @@ class WindowOp : public Operator {
   bool HasInPlaceBatch() const override { return true; }
   bool HasColumnarBatch() const override { return true; }
 
+  /// The stamper holds no record state; a full export carries the window
+  /// width as a config guard so restore onto a differently-shaped plan is
+  /// an error rather than silent window drift.
+  Status ExportStateDelta(ser::BufferWriter* w, StateExport mode) override;
+  Status RestoreState(ser::BufferReader* r) override;
+
  protected:
   Status DoProcess(Record&& rec, RecordBatch* out) override;
   Status DoProcessBatch(RecordBatch&& batch, RecordBatch* out) override;

@@ -61,11 +61,14 @@ struct Run {
 };
 
 Run RunOnce(const jarvis::query::CompiledQuery& q, const std::string& plan,
-            int ckpt_interval = -1) {
+            int ckpt_interval = -1, bool compress = false) {
   std::vector<BuildingBlock::SourceSpec> specs;
   for (uint64_t s = 1; s <= kSources; ++s) specs.push_back(MakeSpec(s, 200));
   BuildingBlock block(q, std::move(specs), RuntimeConfig(), /*threads=*/1);
   if (!block.Init().ok()) std::abort();
+  // Pinned explicitly so JARVIS_WIRE_COMPRESS in the environment cannot
+  // contaminate the plain-vs-compressed comparison below.
+  block.SetWireCodec({.compress = compress});
   FaultToleranceOptions opts;
   opts.readmit_after_epochs = kReadmitAfter;
   // Explicit on (>0) or forced off (-1): the bench never lets the
@@ -253,6 +256,27 @@ int main() {
       static_cast<unsigned long long>(ckpt_sparse.stats.checkpoint_bytes),
       static_cast<unsigned long long>(ckpt_sparse.stats.wire_bytes_sent),
       sparse_overhead_pct);
+
+  // The same checkpointed baseline with the LZ4 drain wire on: delivery
+  // must be identical (store-wins framing is lossless), checkpoint frames
+  // ride the compressed path too, and the byte columns show what the wire
+  // actually saves end to end under the fault-tolerant runtime.
+  const Run lz4_base = RunOnce(q, "", /*ckpt_interval=*/1, /*compress=*/true);
+  if (lz4_base.stats.records_delivered != ckpt_base.stats.records_delivered) {
+    std::abort();  // compression changed delivery
+  }
+  const double wire_ratio =
+      ckpt_base.stats.wire_bytes_sent > 0
+          ? static_cast<double>(lz4_base.stats.wire_bytes_sent) /
+                static_cast<double>(ckpt_base.stats.wire_bytes_sent)
+          : 0.0;
+  std::printf(
+      "fault_recovery wire_compress wire_bytes_plain %llu wire_bytes_lz4 "
+      "%llu ratio %.3f ckpt_bytes_lz4 %llu\n",
+      static_cast<unsigned long long>(ckpt_base.stats.wire_bytes_sent),
+      static_cast<unsigned long long>(lz4_base.stats.wire_bytes_sent),
+      wire_ratio,
+      static_cast<unsigned long long>(lz4_base.stats.checkpoint_bytes));
 
   // Corruption storm: one flipped chunk per source per startup epoch; every
   // frame recovers by retransmit, so the cost shows up purely as overhead.

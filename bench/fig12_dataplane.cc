@@ -19,18 +19,25 @@
 //       re-run of sections (d)/(e) with JARVIS_SIMD forced to scalar
 //       ("_scalar"-suffixed rows), so one snapshot holds the data plane
 //       under both settings.
+//   (g) wire_compress: the LZ4 drain wire (v5 compressed framing) — raw vs
+//       compressed bytes per record on numeric and log-text drains, codec
+//       throughput, SP decode-worker scaling, and the measured wire ratios
+//       fed to the LP's bandwidth term.
 //
 // Output lines are machine-parseable ("op ...", "pipeline ...", "wire ...",
 // "columnar ...", "kernel ..."); scripts/run_benches.sh folds them into the
 // BENCH_<label>.json snapshot.
 //
 // Usage: fig12_dataplane [--smoke] [--columnar] [--native] [--kernels]
+//                        [--wire]
 //   --smoke     1 tiny trial, for CI
 //   --columnar  run only section (d) (the CI columnar smoke step)
 //   --native    run only section (e) (the CI native-edge smoke step:
 //               generator -> columnar drain wire, no row materialization)
 //   --kernels   run only section (f)'s kernel micro rows (the CI kernel
 //               smoke step; honors JARVIS_SIMD for the dispatched column)
+//   --wire      run only section (g)'s wire_compress rows (the CI
+//               compressed-wire smoke step)
 
 #include <chrono>
 #include <cstdio>
@@ -44,6 +51,9 @@
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
+#include "core/building_block.h"
+#include "core/drain_wire.h"
+#include "core/exec_pool.h"
 #include "query/compile.h"
 #include "query/query_builder.h"
 #include "ser/buffer.h"
@@ -55,7 +65,9 @@
 #include "stream/pipeline.h"
 #include "stream/predicate.h"
 #include "stream/record.h"
+#include "workloads/loganalytics.h"
 #include "workloads/pingmesh.h"
+#include "workloads/queries.h"
 
 namespace {
 
@@ -811,6 +823,244 @@ void RunColumnarSection(Rng* rng, const Config& cfg, const char* suffix) {
 }
 
 // ---------------------------------------------------------------------------
+// (g) wire_compress: the LZ4 drain wire (v5 compressed framing)
+// ---------------------------------------------------------------------------
+
+/// One epoch drain holding `cb` as a single columnar chunk for SP entry 0.
+jarvis::core::SourceEpochOutput MakeDrain(ColumnarBatch&& cb) {
+  jarvis::core::SourceEpochOutput out;
+  out.AppendDrainColumns(0, std::move(cb));
+  return out;
+}
+
+/// Raw vs LZ4 wire bytes and codec throughput for one drain stream.
+/// `make_batch(r)` must be deterministic in `r` — both codecs serialize the
+/// identical per-round payload, and the compressed side is decoded and
+/// flat-compared so the ratio can never come from dropping data.
+void BenchWireCompressConfig(
+    const char* name, int rounds, const Config& cfg,
+    const std::function<ColumnarBatch(int)>& make_batch) {
+  namespace core = jarvis::core;
+  uint64_t raw_bytes = 0, lz4_bytes = 0, records = 0;
+  double best_enc_plain = 0, best_enc_lz4 = 0;
+  double best_dec_plain = 0, best_dec_lz4 = 0;
+  for (int t = 0; t < cfg.trials; ++t) {
+    uint64_t plain_total = 0, comp_total = 0, recs = 0, payload_bytes = 0;
+    double enc_plain_s = 0, enc_lz4_s = 0, dec_plain_s = 0, dec_lz4_s = 0;
+    uint32_t seq_plain = 0, seq_lz4 = 0;
+    for (int r = 0; r < rounds; ++r) {
+      core::SourceEpochOutput plain = MakeDrain(make_batch(r));
+      core::SourceEpochOutput comp = MakeDrain(make_batch(r));
+      recs += plain.DrainedRecords();
+
+      double t0 = NowSeconds();
+      core::WireDrain wire_plain =
+          core::SerializeDrain(&plain, &seq_plain, {.compress = false});
+      enc_plain_s += NowSeconds() - t0;
+      t0 = NowSeconds();
+      core::WireDrain wire_lz4 =
+          core::SerializeDrain(&comp, &seq_lz4, {.compress = true});
+      enc_lz4_s += NowSeconds() - t0;
+      plain_total += wire_plain.wire_bytes;
+      comp_total += wire_lz4.wire_bytes;
+      payload_bytes += wire_plain.wire_bytes;
+
+      std::vector<core::DrainChunk> out_plain, out_lz4;
+      t0 = NowSeconds();
+      if (!core::DecodeDrain(wire_plain, &out_plain).ok()) std::abort();
+      dec_plain_s += NowSeconds() - t0;
+      t0 = NowSeconds();
+      if (!core::DecodeDrain(wire_lz4, &out_lz4).ok()) std::abort();
+      dec_lz4_s += NowSeconds() - t0;
+      RecordBatch rows_plain, rows_lz4;
+      for (core::DrainChunk& c : out_plain) {
+        c.columns.MoveToRows(&rows_plain);
+        MoveAppend(std::move(c.rows), &rows_plain);
+      }
+      for (core::DrainChunk& c : out_lz4) {
+        c.columns.MoveToRows(&rows_lz4);
+        MoveAppend(std::move(c.rows), &rows_lz4);
+      }
+      if (rows_plain != rows_lz4) std::abort();  // codec must be lossless
+    }
+    raw_bytes = plain_total;  // deterministic per trial
+    lz4_bytes = comp_total;
+    records = recs;
+    const double mb = static_cast<double>(payload_bytes) / 1e6;
+    best_enc_plain = std::max(best_enc_plain, mb / enc_plain_s);
+    best_enc_lz4 = std::max(best_enc_lz4, mb / enc_lz4_s);
+    best_dec_plain = std::max(best_dec_plain, mb / dec_plain_s);
+    best_dec_lz4 = std::max(best_dec_lz4, mb / dec_lz4_s);
+  }
+  std::printf(
+      "wire_compress %s raw_bytes_per_record %.2f lz4_bytes_per_record %.2f "
+      "ratio %.3f\n",
+      name, static_cast<double>(raw_bytes) / static_cast<double>(records),
+      static_cast<double>(lz4_bytes) / static_cast<double>(records),
+      static_cast<double>(lz4_bytes) / static_cast<double>(raw_bytes));
+  std::printf(
+      "wire_compress %s_codec encode_plain_mbps %.6g encode_lz4_mbps %.6g "
+      "decode_plain_mbps %.6g decode_lz4_mbps %.6g\n",
+      name, best_enc_plain, best_enc_lz4, best_dec_plain, best_dec_lz4);
+}
+
+/// SP-side frame decode as the executor runs it: per-source decode tasks on
+/// ExecPool workers vs the serial loop, over identical pre-serialized
+/// compressed drains. Records/sec of the full decode (header verify + LZ4 +
+/// columnar batch decode).
+void BenchSpDecodeScaling(const Config& cfg) {
+  namespace core = jarvis::core;
+  const size_t kSources = 8;
+  const int decode_threads =
+      std::max(2, std::min(4, core::HardwareThreads()));
+  const int reps = cfg.trials <= 1 ? 1 : 4;
+
+  std::vector<core::WireDrain> wires(kSources);
+  uint64_t total_records = 0;
+  for (size_t s = 0; s < kSources; ++s) {
+    workloads::PingmeshConfig pcfg;
+    pcfg.seed = 100 + s;
+    pcfg.source_ip = static_cast<int64_t>(s + 1) * 100000;
+    pcfg.num_pairs = static_cast<int64_t>(cfg.records / kSources + 1);
+    pcfg.probe_interval = Seconds(1);
+    workloads::PingmeshGenerator gen(pcfg);
+    ColumnarBatch cb(workloads::PingmeshGenerator::Schema());
+    gen.GenerateColumnar(0, Seconds(1), &cb);
+    core::SourceEpochOutput out = MakeDrain(std::move(cb));
+    total_records += out.DrainedRecords();
+    uint32_t seq = 0;
+    wires[s] = core::SerializeDrain(&out, &seq, {.compress = true});
+  }
+
+  std::vector<std::vector<core::DrainChunk>> slots(kSources);
+  double serial_s = 1e300, parallel_s = 1e300;
+  core::ExecPool pool(static_cast<size_t>(decode_threads));
+  for (int t = 0; t < cfg.trials; ++t) {
+    double t0 = NowSeconds();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t s = 0; s < kSources; ++s) {
+        slots[s].clear();
+        if (!core::DecodeDrain(wires[s], &slots[s]).ok()) std::abort();
+      }
+    }
+    serial_s = std::min(serial_s, (NowSeconds() - t0) / reps);
+
+    t0 = NowSeconds();
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t s = 0; s < kSources; ++s) {
+        pool.Submit(s, [&wires, &slots, s] {
+          slots[s].clear();
+          if (!core::DecodeDrain(wires[s], &slots[s]).ok()) std::abort();
+        });
+      }
+      pool.WaitIdle();
+    }
+    parallel_s = std::min(parallel_s, (NowSeconds() - t0) / reps);
+  }
+  const double rps_1 = static_cast<double>(total_records) / serial_s;
+  const double rps_n = static_cast<double>(total_records) / parallel_s;
+  std::printf(
+      "wire_compress sp_decode_scaling threads_1 %.6g threads_%d %.6g "
+      "speedup %.2f\n",
+      rps_1, decode_threads, rps_n, rps_1 > 0 ? rps_n / rps_1 : 0.0);
+}
+
+/// Measured bandwidth ratios reaching the planner: a small S2S deployment
+/// with compression on, reporting the folded OperatorProfile::wire_ratio of
+/// the last profiling epoch — exactly the numbers WirePrices feeds the LP's
+/// bandwidth term and stepwise_adapt's priority order.
+void BenchLpWireRatio(const Config& cfg) {
+  namespace core = jarvis::core;
+  auto plan_or = workloads::MakeS2SProbeQuery();
+  if (!plan_or.ok()) std::abort();
+  auto q_or = query::Compile(std::move(plan_or).value());
+  if (!q_or.ok()) std::abort();
+  const query::CompiledQuery q = std::move(q_or).value();
+
+  std::vector<core::BuildingBlock::SourceSpec> specs;
+  for (uint64_t s = 1; s <= 2; ++s) {
+    core::BuildingBlock::SourceSpec spec;
+    spec.cost_model = std::make_shared<core::FixedCostModel>(
+        std::vector<double>{1e-6, 2e-6, 1e-5});
+    spec.options.cpu_budget_fraction = 0.4;
+    workloads::PingmeshConfig pcfg;
+    pcfg.seed = s;
+    pcfg.source_ip = static_cast<int64_t>(s) * 100000;
+    pcfg.num_pairs = 200;
+    pcfg.probe_interval = Seconds(1);
+    auto gen = std::make_shared<workloads::PingmeshGenerator>(pcfg);
+    spec.generate = [gen](Micros from, Micros to) {
+      return gen->Generate(from, to);
+    };
+    specs.push_back(std::move(spec));
+  }
+  core::BuildingBlock block(q, std::move(specs), core::RuntimeConfig(),
+                            /*threads=*/1);
+  if (!block.Init().ok()) std::abort();
+  block.SetWireCodec({.compress = true});
+  std::vector<double> ratios;
+  block.SetEpochTap([&ratios](size_t source,
+                              const core::SourceEpochOutput& o) {
+    if (source != 0 || !o.observation.profiles_valid) return;
+    ratios.clear();
+    for (const auto& p : o.observation.profiles) {
+      ratios.push_back(p.wire_ratio);
+    }
+  });
+  RecordBatch results;
+  const int epochs = cfg.trials <= 1 ? 4 : 8;
+  for (int e = 0; e < epochs; ++e) {
+    if (!block.RunEpoch(&results).ok()) std::abort();
+  }
+  if (!block.Finish(&results).ok()) std::abort();
+  if (ratios.empty()) std::abort();  // no profiling epoch observed
+  for (size_t i = 0; i < ratios.size(); ++i) {
+    std::printf("wire_compress lp_wire_ratio op_%zu %.4f\n", i, ratios[i]);
+  }
+}
+
+void RunWireCompressSection(const Config& cfg) {
+  std::printf(
+      "\n(g) wire_compress: LZ4 drain wire (v5 compressed framing,\n"
+      "    store-wins; JARVIS_WIRE_COMPRESS=1 at runtime). Bytes per record\n"
+      "    raw (v1 frames) vs compressed, codec MB/s, SP decode-worker\n"
+      "    scaling, and the measured wire ratios the LP's bandwidth term\n"
+      "    prices.\n");
+  const bool smoke = cfg.trials <= 1;
+  const int rounds = smoke ? 2 : 8;
+
+  // Numeric probes: delta-varint int64 columns are already tight, so LZ4
+  // buys little — printed to show the honest small win, not cherry-picked.
+  {
+    workloads::PingmeshConfig pcfg;
+    pcfg.num_pairs = static_cast<int64_t>(cfg.batch_size);
+    pcfg.probe_interval = Seconds(1);
+    auto gen = std::make_shared<workloads::PingmeshGenerator>(pcfg);
+    BenchWireCompressConfig(
+        "numeric", rounds, cfg, [gen](int r) {
+          ColumnarBatch cb(workloads::PingmeshGenerator::Schema());
+          gen->GenerateColumnar(Seconds(r), Seconds(r + 1), &cb);
+          return cb;
+        });
+  }
+  // LogAnalytics text lines: mostly-distinct templated strings defeat the
+  // v3 dictionary (kStrPlain), which is where the LZ4 layer earns its keep.
+  {
+    workloads::LogAnalyticsConfig lcfg;
+    lcfg.lines_per_sec = smoke ? 500.0 : 2000.0;
+    auto gen = std::make_shared<workloads::LogAnalyticsGenerator>(lcfg);
+    BenchWireCompressConfig(
+        "loganalytics_str", rounds, cfg, [gen](int r) {
+          ColumnarBatch cb(workloads::LogAnalyticsGenerator::Schema());
+          gen->GenerateColumnar(Seconds(r), Seconds(r + 1), &cb);
+          return cb;
+        });
+  }
+  BenchSpDecodeScaling(cfg);
+  BenchLpWireRatio(cfg);
+}
+
+// ---------------------------------------------------------------------------
 // (f) kernel micro: scalar reference loops vs the dispatched SIMD table
 // ---------------------------------------------------------------------------
 
@@ -944,6 +1194,28 @@ void BenchKernels(const Config& cfg) {
       }
     };
   });
+  // Multi-byte-dominated deltas (zigzag lands in two varint bytes): the
+  // masked-VByte wide window's home turf, where the all-one-byte fast path
+  // never fires.
+  std::vector<int64_t> times_wide(n);
+  int64_t tw_acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    tw_acc += 64 + static_cast<int64_t>(rng.NextBounded(8000));
+    times_wide[i] = tw_acc;
+  }
+  std::vector<uint8_t> enc_wide(n * 10);
+  uint64_t enc_wide_prev = 0;
+  const size_t enc_wide_len = sc.delta_varint_encode(
+      times_wide.data(), n, &enc_wide_prev, enc_wide.data());
+  row("delta_varint_decode_wide", n * 8, [&](const kn::KernelTable& k) {
+    return [&] {
+      uint64_t prev = 0;
+      if (k.delta_varint_decode(enc_wide.data(), enc_wide_len, n, &prev,
+                                dec_out.data()) != enc_wide_len) {
+        std::abort();
+      }
+    };
+  });
 }
 
 void RunKernelSection(const Config& cfg, bool kernels_only) {
@@ -972,6 +1244,7 @@ int main(int argc, char** argv) {
   bool columnar_only = false;
   bool native_only = false;
   bool kernels_only = false;
+  bool wire_only = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       cfg.records = 2000;
@@ -982,6 +1255,8 @@ int main(int argc, char** argv) {
       native_only = true;
     } else if (std::strcmp(argv[i], "--kernels") == 0) {
       kernels_only = true;
+    } else if (std::strcmp(argv[i], "--wire") == 0) {
+      wire_only = true;
     }
   }
   Rng rng(20220707);
@@ -997,6 +1272,10 @@ int main(int argc, char** argv) {
 
   if (kernels_only) {
     RunKernelSection(cfg, /*kernels_only=*/true);
+    return 0;
+  }
+  if (wire_only) {
+    RunWireCompressSection(cfg);
     return 0;
   }
   if (native_only) {
@@ -1067,6 +1346,7 @@ int main(int argc, char** argv) {
 
   RunColumnarSection(&rng, cfg, "");
   RunNativeSection(cfg, "");
+  RunWireCompressSection(cfg);
   RunKernelSection(cfg, /*kernels_only=*/false);
   return 0;
 }

@@ -109,8 +109,20 @@ def parse_fig12(text):
     data = {"operator_rps": {}, "pipeline_rps": {}, "wire_mbps": {},
             "wire_bytes_per_record": {}, "columnar_pipeline_rps": {},
             "columnar_wire_mbps": {}, "columnar_wire_bytes_per_record": {},
-            "kernel_micro_gbps": {}, "kernel_isa": None}
+            "kernel_micro_gbps": {}, "kernel_isa": None, "wire_compress": {}}
     for line in text.splitlines():
+        # 'wire_compress <section> k1 v1 k2 v2 ...' (lp_wire_ratio spreads
+        # one op per line; merge them into one dict).
+        m = re.match(r"wire_compress\s+(\S+)((?:\s+\S+\s+\S+)+)\s*$", line)
+        if m:
+            kv = m.group(2).split()
+            try:
+                vals = {kv[i]: float(kv[i + 1])
+                        for i in range(0, len(kv) - 1, 2)}
+            except ValueError:
+                continue  # the section banner, not a data row
+            data["wire_compress"].setdefault(m.group(1), {}).update(vals)
+            continue
         m = re.match(r"kernel_isa\s+(\S+)", line)
         if m:
             data["kernel_isa"] = m.group(1)
@@ -268,6 +280,21 @@ assert dp["kernel_micro_gbps"] and dp["kernel_isa"], \
     "fig12 kernel micro section parse produced no data"
 assert "stateless_native_e2e_scalar" in dp["columnar_pipeline_rps"], \
     "fig12 scalar-forced re-run of sections (d)/(e) missing"
+wc = dp["wire_compress"]
+for section in ("numeric", "loganalytics_str", "sp_decode_scaling",
+                "lp_wire_ratio"):
+    assert section in wc, f"fig12 wire_compress section '{section}' missing"
+assert wc["loganalytics_str"]["ratio"] <= 0.6, \
+    "LZ4 drain wire must shrink the LogAnalytics string drain to <= 0.6x"
+assert wc["numeric"]["ratio"] <= 1.0, \
+    "store-wins framing can never grow the numeric drain"
+assert wc["sp_decode_scaling"].get("threads_1", 0) > 0 and \
+    any(k.startswith("threads_") and k != "threads_1"
+        for k in wc["sp_decode_scaling"]), \
+    "fig12 SP decode scaling row incomplete"
+assert wc["lp_wire_ratio"] and \
+    all(v > 0 for v in wc["lp_wire_ratio"].values()), \
+    "fig12 LP wire-ratio rows missing or non-positive"
 ex = snapshot["fig10_exec"]
 assert ex["hw_threads"] and ex["hw_threads"] >= 1, \
     "fig10 exec sweep missing hw thread count"
@@ -299,6 +326,13 @@ assert fr["ckpt_kill"]["records_sent"] == \
 assert fr["ckpt_overhead"]["checkpoints"] >= 1 and \
     fr["ckpt_overhead"]["wire_bytes"] > 0, \
     "fault_recovery checkpoint overhead section is empty"
+assert "wire_compress" in fr, "fault_recovery wire_compress section missing"
+assert fr["wire_compress"]["wire_bytes_lz4"] < \
+    fr["wire_compress"]["wire_bytes_plain"] and \
+    fr["wire_compress"]["ratio"] < 1.0, \
+    "compressed FT wire must be smaller than the plain wire"
+assert fr["wire_compress"]["ckpt_bytes_lz4"] > 0, \
+    "compressed run must include checkpoint frames"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

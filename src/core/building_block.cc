@@ -34,6 +34,7 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
   env_ckpt_interval_ = CheckpointIntervalFromEnv();
   env_ckpt_retain_ = CheckpointRetainFromEnv();
   if (env_ckpt_retain_ <= 0) env_ckpt_retain_ = 4;
+  wire_codec_ = WireCodecFromEnv();
   sp_ = std::make_unique<SpExecutor>(query, specs.size());
   if (!sp_->Init().ok()) {
     init_status_ = sp_->Init();
@@ -81,6 +82,10 @@ Status BuildingBlock::RunEpochSerial(stream::RecordBatch* results) {
     JARVIS_ASSIGN_OR_RETURN(
         SourceEpochOutput out,
         sources_[s]->RunEpoch(to, state_[s].profile_next));
+    WireByteProfile wire_profile;
+    JARVIS_RETURN_IF_ERROR(RoundTripDrain(
+        s, &out, out.observation.profiles_valid ? &wire_profile : nullptr));
+    FoldWireRatios(wire_profile, 0, &out.observation);
     const EpochObservation obs = out.observation;
     if (tap_) tap_(s, out);
     JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
@@ -106,6 +111,19 @@ void BuildingBlock::RunSourceEpoch(size_t s, Micros from, Micros to) {
     handoff_->Put(s, std::move(env));
     return;
   }
+  // Encode and decode the drain here, on the pool worker: this is the
+  // decode-worker half of the bytes path, running concurrently across
+  // sources before the single consuming thread takes over.
+  WireByteProfile wire_profile;
+  Status wire_st = RoundTripDrain(
+      s, &*out, out->observation.profiles_valid ? &wire_profile : nullptr);
+  if (!wire_st.ok()) {
+    EpochEnvelope env;
+    env.status = wire_st;
+    handoff_->Put(s, std::move(env));
+    return;
+  }
+  FoldWireRatios(wire_profile, 0, &out->observation);
   const EpochObservation obs = out->observation;
   EpochEnvelope env;
   env.out = std::move(*out);
@@ -114,6 +132,53 @@ void BuildingBlock::RunSourceEpoch(size_t s, Micros from, Micros to) {
   sources_[s]->SetLoadFactors(d.load_factors);
   if (d.flush_pending) sources_[s]->RequestFlush();
   state_[s].profile_next = d.request_profile;
+}
+
+Status BuildingBlock::RoundTripDrain(size_t s, SourceEpochOutput* out,
+                                     WireByteProfile* profile) {
+  // The default path ships bytes end to end: every chunk is encoded to the
+  // wire frame format (compressed when the codec says so) and decoded back,
+  // so what SpExecutor::Consume sees is exactly what a real wire would have
+  // carried. SerializeDrain consumes the chunks; DecodeDrain rebuilds them.
+  WireDrain wire =
+      SerializeDrain(out, &state_[s].next_seq, wire_codec_, profile);
+  return DecodeDrain(wire, &out->to_sp);
+}
+
+void BuildingBlock::FoldWireRatios(const WireByteProfile& profile,
+                                   uint64_t ckpt_bytes,
+                                   EpochObservation* obs) {
+  if (!obs->profiles_valid || obs->profiles.empty()) return;
+  // Drain-wide ratio backs entries that shipped nothing this epoch; the
+  // checkpoint frame is amortized over the whole drain as a multiplier
+  // (it is epoch overhead, not attributable to one operator).
+  const double overall =
+      profile.modeled_total > 0
+          ? static_cast<double>(profile.wire_total) /
+                static_cast<double>(profile.modeled_total)
+          : 1.0;
+  const double ckpt_mult =
+      profile.wire_total > 0
+          ? static_cast<double>(profile.wire_total + ckpt_bytes) /
+                static_cast<double>(profile.wire_total)
+          : 1.0;
+  const size_t m = obs->profiles.size();
+  // Records drained at operator i enter the SP tagged entry i; entries past
+  // the last profiled operator (finished records) accumulate into the last
+  // slot so their bytes are still priced somewhere.
+  std::vector<WireByteProfile::Entry> per(m);
+  for (size_t e = 0; e < profile.per_entry.size(); ++e) {
+    WireByteProfile::Entry& slot = per[std::min(e, m - 1)];
+    slot.modeled += profile.per_entry[e].modeled;
+    slot.wire += profile.per_entry[e].wire;
+  }
+  for (size_t i = 0; i < m; ++i) {
+    const double ratio = per[i].modeled > 0
+                             ? static_cast<double>(per[i].wire) /
+                                   static_cast<double>(per[i].modeled)
+                             : overall;
+    obs->profiles[i].wire_ratio = std::clamp(ratio * ckpt_mult, 0.0, 64.0);
+  }
 }
 
 Status BuildingBlock::RunEpochParallel(stream::RecordBatch* results) {
@@ -127,9 +192,41 @@ Status BuildingBlock::RunEpochParallel(stream::RecordBatch* results) {
   }
   handoff_->Reset(sources_.size());  // quiescent: pool idle between epochs
 
-  for (size_t s = 0; s < sources_.size(); ++s) {
-    if (!state_[s].alive) continue;
-    pool_->Submit(s, [this, s, from, to] { RunSourceEpoch(s, from, to); });
+  // Tiny-source batching: with thousands of near-empty sources the
+  // per-task dispatch cost dominates the epoch, so consecutive sources
+  // whose previous epoch stayed under the threshold share one pool task.
+  // Each member still runs its own RunSourceEpoch in ascending order and
+  // Puts its own envelope, so the hand-off contents — and therefore the
+  // consumed results — are bit-identical to one-task-per-source.
+  constexpr uint64_t kSmallSourceRecords = 1024;
+  constexpr size_t kMaxGroup = 32;
+  for (size_t s = 0; s < sources_.size();) {
+    if (!state_[s].alive) {
+      ++s;
+      continue;
+    }
+    size_t end = s;
+    size_t members = 0;
+    while (end < sources_.size() && members < kMaxGroup) {
+      if (!state_[end].alive) {
+        ++end;
+        continue;
+      }
+      if (state_[end].last_input_records >= kSmallSourceRecords) break;
+      ++end;
+      ++members;
+    }
+    if (members >= 2) {
+      pool_->Submit(s, [this, s, end, from, to] {
+        for (size_t x = s; x < end; ++x) {
+          if (state_[x].alive) RunSourceEpoch(x, from, to);
+        }
+      });
+      s = end;
+    } else {
+      pool_->Submit(s, [this, s, from, to] { RunSourceEpoch(s, from, to); });
+      ++s;
+    }
   }
 
   // Consume on this thread in ascending source order — the serial loop's
@@ -146,6 +243,7 @@ Status BuildingBlock::RunEpochParallel(stream::RecordBatch* results) {
       continue;
     }
     if (tap_) tap_(s, env.out);
+    state_[s].last_input_records = env.out.observation.input_records;
     st = sp_->Consume(s, std::move(env.out), results);
   }
   // Epoch barrier: every source finished its pipeline AND its adaptation
@@ -299,7 +397,10 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
   }
   env.watermark = out->watermark;
   env.records = out->DrainedRecords();
-  env.wire = SerializeDrain(&*out, &state_[s].next_seq);
+  const bool profiled = out->observation.profiles_valid;
+  WireByteProfile wire_profile;
+  env.wire = SerializeDrain(&*out, &state_[s].next_seq, wire_codec_,
+                            profiled ? &wire_profile : nullptr);
   // Checkpoint barriers append the sealed state frame as the epoch's last
   // wire frame — before the pristine copy (so it is retransmittable) and
   // before the injector's pass (so faults get a shot at it like any frame).
@@ -319,6 +420,10 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
       env.wire.frames.push_back(std::move(ck.frame));
     }
   }
+  // Fold the measured wire bytes (checkpoint frame included) into this
+  // epoch's profiles before the adaptation decision sees them: the LP's
+  // bandwidth term prices the frames that actually ship.
+  FoldWireRatios(wire_profile, env.ckpt_bytes, &out->observation);
   // The retransmit buffer travels in the envelope: the consumer owns the
   // retained copies outright, so a late (straggling) Put never races the
   // consumer's NACK handling.
@@ -787,7 +892,8 @@ Status BuildingBlock::MaybeBuildCheckpointFrame(size_t s, int64_t epoch,
   const uint32_t seq = (*next_seq)++;
   out->fence = seq + 1;
   out->frame = MakeCheckpointFrame(
-      seq, SealCheckpointPayload(full, epoch, out->fence, body.data()));
+      seq, SealCheckpointPayload(full, epoch, out->fence, body.data()),
+      wire_codec_);
   out->emitted = true;
   return Status::OK();
 }
@@ -860,13 +966,24 @@ Status BuildingBlock::RestoreAndReplay(size_t s, int64_t e,
     sources_[s]->Ingest(ps.generate(from, to));
     JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
                             sources_[s]->RunEpoch(to, profile));
-    const EpochObservation obs = out.observation;
     const Micros wm = out.watermark;
-    WireDrain wire = SerializeDrain(&out, &ps.next_seq);
+    const bool profiled = out.observation.profiles_valid;
+    EpochObservation obs = out.observation;
+    WireByteProfile wire_profile;
+    WireDrain wire = SerializeDrain(&out, &ps.next_seq, wire_codec_,
+                                    profiled ? &wire_profile : nullptr);
     CkptFrameOut ck;
     JARVIS_RETURN_IF_ERROR(
         MaybeBuildCheckpointFrame(s, r, &ps.next_seq, &ck));
-    if (ck.emitted) wire.frames.push_back(std::move(ck.frame));
+    uint64_t ckpt_bytes = 0;
+    if (ck.emitted) {
+      ckpt_bytes = ck.frame.bytes.size();
+      wire.frames.push_back(std::move(ck.frame));
+    }
+    // Same fold the live path applies: a replayed profiling epoch must feed
+    // the preserved runtime the exact observation the fault-free run saw,
+    // or the replayed decisions diverge.
+    FoldWireRatios(wire_profile, ckpt_bytes, &obs);
     for (WireFrame& f : wire.frames) {
       const bool resend = f.seq < ps.crash_next_seq;
       const bool is_ckpt = ck.emitted && f.seq == ck.fence - 1;

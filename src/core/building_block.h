@@ -215,6 +215,12 @@ class BuildingBlock {
                                      const std::vector<uint8_t>& bytes)>;
   void SetWireTap(WireTap tap) { wire_tap_ = std::move(tap); }
 
+  /// Overrides the drain wire codec (the constructor reads the
+  /// JARVIS_WIRE_COMPRESS environment variable). Call before the first
+  /// epoch: frames already retained for retransmission keep their encoding.
+  void SetWireCodec(const WireCodecOptions& codec) { wire_codec_ = codec; }
+  const WireCodecOptions& wire_codec() const { return wire_codec_; }
+
   size_t num_sources() const { return sources_.size(); }
   SourceExecutor& source(size_t i) { return *sources_[i]; }
   JarvisRuntime& runtime(size_t i) { return *runtimes_[i]; }
@@ -265,6 +271,11 @@ class BuildingBlock {
     bool outstanding = false;  ///< task submitted, envelope not collected
     bool resync_on_readmit = false;  ///< in-flight history was discarded
     uint32_t next_seq = 0;     ///< task-side wire sequence counter
+    /// Input records of this source's most recent collected epoch, recorded
+    /// consumer-side: the tiny-source batching heuristic groups consecutive
+    /// near-empty sources into one pool task. UINT64_MAX until measured, so
+    /// the first epoch never groups on a guess.
+    uint64_t last_input_records = UINT64_MAX;
     /// Consumer-owned retransmit buffer: pristine copies of every frame not
     /// yet acked by the SP (ack == delivered, erased on delivery). With
     /// checkpointing on, delivery does not erase — frames are pruned below
@@ -310,6 +321,25 @@ class BuildingBlock {
   /// output to the SP channel, then apply the runtime's decision. Everything
   /// it touches is owned by source `s` except the hand-off.
   void RunSourceEpoch(size_t s, Micros from, Micros to);
+
+  /// Bytes end to end on the default (non-FT) path: serializes the epoch's
+  /// drain chunks to wire frames with the configured codec and decodes the
+  /// frames back into `out`'s chunks, so the SP consumes exactly what the
+  /// wire carried. Runs on the source's epoch task — when threads > 1 the
+  /// pool workers double as decode workers, overlapping frame decode and
+  /// columnar decompression across sources while the SP consumes in
+  /// ascending source order. When `profile` is non-null the measured
+  /// modeled-vs-wire byte totals are accumulated (profiling epochs only).
+  Status RoundTripDrain(size_t s, SourceEpochOutput* out,
+                        WireByteProfile* profile);
+
+  /// Folds one profiling epoch's measured wire bytes into the observation's
+  /// operator profiles as wire_ratio multipliers — per-entry measured ratios
+  /// where the entry shipped bytes, the drain-wide ratio elsewhere, all
+  /// scaled by the epoch's checkpoint-frame overhead. No-op unless the
+  /// observation carries valid profiles.
+  static void FoldWireRatios(const WireByteProfile& profile,
+                             uint64_t ckpt_bytes, EpochObservation* obs);
 
   Status RunEpochSerial(stream::RecordBatch* results);
   Status RunEpochParallel(stream::RecordBatch* results);
@@ -403,6 +433,9 @@ class BuildingBlock {
   /// (worker tasks consult CkptInterval() — no getenv off the main thread).
   int env_ckpt_interval_ = 0;
   int env_ckpt_retain_ = 4;
+  /// Drain wire codec (JARVIS_WIRE_COMPRESS), read once at construction;
+  /// worker tasks use this cached copy.
+  WireCodecOptions wire_codec_;
   /// Quarantines detected during the consume pass, applied at the epoch's
   /// deterministic end point (after the barrier): (source, keep_inflight).
   std::vector<std::pair<size_t, bool>> pending_quarantine_;

@@ -1,5 +1,7 @@
 #include "core/sp_executor.h"
 
+#include "ser/buffer.h"
+
 namespace jarvis::core {
 
 SpExecutor::SpExecutor(const query::CompiledQuery& query, size_t num_sources)
@@ -81,16 +83,20 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
   if (hdr->seq < expect) return FrameDisposition::kDuplicate;
   if (hdr->seq > expect) return FrameDisposition::kGap;
   if (hdr->lane == WireLane::kCheckpoint) {
-    // Checkpoint lane: validate the sealed payload end to end before
-    // retaining it — a corrupt checkpoint is NACKed like a corrupt data
-    // frame and recovers by retransmission, never by storing garbage.
-    const uint8_t* payload = frame.bytes.data() + hdr->payload_offset;
-    const size_t payload_len = frame.bytes.size() - hdr->payload_offset;
-    Result<CheckpointHeader> ckpt = PeekCheckpointHeader(payload, payload_len);
+    // Checkpoint lane: decompress (v2 frames) and validate the sealed
+    // payload end to end before retaining it — a corrupt checkpoint is
+    // NACKed like a corrupt data frame and recovers by retransmission,
+    // never by storing garbage. The store keeps the *decompressed* sealed
+    // payload, so restore-time readers are codec-oblivious.
+    Result<std::pair<const uint8_t*, size_t>> payload =
+        FramePayload(frame, *hdr, &payload_scratch_);
+    if (!payload.ok()) return FrameDisposition::kCorrupt;
+    Result<CheckpointHeader> ckpt =
+        PeekCheckpointHeader(payload->first, payload->second);
     if (!ckpt.ok()) return FrameDisposition::kCorrupt;
     ckpt_stores_[source_id].Add(
         ckpt->full, ckpt->epoch, ckpt->fence,
-        std::vector<uint8_t>(payload, payload + payload_len));
+        std::vector<uint8_t>(payload->first, payload->first + payload->second));
     expect_seq_[source_id] = expect + 1;
     return FrameDisposition::kDelivered;
   }
@@ -98,6 +104,20 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
     // Header checksum passed but the entry is impossible: encoder bug or a
     // colliding corruption. Either way, refuse to misroute records.
     return FrameDisposition::kCorrupt;
+  }
+  if (hdr->lane == WireLane::kColumnar && columnar_from_[hdr->entry_op]) {
+    // Columnar frame whose resume suffix is fully columnar: decode straight
+    // to column form and push without materializing entry rows — the same
+    // path Consume takes for in-memory chunks.
+    frame_columns_.Clear();
+    if (!DecodeDrainChunkPayload(frame, *hdr, &frame_columns_)) {
+      return FrameDisposition::kCorrupt;
+    }
+    JARVIS_RETURN_IF_ERROR(
+        pipeline_->PushColumnarFrom(hdr->entry_op, &frame_columns_));
+    frame_columns_.MoveToRows(results);
+    expect_seq_[source_id] = expect + 1;
+    return FrameDisposition::kDelivered;
   }
   entry_batch_.clear();
   if (!DecodeFramePayload(frame, *hdr, &entry_batch_).ok()) {
@@ -108,6 +128,17 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
   entry_batch_.clear();
   expect_seq_[source_id] = expect + 1;
   return FrameDisposition::kDelivered;
+}
+
+bool SpExecutor::DecodeDrainChunkPayload(const WireFrame& frame,
+                                         const WireFrameHeader& hdr,
+                                         stream::ColumnarBatch* out) {
+  Result<std::pair<const uint8_t*, size_t>> payload =
+      FramePayload(frame, hdr, &payload_scratch_);
+  if (!payload.ok()) return false;
+  ser::BufferReader r(payload->first, payload->second);
+  if (!stream::DeserializeColumnarBatch(&r, out).ok()) return false;
+  return r.AtEnd();
 }
 
 Status SpExecutor::RemoveSource(size_t source_id) {

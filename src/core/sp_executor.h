@@ -126,6 +126,12 @@ class SpExecutor {
   }
 
  private:
+  /// Decodes a columnar-lane frame's (possibly compressed) payload straight
+  /// into column form; false on any corruption (the kCorrupt signal).
+  bool DecodeDrainChunkPayload(const WireFrame& frame,
+                               const WireFrameHeader& hdr,
+                               stream::ColumnarBatch* out);
+
   std::unique_ptr<stream::Pipeline> pipeline_;
   stream::WatermarkMerger merger_;
   Micros applied_watermark_ = -1;
@@ -135,6 +141,10 @@ class SpExecutor {
   std::vector<uint8_t> columnar_from_;
   // Reused per Consume call for chunks that must regroup to rows.
   stream::RecordBatch entry_batch_;
+  // Reused per ConsumeFrame call: decompression scratch for v2 frames and
+  // the column-form decode target for columnar-lane frames.
+  std::vector<uint8_t> payload_scratch_;
+  stream::ColumnarBatch frame_columns_;
   // Per-source next expected wire sequence number (exactly-once delivery).
   std::vector<uint32_t> expect_seq_;
   // Per-source retained checkpoint rings (WireLane::kCheckpoint frames).

@@ -67,6 +67,10 @@ Result<std::vector<double>> StepwiseAdapt::ComputeLpInit(
     m.cost_per_record = p.cost_per_record;
     m.relay_records = std::clamp(p.relay_records, 0.0, 1.0);
     m.relay_bytes = std::clamp(p.relay_bytes, 0.0, 1.0);
+    // Measured wire multiplier (compression, frame and checkpoint overhead).
+    // Unlike the relay ratios it can legitimately exceed 1; only the noise
+    // extremes are clamped.
+    m.wire_ratio = std::clamp(p.wire_ratio, 0.0, 64.0);
     problem.ops.push_back(m);
   }
   problem.input_records_per_epoch = static_cast<double>(input_records);
@@ -96,15 +100,19 @@ void StepwiseAdapt::Begin(const std::vector<double>& init,
   }
   // Priority: operators with lower byte relay ratio reduce more data and are
   // grown first / shrunk last (the FFD-inspired ordering of Section IV-D).
+  // The relay ratio is scaled by the measured wire multiplier so the
+  // ordering ranks real wire bytes saved, not modeled bytes — compression
+  // that works better at one operator's drain point raises its priority.
   priority_order_.resize(m);
   std::iota(priority_order_.begin(), priority_order_.end(), size_t{0});
+  const auto wire_relay = [&](size_t i) {
+    if (i >= profiles.size()) return 1.0;
+    return profiles[i].relay_bytes * std::clamp(profiles[i].wire_ratio, 0.0,
+                                                64.0);
+  };
   std::stable_sort(priority_order_.begin(), priority_order_.end(),
                    [&](size_t a, size_t b) {
-                     const double ra =
-                         a < profiles.size() ? profiles[a].relay_bytes : 1.0;
-                     const double rb =
-                         b < profiles.size() ? profiles[b].relay_bytes : 1.0;
-                     return ra < rb;
+                     return wire_relay(a) < wire_relay(b);
                    });
 }
 

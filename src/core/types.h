@@ -31,6 +31,13 @@ struct OperatorProfile {
   double cost_per_record = 0.0;
   double relay_records = 1.0;
   double relay_bytes = 1.0;
+  /// Measured wire-bytes multiplier for records drained after this operator:
+  /// actual encoded frame bytes (columnar encodings + LZ4 framing +
+  /// checkpoint-frame overhead) per modeled record-format byte. 1.0 until a
+  /// profiling epoch measures the real drain (BuildingBlock folds
+  /// WireByteProfile ratios in); the LP's bandwidth term scales by it so
+  /// placement prices the wire that actually ships.
+  double wire_ratio = 1.0;
   uint64_t sampled = 0;
 };
 

@@ -17,16 +17,26 @@ std::vector<double> CumulativeRelay(const std::vector<OperatorModel>& ops,
   return r;
 }
 
+/// Bandwidth price of the fraction drained at operator i: cumulative relay
+/// bytes through ops < i, scaled by op i's measured wire multiplier (1.0
+/// when nothing has been measured — the pure modeled objective).
+std::vector<double> WirePrices(const std::vector<OperatorModel>& ops) {
+  std::vector<double> b = CumulativeRelay(ops, /*bytes=*/true);
+  b.resize(ops.size());
+  for (size_t i = 0; i < ops.size(); ++i) b[i] *= ops[i].wire_ratio;
+  return b;
+}
+
 }  // namespace
 
 double DrainedFraction(const std::vector<OperatorModel>& ops,
                        const std::vector<double>& load_factors) {
-  const std::vector<double> rb = CumulativeRelay(ops, /*bytes=*/true);
+  const std::vector<double> b = WirePrices(ops);
   double drained = 0.0;
   double e_prev = 1.0;
   for (size_t i = 0; i < ops.size(); ++i) {
     const double e_i = e_prev * load_factors[i];
-    drained += rb[i] * (e_prev - e_i);
+    drained += b[i] * (e_prev - e_i);
     e_prev = e_i;
   }
   return drained;
@@ -60,22 +70,23 @@ Result<PartitionSolution> SolvePartitionLp(const PartitionProblem& problem) {
   }
   for (const OperatorModel& op : problem.ops) {
     if (op.cost_per_record < 0 || op.relay_records < 0 ||
-        op.relay_bytes < 0) {
+        op.relay_bytes < 0 || op.wire_ratio < 0) {
       return Status::InvalidArgument("negative operator model parameter");
     }
   }
 
-  const std::vector<double> rb = CumulativeRelay(problem.ops, true);
+  const std::vector<double> b = WirePrices(problem.ops);
   const std::vector<double> rr = CumulativeRelay(problem.ops, false);
 
-  // Variables e_1..e_M. Objective: sum_i RB_i (e_{i-1} - e_i) with e_0 = 1,
-  // i.e., constant RB_1 plus sum over i of coefficient
-  //   (RB_{i+1} - RB_i) for i < M and -RB_M for i = M.
+  // Variables e_1..e_M. Objective: sum_i B_i (e_{i-1} - e_i) with e_0 = 1
+  // and B_i = RB_i * wire_ratio_i (the measured wire price of a byte drained
+  // at operator i), i.e., constant B_1 plus sum over i of coefficient
+  //   (B_{i+1} - B_i) for i < M and -B_M for i = M.
   Problem p;
   p.num_vars = m;
   p.objective.resize(m);
-  for (size_t i = 0; i + 1 < m; ++i) p.objective[i] = rb[i + 1] - rb[i];
-  p.objective[m - 1] = -rb[m - 1];
+  for (size_t i = 0; i + 1 < m; ++i) p.objective[i] = b[i + 1] - b[i];
+  p.objective[m - 1] = -b[m - 1];
 
   // Budget constraint: sum_i RR_i c_i e_i <= C / N_r.
   Constraint budget;

@@ -16,6 +16,11 @@ struct OperatorModel {
   double cost_per_record = 0.0;  // cpu-seconds per record on the data source
   double relay_records = 1.0;    // output records / input records
   double relay_bytes = 1.0;      // output bytes / input bytes
+  /// Measured wire-bytes multiplier for records drained after this operator
+  /// (actual encoded+compressed frame bytes per modeled record-format byte,
+  /// checkpoint frames included). Scales the objective's bandwidth price
+  /// B_j = RB_j * wire_ratio_j without touching the compute constraint.
+  double wire_ratio = 1.0;
 };
 
 struct PartitionProblem {

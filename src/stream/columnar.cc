@@ -860,4 +860,217 @@ Status DecodeColumnarBody(ser::BufferReader* in, RecordBatch* out) {
 
 }  // namespace
 
+Status DeserializeColumnarBatch(ser::BufferReader* in, ColumnarBatch* out) {
+  // Decodes the version-independent body straight into column form. The
+  // grammar walk mirrors DecodeColumnarBody exactly (same order, same
+  // guards); only the destination differs: dense values land in the typed
+  // column vectors / packed time arrays in bulk instead of fanning out to
+  // one Record per row.
+  const auto decode_body = [out](ser::BufferReader* in) -> Status {
+    uint64_t n;
+    JARVIS_RETURN_IF_ERROR(in->GetVarU64(&n));
+    if (n > in->remaining()) {
+      return Status::SerializationError("implausible columnar record count");
+    }
+    uint64_t nf;
+    JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nf));
+    if (nf > (1u << 20)) {
+      return Status::SerializationError("implausible schema field count");
+    }
+    // The wire is name-free, so the reconstructed schema carries empty field
+    // names; consumers of the decoded batch are positional (pipeline entry
+    // pushes, MoveToRows), which is exactly what the drain path needs.
+    std::vector<Schema::Field> decoded_fields(nf);
+    for (uint64_t j = 0; j < nf; ++j) {
+      uint8_t tag;
+      JARVIS_RETURN_IF_ERROR(in->GetU8(&tag));
+      if (tag > static_cast<uint8_t>(ValueType::kString)) {
+        return Status::SerializationError("bad schema type tag");
+      }
+      decoded_fields[j].type = static_cast<ValueType>(tag);
+    }
+    out->Reset(Schema(std::move(decoded_fields)));
+
+    // Flags RLE -> density bitmap + pre-created fallback records (kind set
+    // now; times and fields filled by the later passes in row order).
+    std::vector<uint8_t> flags(n);
+    uint64_t covered = 0;
+    while (covered < n) {
+      uint8_t f;
+      JARVIS_RETURN_IF_ERROR(in->GetU8(&f));
+      if (f != 0 && f != kColFlagPartial && f != kColFlagDense) {
+        return Status::SerializationError("bad columnar row flags");
+      }
+      uint64_t run;
+      JARVIS_RETURN_IF_ERROR(in->GetVarU64(&run));
+      if (run == 0 || run > n - covered) {
+        return Status::SerializationError("bad columnar flag run length");
+      }
+      std::fill(flags.begin() + covered, flags.begin() + covered + run, f);
+      covered += run;
+    }
+    uint64_t ndense = 0;
+    out->is_dense_.resize(n);
+    for (uint64_t r = 0; r < n; ++r) {
+      const bool dense = (flags[r] & kColFlagDense) != 0;
+      out->is_dense_[r] = dense ? 1 : 0;
+      if (dense) {
+        ++ndense;
+      } else {
+        Record rec;
+        rec.kind = (flags[r] & kColFlagPartial) ? RecordKind::kPartial
+                                                : RecordKind::kData;
+        out->fallback_.push_back(std::move(rec));
+      }
+    }
+
+    // Time columns: kernel block decode, dense values appended to the packed
+    // arrays, fallback values scattered onto their records in row order.
+    const kernels::KernelTable& k = kernels::Active();
+    int64_t vals[kEncBlock];
+    const auto decode_times = [&](std::vector<Micros>* dense_times,
+                                  auto set_fb) -> Status {
+      dense_times->reserve(ndense);
+      uint64_t prev = 0;
+      size_t fb = 0;
+      for (uint64_t r = 0; r < n;) {
+        const size_t m = std::min<uint64_t>(kEncBlock, n - r);
+        const size_t used = k.delta_varint_decode(in->cursor(),
+                                                  in->remaining(), m, &prev,
+                                                  vals);
+        if (used == 0) {
+          return Status::SerializationError("bad time column varint");
+        }
+        in->Advance(used);
+        for (size_t j = 0; j < m; ++j) {
+          if (flags[r + j] & kColFlagDense) {
+            dense_times->push_back(vals[j]);
+          } else {
+            set_fb(out->fallback_[fb++], vals[j]);
+          }
+        }
+        r += m;
+      }
+      return Status::OK();
+    };
+    JARVIS_RETURN_IF_ERROR(decode_times(
+        &out->event_time_,
+        [](Record& rec, Micros t) { rec.event_time = t; }));
+    JARVIS_RETURN_IF_ERROR(decode_times(
+        &out->window_start_,
+        [](Record& rec, Micros t) { rec.window_start = t; }));
+
+    // Dense value columns decode contiguously into the column vectors — the
+    // bulk fast path this decoder exists for.
+    for (uint64_t j = 0; j < nf; ++j) {
+      Column& col = out->columns_[j];
+      switch (col.type) {
+        case ValueType::kInt64: {
+          col.i64.resize(ndense);
+          uint64_t prev = 0;
+          uint64_t done = 0;
+          while (done < ndense) {
+            const size_t m = std::min<uint64_t>(kEncBlock, ndense - done);
+            const size_t used =
+                k.delta_varint_decode(in->cursor(), in->remaining(), m, &prev,
+                                      col.i64.data() + done);
+            if (used == 0) {
+              return Status::SerializationError("bad int64 column varint");
+            }
+            in->Advance(used);
+            done += m;
+          }
+          break;
+        }
+        case ValueType::kDouble:
+          col.f64.resize(ndense);
+          for (uint64_t i = 0; i < ndense; ++i) {
+            JARVIS_RETURN_IF_ERROR(in->GetDouble(&col.f64[i]));
+          }
+          break;
+        case ValueType::kString: {
+          if (ndense == 0) break;
+          uint8_t marker;
+          JARVIS_RETURN_IF_ERROR(in->GetU8(&marker));
+          col.str.reserve(ndense);
+          if (marker == kStrDict) {
+            uint64_t dict_size;
+            JARVIS_RETURN_IF_ERROR(in->GetVarU64(&dict_size));
+            if (dict_size == 0 || dict_size > 255) {
+              return Status::SerializationError("bad string dictionary size");
+            }
+            std::vector<std::string> dict(dict_size);
+            for (uint64_t e = 0; e < dict_size; ++e) {
+              JARVIS_RETURN_IF_ERROR(in->GetString(&dict[e]));
+            }
+            for (uint64_t i = 0; i < ndense; ++i) {
+              uint8_t code;
+              JARVIS_RETURN_IF_ERROR(in->GetU8(&code));
+              if (code >= dict_size) {
+                return Status::SerializationError("bad string dictionary code");
+              }
+              col.str.push_back(dict[code]);
+            }
+          } else if (marker == kStrPlain) {
+            for (uint64_t i = 0; i < ndense; ++i) {
+              std::string v;
+              JARVIS_RETURN_IF_ERROR(in->GetString(&v));
+              col.str.push_back(std::move(v));
+            }
+          } else {
+            return Status::SerializationError("bad string column marker");
+          }
+          break;
+        }
+      }
+    }
+
+    // Fallback rows (inline-tagged), in row order.
+    {
+      size_t fb = 0;
+      for (uint64_t r = 0; r < n; ++r) {
+        if (flags[r] & kColFlagDense) continue;
+        Record& rec = out->fallback_[fb++];
+        uint64_t nfields;
+        JARVIS_RETURN_IF_ERROR(in->GetVarU64(&nfields));
+        if (nfields > (1u << 20)) {
+          return Status::SerializationError("implausible field count");
+        }
+        rec.fields.reserve(nfields);
+        for (uint64_t f = 0; f < nfields; ++f) {
+          Value v;
+          JARVIS_RETURN_IF_ERROR(ReadTaggedValue(in, &v));
+          rec.fields.push_back(std::move(v));
+        }
+      }
+    }
+    return Status::OK();
+  };
+
+  uint8_t version;
+  JARVIS_RETURN_IF_ERROR(in->GetU8(&version));
+  if (version == kColumnarFormatVersionLegacy) {
+    return decode_body(in);
+  }
+  if (version != kColumnarFormatVersion) {
+    return Status::SerializationError("bad columnar format version");
+  }
+  uint32_t body_len, crc;
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&body_len));
+  JARVIS_RETURN_IF_ERROR(in->GetU32(&crc));
+  if (body_len > in->remaining()) {
+    return Status::SerializationError("truncated columnar frame");
+  }
+  if (ser::FrameChecksum(in->cursor(), body_len) != crc) {
+    return Status::SerializationError("columnar frame checksum mismatch");
+  }
+  ser::BufferReader body(in->cursor(), body_len);
+  JARVIS_RETURN_IF_ERROR(decode_body(&body));
+  if (!body.AtEnd()) {
+    return Status::SerializationError("columnar frame payload length mismatch");
+  }
+  in->Advance(body_len);
+  return Status::OK();
+}
+
 }  // namespace jarvis::stream

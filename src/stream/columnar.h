@@ -177,6 +177,9 @@ class ColumnarBatch {
   uint64_t RowWireBytes() const;
 
  private:
+  friend Status DeserializeColumnarBatch(ser::BufferReader* in,
+                                         ColumnarBatch* out);
+
   /// Materializes dense row `d` (moves string payloads out of the columns).
   Record MaterializeDense(size_t d);
 
@@ -232,6 +235,17 @@ size_t SerializeColumnar(const ColumnarBatch& batch, ser::BufferWriter* out);
 /// fails with SerializationError — never UB — on any corrupt, truncated, or
 /// bit-flipped input; legacy v2 frames decode through the same body path.
 Status DeserializeColumnar(ser::BufferReader* in, RecordBatch* out);
+
+/// Decodes a SerializeColumnar frame straight into column form: dense values
+/// land in bulk in the typed column vectors and packed time arrays (no
+/// per-row record fan-out — the SP-side decode-worker fast path), fallback
+/// rows rebuild their records exactly as DeserializeColumnar would. The
+/// decoded batch carries an unnamed schema reconstructed from the wire's
+/// type tags (the format is name-free); MoveToRows() on the result is
+/// bit-identical to DeserializeColumnar's row output. Same integrity
+/// guarantees and corruption hardening as DeserializeColumnar, legacy v2
+/// frames included.
+Status DeserializeColumnarBatch(ser::BufferReader* in, ColumnarBatch* out);
 
 }  // namespace jarvis::stream
 

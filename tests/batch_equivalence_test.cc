@@ -908,8 +908,8 @@ core::BuildingBlock::SourceSpec PingmeshSpec(uint64_t seed, int pairs,
 /// mid-run checkpoint) at the given thread count. Returns the final results
 /// and fills `trace` with each (epoch, source) fingerprint in consume order.
 RecordBatch RunWorkloadAt(int threads, uint64_t seed, size_t num_sources,
-                          int epochs,
-                          std::vector<EpochFingerprint>* trace) {
+                          int epochs, std::vector<EpochFingerprint>* trace,
+                          bool compress = false) {
   auto plan = workloads::MakeS2SProbeQuery();
   EXPECT_TRUE(plan.ok());
   auto compiled = query::Compile(std::move(plan).value());
@@ -926,6 +926,9 @@ RecordBatch RunWorkloadAt(int threads, uint64_t seed, size_t num_sources,
                             threads);
   EXPECT_TRUE(block.Init().ok());
   EXPECT_EQ(block.threads(), threads);
+  // Pin the codec explicitly so the test means the same thing whether or
+  // not the environment (CI's compression-on leg) sets JARVIS_WIRE_COMPRESS.
+  block.SetWireCodec(core::WireCodecOptions{.compress = compress});
   block.SetEpochTap([trace](size_t source, const core::SourceEpochOutput& o) {
     trace->push_back(Fingerprint(source, o));
   });
@@ -963,6 +966,43 @@ TEST_P(BatchEquivalenceTest, CrossThreadRunsAreBitIdentical) {
       EXPECT_EQ(trace[i], ref_trace[i])
           << "threads=" << threads << " trace entry " << i << " (source "
           << ref_trace[i].source << ")";
+    }
+  }
+}
+
+/// The bytes-path determinism contract under compression: LZ4-compressed
+/// drains at threads=1 and threads=N are bit-identical to each other AND to
+/// the uncompressed run — the fingerprint re-serializes the decoded chunks,
+/// so any codec-induced difference in what the SP consumed would surface as
+/// a wire-hash mismatch.
+TEST_P(BatchEquivalenceTest, CompressedWireCrossThreadRunsAreBitIdentical) {
+  const uint64_t seed = GetParam();
+  const size_t num_sources = 3 + seed % 3;
+  const int epochs = 8 + static_cast<int>(seed % 5);
+
+  std::vector<EpochFingerprint> plain_trace;
+  const RecordBatch plain =
+      RunWorkloadAt(1, seed, num_sources, epochs, &plain_trace,
+                    /*compress=*/false);
+  std::vector<EpochFingerprint> ref_trace;
+  const RecordBatch ref =
+      RunWorkloadAt(1, seed, num_sources, epochs, &ref_trace,
+                    /*compress=*/true);
+  EXPECT_EQ(ref, plain) << "compression changed the consumed records";
+  ASSERT_EQ(ref_trace.size(), plain_trace.size());
+  for (size_t i = 0; i < ref_trace.size(); ++i) {
+    EXPECT_EQ(ref_trace[i], plain_trace[i]) << "trace entry " << i;
+  }
+
+  for (const int threads : {2, 4}) {
+    std::vector<EpochFingerprint> trace;
+    const RecordBatch got = RunWorkloadAt(threads, seed, num_sources, epochs,
+                                          &trace, /*compress=*/true);
+    EXPECT_EQ(got, ref) << "results diverge at threads=" << threads;
+    ASSERT_EQ(trace.size(), ref_trace.size()) << "threads=" << threads;
+    for (size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace[i], ref_trace[i])
+          << "threads=" << threads << " trace entry " << i;
     }
   }
 }

@@ -292,9 +292,12 @@ TEST_P(KernelFuzzTest, DeltaVarintEncodeMatchesScalarAndCrossDecodes) {
     const size_t n = FuzzLen(&rng);
     const size_t off = FuzzOffset(&rng);
     std::vector<int64_t> vals(n + kSlack);
-    // Three flavors: near-monotone times (the one-byte fast path), mixed
-    // magnitudes, and full-range randoms (multi-byte varints).
-    const uint64_t flavor = rng.NextBounded(3);
+    // Four flavors: near-monotone times (the one-byte fast path), mixed
+    // magnitudes, full-range randoms (multi-byte varints), and coarse
+    // deltas whose zigzags are almost all two bytes with one-byte values
+    // sprinkled in — the masked-VByte window's home turf, including every
+    // boundary mix of the two widths.
+    const uint64_t flavor = rng.NextBounded(4);
     int64_t acc = FuzzI64(&rng, 0);
     for (size_t i = 0; i < n; ++i) {
       if (flavor == 0) {
@@ -302,8 +305,13 @@ TEST_P(KernelFuzzTest, DeltaVarintEncodeMatchesScalarAndCrossDecodes) {
         vals[off + i] = acc;
       } else if (flavor == 1) {
         vals[off + i] = FuzzI64(&rng, 1000);
-      } else {
+      } else if (flavor == 2) {
         vals[off + i] = static_cast<int64_t>(rng.NextU64());
+      } else {
+        acc += rng.NextBounded(8) == 0
+                   ? static_cast<int64_t>(rng.NextBounded(64))
+                   : 64 + static_cast<int64_t>(rng.NextBounded(8000));
+        vals[off + i] = acc;
       }
     }
     const uint64_t prev0 = rng.NextU64();

@@ -1,0 +1,168 @@
+#include "third_party/lz4/lz4_block.h"
+
+#include <cstring>
+
+namespace jarvis::lz4 {
+
+namespace {
+
+// Block-format constants (fixed by the format, not tunables): matches are at
+// least 4 bytes, may not start within the last 12 bytes of the block, and
+// the last 5 bytes are always literals.
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMfLimit = 12;
+constexpr size_t kLastLiterals = 5;
+constexpr size_t kMaxOffset = 65535;
+constexpr int kHashBits = 13;
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+// Fibonacci hash of a 4-byte window into the match table.
+inline uint32_t Hash(uint32_t v) {
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+}  // namespace
+
+size_t Compress(const uint8_t* src, size_t n, uint8_t* dst, size_t cap) {
+  // Match table holds source position + 1 so zero means "empty" without a
+  // separate init pass per entry.
+  uint32_t table[size_t{1} << kHashBits] = {0};
+
+  size_t ip = 0;      // read cursor
+  size_t anchor = 0;  // start of the pending literal run
+  size_t op = 0;      // write cursor
+
+  // Emits one sequence: token, literal run [anchor, anchor+lit), and (unless
+  // this is the closing literals-only sequence) the offset + match length.
+  const auto emit = [&](size_t lit, bool has_match, size_t offset,
+                        size_t match_extra) -> bool {
+    if (op >= cap) return false;
+    const size_t token_pos = op++;
+    uint8_t token = 0;
+    if (lit >= 15) {
+      token |= 0xF0;
+      size_t rest = lit - 15;
+      while (rest >= 255) {
+        if (op >= cap) return false;
+        dst[op++] = 255;
+        rest -= 255;
+      }
+      if (op >= cap) return false;
+      dst[op++] = static_cast<uint8_t>(rest);
+    } else {
+      token |= static_cast<uint8_t>(lit << 4);
+    }
+    if (lit > cap - op) return false;
+    std::memcpy(dst + op, src + anchor, lit);
+    op += lit;
+    if (has_match) {
+      if (cap - op < 2) return false;
+      dst[op++] = static_cast<uint8_t>(offset & 0xff);
+      dst[op++] = static_cast<uint8_t>(offset >> 8);
+      if (match_extra >= 15) {
+        token |= 0x0F;
+        size_t rest = match_extra - 15;
+        while (rest >= 255) {
+          if (op >= cap) return false;
+          dst[op++] = 255;
+          rest -= 255;
+        }
+        if (op >= cap) return false;
+        dst[op++] = static_cast<uint8_t>(rest);
+      } else {
+        token |= static_cast<uint8_t>(match_extra);
+      }
+    }
+    dst[token_pos] = token;
+    return true;
+  };
+
+  if (n >= kMfLimit) {
+    const size_t search_end = n - kMfLimit;     // last legal match start
+    const size_t match_limit = n - kLastLiterals;  // matches end before this
+    while (ip <= search_end) {
+      const uint32_t h = Hash(Read32(src + ip));
+      const size_t cand = table[h];
+      table[h] = static_cast<uint32_t>(ip + 1);
+      if (cand != 0) {
+        const size_t mp = cand - 1;
+        if (mp < ip && ip - mp <= kMaxOffset &&
+            Read32(src + mp) == Read32(src + ip)) {
+          size_t len = kMinMatch;
+          while (ip + len < match_limit && src[mp + len] == src[ip + len]) {
+            ++len;
+          }
+          if (!emit(ip - anchor, true, ip - mp, len - kMinMatch)) return 0;
+          ip += len;
+          anchor = ip;
+          continue;
+        }
+      }
+      ++ip;
+    }
+  }
+  if (!emit(n - anchor, false, 0, 0)) return 0;
+  return op;
+}
+
+bool Decompress(const uint8_t* src, size_t n, uint8_t* dst, size_t dst_len) {
+  size_t ip = 0;
+  size_t op = 0;
+  while (true) {
+    if (ip >= n) return false;  // a block always ends inside a literal run
+    const uint8_t token = src[ip++];
+
+    size_t lit = token >> 4;
+    if (lit == 15) {
+      uint8_t b;
+      do {
+        if (ip >= n) return false;
+        b = src[ip++];
+        lit += b;
+        // The run can never exceed the declared output; bailing here also
+        // bounds the accumulator against overflow on hostile input.
+        if (lit > dst_len) return false;
+      } while (b == 255);
+    }
+    if (lit > n - ip || lit > dst_len - op) return false;
+    std::memcpy(dst + op, src + ip, lit);
+    ip += lit;
+    op += lit;
+
+    if (ip == n) {
+      // Literals-only closing sequence: valid iff it lands exactly on the
+      // declared output size.
+      return op == dst_len;
+    }
+
+    if (n - ip < 2) return false;
+    const size_t offset =
+        static_cast<size_t>(src[ip]) | (static_cast<size_t>(src[ip + 1]) << 8);
+    ip += 2;
+    if (offset == 0 || offset > op) return false;
+
+    size_t mlen = static_cast<size_t>(token & 0x0F) + kMinMatch;
+    if ((token & 0x0F) == 15) {
+      uint8_t b;
+      do {
+        if (ip >= n) return false;
+        b = src[ip++];
+        mlen += b;
+        if (mlen > dst_len) return false;
+      } while (b == 255);
+    }
+    if (mlen > dst_len - op) return false;
+    // Byte-wise copy: offsets smaller than the match length legitimately
+    // self-overlap (run extension), which memcpy would break.
+    const uint8_t* match = dst + op - offset;
+    for (size_t k = 0; k < mlen; ++k) dst[op + k] = match[k];
+    op += mlen;
+  }
+}
+
+}  // namespace jarvis::lz4

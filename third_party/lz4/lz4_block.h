@@ -1,0 +1,39 @@
+#ifndef JARVIS_THIRD_PARTY_LZ4_LZ4_BLOCK_H_
+#define JARVIS_THIRD_PARTY_LZ4_LZ4_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+// Minimal single-file LZ4 block codec (the raw block format, no frame
+// container), vendored so the wire compression layer has zero external
+// dependencies. Clean-room implementation of the published block format:
+//   sequence := token | literal-length ext | literals
+//              | u16le offset | match-length ext
+// with the standard end-of-block rules (the last sequence is literals-only,
+// the last 5 bytes are literals, no match starts within the last 12 bytes).
+// The compressor is a greedy single-probe hash matcher; the decompressor is
+// fully bounds-checked and rejects any malformed stream with `false` instead
+// of reading or writing out of bounds. Both sides are deterministic: the
+// same input bytes always produce the same output bytes, which the drain
+// wire relies on for bit-identical retransmits and replay.
+
+namespace jarvis::lz4 {
+
+/// Worst-case compressed size for `n` input bytes (incompressible input
+/// expands by 1 byte per 255 plus a small constant).
+constexpr size_t CompressBound(size_t n) { return n + n / 255 + 16; }
+
+/// Compresses src[0, n) into dst[0, cap). Returns the compressed size, or 0
+/// when the output would not fit in `cap` (never happens when cap >=
+/// CompressBound(n)).
+size_t Compress(const uint8_t* src, size_t n, uint8_t* dst, size_t cap);
+
+/// Decompresses src[0, n) into dst[0, dst_len). Returns true iff the stream
+/// is well-formed and produces exactly dst_len bytes; malformed input
+/// (truncation, bad offsets, wrong output size) returns false without any
+/// out-of-bounds access.
+bool Decompress(const uint8_t* src, size_t n, uint8_t* dst, size_t dst_len);
+
+}  // namespace jarvis::lz4
+
+#endif  // JARVIS_THIRD_PARTY_LZ4_LZ4_BLOCK_H_

@@ -105,8 +105,10 @@ double RunExecSweepOnce(const jarvis::query::CompiledQuery& query, int sources,
   core::RuntimeConfig rc;
   rc.detect_epochs = 1 << 30;  // never adapt: fixed work per epoch
   core::BuildingBlock block(query, std::move(specs), rc, threads);
-  if (!block.Init().ok()) {
-    std::fprintf(stderr, "exec sweep: BuildingBlock init failed\n");
+  const jarvis::Status init = block.Init();
+  if (!init.ok()) {
+    std::fprintf(stderr, "exec sweep: BuildingBlock init failed: %s\n",
+                 init.message().c_str());
     std::exit(1);
   }
   const std::vector<double> pinned = {1.0, 1.0, 1.0};

@@ -1,0 +1,285 @@
+// Traffic-dynamics bench: a scripted flash burst (>= 4x steady, 6 epochs)
+// against the overload controller. Measures (a) the useful-delivery dip
+// through the burst window relative to a steady baseline, (b) how many
+// epochs the block needs after the burst before per-epoch delivery matches
+// the baseline again (fig8-style reconvergence), (c) the shed fraction and
+// ladder occupancy, and (d) the modeled SP backlog with control on vs off —
+// the stall graceful degradation exists to prevent. The cost model is 1000x
+// the usual so the edge CPU budget binds and a 20x burst exceeds what any
+// placement can absorb; a milder burst is absorbed by adaptation alone.
+// Rows are machine-parseable for scripts/run_benches.sh.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/building_block.h"
+#include "core/overload.h"
+#include "stream/record.h"
+#include "workloads/pingmesh.h"
+#include "workloads/queries.h"
+
+namespace {
+
+using jarvis::Micros;
+using jarvis::Seconds;
+using jarvis::core::BuildingBlock;
+using jarvis::core::FaultStats;
+using jarvis::core::FaultToleranceOptions;
+using jarvis::core::FixedCostModel;
+using jarvis::core::OverloadLevel;
+using jarvis::core::OverloadOptions;
+using jarvis::core::OverloadStats;
+using jarvis::core::RuntimeConfig;
+using jarvis::core::TrafficPlan;
+
+constexpr size_t kSources = 4;
+constexpr int kEpochs = 32;
+constexpr int kBurstEpoch = 8;
+constexpr int kBurstLen = 6;
+constexpr int kBurstFactor = 20;
+// 1000x the usual per-record costs: the 0.4-fraction epoch budget fits the
+// steady volume comfortably and starves under the burst.
+constexpr double kCostScale = 1000.0;
+
+BuildingBlock::SourceSpec MakeSpec(uint64_t seed, int pairs) {
+  BuildingBlock::SourceSpec spec;
+  spec.cost_model = std::make_shared<FixedCostModel>(std::vector<double>{
+      1e-6 * kCostScale, 2e-6 * kCostScale, 1e-5 * kCostScale});
+  spec.options.cpu_budget_fraction = 0.4;
+  jarvis::workloads::PingmeshConfig cfg;
+  cfg.seed = seed;
+  cfg.source_ip = static_cast<int64_t>(seed) * 100000;
+  cfg.num_pairs = pairs;
+  cfg.probe_interval = Seconds(1);
+  auto gen = std::make_shared<jarvis::workloads::PingmeshGenerator>(cfg);
+  spec.generate = [gen](Micros from, Micros to) {
+    return gen->Generate(from, to);
+  };
+  return spec;
+}
+
+std::string BurstPlan() {
+  std::string plan = "seed=7";
+  for (const int s : {0, 2}) {
+    plan += ";burst@" + std::to_string(kBurstEpoch) + ":" +
+            std::to_string(s) + "x" + std::to_string(kBurstLen) + "*" +
+            std::to_string(kBurstFactor);
+  }
+  return plan;
+}
+
+struct Run {
+  std::vector<uint64_t> per_epoch_sent;
+  std::vector<uint64_t> per_epoch_delivered;
+  std::vector<uint64_t> per_epoch_shed;
+  std::vector<uint64_t> sp_inflow;
+  std::vector<OverloadLevel> levels;  // level(0) after every epoch
+  FaultStats stats;
+  OverloadStats overload;
+  uint64_t in_flight = 0;
+  double elapsed_s = 0.0;
+};
+
+Run RunOnce(const jarvis::query::CompiledQuery& q, const std::string& traffic,
+            bool control_on, uint64_t sp_capacity) {
+  std::vector<BuildingBlock::SourceSpec> specs;
+  for (uint64_t s = 1; s <= kSources; ++s) specs.push_back(MakeSpec(s, 40));
+  BuildingBlock block(q, std::move(specs), RuntimeConfig(), /*threads=*/1);
+  if (!block.Init().ok()) std::abort();
+  // Pinned explicitly — an empty plan for the steady run — so JARVIS_TRAFFIC
+  // in the environment cannot contaminate the baseline under measurement.
+  if (traffic.empty()) {
+    block.SetTrafficPlan(TrafficPlan());
+  } else {
+    auto parsed = TrafficPlan::Parse(traffic);
+    if (!parsed.ok()) std::abort();
+    block.SetTrafficPlan(*std::move(parsed));
+  }
+  // Checkpointing forced off (-1, not 0: 0 reads JARVIS_CKPT_INTERVAL) so
+  // the on/off/steady elapsed times compare the overload path alone.
+  FaultToleranceOptions ft;
+  ft.checkpoint_interval = -1;
+  block.EnableFaultTolerance(ft);
+  if (control_on) {
+    OverloadOptions opts;
+    opts.sp_capacity_records = sp_capacity;
+    block.EnableOverloadControl(opts);
+  }
+
+  Run run;
+  jarvis::stream::RecordBatch results;
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t prev_sent = 0, prev_delivered = 0, prev_shed = 0,
+           prev_consumed = 0;
+  for (int e = 0; e < kEpochs; ++e) {
+    if (!block.RunEpoch(&results).ok()) std::abort();
+    const FaultStats& fs = block.fault_stats();
+    run.per_epoch_sent.push_back(fs.records_sent - prev_sent);
+    prev_sent = fs.records_sent;
+    run.per_epoch_delivered.push_back(fs.records_delivered - prev_delivered);
+    prev_delivered = fs.records_delivered;
+    run.per_epoch_shed.push_back(fs.records_shed - prev_shed);
+    prev_shed = fs.records_shed;
+    const uint64_t consumed = block.stream_processor().records_consumed();
+    run.sp_inflow.push_back(consumed - prev_consumed);
+    prev_consumed = consumed;
+    run.levels.push_back(block.overload_level(0));
+  }
+  if (!block.Finish(&results).ok()) std::abort();
+  run.elapsed_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  run.stats = block.fault_stats();
+  run.overload = block.overload_stats();
+  run.in_flight = block.records_in_flight();
+  return run;
+}
+
+/// Modeled SP backlog trajectory: inflow beyond a fixed per-epoch consume
+/// capacity carries over — the same queue OverloadController models.
+std::vector<uint64_t> SpBacklog(const std::vector<uint64_t>& inflow,
+                                uint64_t capacity) {
+  std::vector<uint64_t> backlog;
+  uint64_t b = 0;
+  for (const uint64_t in : inflow) {
+    const uint64_t load = b + in;
+    b = load > capacity ? load - capacity : 0;
+    backlog.push_back(b);
+  }
+  return backlog;
+}
+
+void PrintRun(const char* section, const Run& r) {
+  std::printf(
+      "traffic_dynamics %s records_sent %llu records_delivered %llu "
+      "records_shed %llu records_lost %llu in_flight %llu "
+      "shed_fraction_pct %.2f elapsed_s %.4f\n",
+      section, static_cast<unsigned long long>(r.stats.records_sent),
+      static_cast<unsigned long long>(r.stats.records_delivered),
+      static_cast<unsigned long long>(r.stats.records_shed),
+      static_cast<unsigned long long>(r.stats.records_lost),
+      static_cast<unsigned long long>(r.in_flight),
+      r.stats.records_sent > 0
+          ? 100.0 * static_cast<double>(r.stats.records_shed) /
+                static_cast<double>(r.stats.records_sent)
+          : 0.0,
+      r.elapsed_s);
+}
+
+/// Goodput dip across the burst window: the fraction of records sent in the
+/// window that were NOT delivered in it (shed or still deferred). Zero in
+/// steady state; the controlled run pays this dip instead of wedging the SP.
+double DipPct(const Run& run) {
+  uint64_t sent = 0, delivered = 0;
+  for (int e = kBurstEpoch; e < kBurstEpoch + kBurstLen && e < kEpochs; ++e) {
+    sent += run.per_epoch_sent[e];
+    delivered += run.per_epoch_delivered[e];
+  }
+  if (sent == 0) return 0.0;
+  const double pct = 100.0 * (1.0 - static_cast<double>(delivered) /
+                                        static_cast<double>(sent));
+  return pct < 0.0 ? 0.0 : pct;  // backlog drains can overshoot sent
+}
+
+/// Fig8-style reconvergence: epochs past the burst onset until the run
+/// settles for good — ladder back at steady, nothing shed, modeled SP
+/// backlog empty — through the end of the run. kEpochs - kBurstEpoch means
+/// it never settled.
+int ReconvergeEpochs(const Run& run, const std::vector<uint64_t>& backlog) {
+  int settle_from = kEpochs;
+  for (int e = kEpochs - 1; e >= kBurstEpoch; --e) {
+    if (run.levels[e] != OverloadLevel::kSteady || run.per_epoch_shed[e] > 0 ||
+        backlog[e] > 0) {
+      break;
+    }
+    settle_from = e;
+  }
+  return settle_from - kBurstEpoch;
+}
+
+}  // namespace
+
+int main() {
+  jarvis::bench::PrintHeader(
+      "Traffic dynamics: flash burst, graceful degradation, reconvergence");
+
+  auto plan_or = jarvis::workloads::MakeS2SProbeQuery();
+  if (!plan_or.ok()) return 1;
+  auto q_or = jarvis::query::Compile(std::move(plan_or).value());
+  if (!q_or.ok()) return 1;
+  const jarvis::query::CompiledQuery q = std::move(q_or).value();
+
+  // Steady baseline (control armed but idle: steady traffic never leaves
+  // kSteady, so this doubles as the overhead-free reference).
+  const Run steady = RunOnce(q, "", /*control_on=*/true, 0);
+
+  // SP consume capacity for the modeled-backlog comparison: twice the
+  // steadiest pre-burst epoch — generous for 1x, hopeless for the burst.
+  uint64_t steady_peak = 0;
+  for (int e = 2; e < kBurstEpoch; ++e) {
+    steady_peak = std::max(steady_peak, steady.sp_inflow[e]);
+  }
+  const uint64_t capacity = 2 * steady_peak;
+
+  const std::string plan = BurstPlan();
+  const Run on = RunOnce(q, plan, /*control_on=*/true, capacity);
+  const Run off = RunOnce(q, plan, /*control_on=*/false, 0);
+
+  std::printf(
+      "traffic_dynamics config sources %zu epochs %d burst_epoch %d "
+      "burst_len %d burst_factor %d sp_capacity %llu\n",
+      kSources, kEpochs, kBurstEpoch, kBurstLen, kBurstFactor,
+      static_cast<unsigned long long>(capacity));
+  PrintRun("steady", steady);
+  PrintRun("burst_on", on);
+  PrintRun("burst_off", off);
+
+  const std::vector<uint64_t> on_backlog = SpBacklog(on.sp_inflow, capacity);
+  const std::vector<uint64_t> off_backlog = SpBacklog(off.sp_inflow, capacity);
+
+  std::printf(
+      "traffic_dynamics dip on_pct %.1f off_pct %.1f window_epochs %d\n",
+      DipPct(on), DipPct(off), kBurstLen);
+  std::printf("traffic_dynamics reconverge on_epochs %d off_epochs %d\n",
+              ReconvergeEpochs(on, on_backlog),
+              ReconvergeEpochs(off, off_backlog));
+  std::printf(
+      "traffic_dynamics backlog on_max %llu on_end %llu off_max %llu "
+      "off_end %llu\n",
+      static_cast<unsigned long long>(
+          *std::max_element(on_backlog.begin(), on_backlog.end())),
+      static_cast<unsigned long long>(on_backlog.back()),
+      static_cast<unsigned long long>(
+          *std::max_element(off_backlog.begin(), off_backlog.end())),
+      static_cast<unsigned long long>(off_backlog.back()));
+  std::printf(
+      "traffic_dynamics ladder throttled_epochs %llu shedding_epochs %llu "
+      "quarantined_epochs %llu escalations %llu deescalations %llu "
+      "max_deferred %llu max_sp_backlog %llu\n",
+      static_cast<unsigned long long>(on.overload.throttled_epochs),
+      static_cast<unsigned long long>(on.overload.shedding_epochs),
+      static_cast<unsigned long long>(on.overload.quarantined_epochs),
+      static_cast<unsigned long long>(on.overload.escalations),
+      static_cast<unsigned long long>(on.overload.deescalations),
+      static_cast<unsigned long long>(on.overload.max_deferred),
+      static_cast<unsigned long long>(on.overload.max_sp_backlog));
+
+  // Fig8-style reconvergence curve of the controlled run: per-epoch useful
+  // delivery, shed volume, and ladder rung.
+  for (int e = 0; e < kEpochs; ++e) {
+    std::printf(
+        "traffic_dynamics curve epoch %d delivered %llu shed %llu level %d "
+        "backlog %llu\n",
+        e, static_cast<unsigned long long>(on.per_epoch_delivered[e]),
+        static_cast<unsigned long long>(on.per_epoch_shed[e]),
+        static_cast<int>(on.levels[e]),
+        static_cast<unsigned long long>(on_backlog[e]));
+  }
+  return 0;
+}

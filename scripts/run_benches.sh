@@ -63,6 +63,11 @@ echo
 echo "== fault_recovery (kill/rejoin dip + reconvergence, retransmit storm) =="
 "${BUILD_DIR}/bench/fault_recovery" | tee "${RESULTS_DIR}/fault_recovery.txt"
 
+echo
+echo "== traffic_dynamics (flash burst: shed fraction, dip, reconvergence) =="
+"${BUILD_DIR}/bench/traffic_dynamics" \
+  | tee "${RESULTS_DIR}/traffic_dynamics.txt"
+
 # Optional microbenchmarks (google-benchmark); tolerated if absent.
 if [[ -x "${BUILD_DIR}/bench/overhead_bench" ]]; then
   echo
@@ -219,6 +224,22 @@ def parse_fault_recovery(text):
             kv[i]: float(kv[i + 1]) for i in range(0, len(kv) - 1, 2)}
     return data
 
+def parse_traffic_dynamics(text):
+    """Rows 'traffic_dynamics <section> k1 v1 ...'; repeated 'curve' rows
+    accumulate into a list (the fig8-style reconvergence curve)."""
+    data = {"curve": []}
+    for line in text.splitlines():
+        parts = line.split()
+        if len(parts) < 4 or parts[0] != "traffic_dynamics":
+            continue
+        section, kv = parts[1], parts[2:]
+        row = {kv[i]: float(kv[i + 1]) for i in range(0, len(kv) - 1, 2)}
+        if section == "curve":
+            data["curve"].append(row)
+        else:
+            data[section] = row
+    return data
+
 def parse_latency(text):
     """Sections '(n) <label>' with rows '<policy> median max tput'."""
     scenarios, current = {}, None
@@ -250,6 +271,8 @@ snapshot = {
         (results_dir / "fig10_exec.txt").read_text()),
     "fault_recovery": parse_fault_recovery(
         (results_dir / "fault_recovery.txt").read_text()),
+    "traffic_dynamics": parse_traffic_dynamics(
+        (results_dir / "traffic_dynamics.txt").read_text()),
 }
 
 overhead = results_dir / "overhead.json"
@@ -333,6 +356,29 @@ assert fr["wire_compress"]["wire_bytes_lz4"] < \
     "compressed FT wire must be smaller than the plain wire"
 assert fr["wire_compress"]["ckpt_bytes_lz4"] > 0, \
     "compressed run must include checkpoint frames"
+
+td = snapshot["traffic_dynamics"]
+for section in ("config", "steady", "burst_on", "burst_off", "dip",
+                "reconverge", "backlog", "ladder"):
+    assert section in td, f"traffic_dynamics section '{section}' missing"
+assert len(td["curve"]) == td["config"]["epochs"], \
+    "traffic_dynamics curve must cover every epoch"
+bo = td["burst_on"]
+assert bo["records_sent"] == bo["records_delivered"] + bo["records_shed"] + \
+    bo["records_lost"] + bo["in_flight"], \
+    "traffic_dynamics burst_on violates widened record conservation"
+assert bo["records_shed"] > 0 and td["ladder"]["escalations"] >= 1, \
+    "traffic_dynamics controlled burst did not shed or escalate"
+assert td["steady"]["records_shed"] == 0, \
+    "traffic_dynamics steady baseline must shed nothing"
+assert td["reconverge"]["on_epochs"] < \
+    td["config"]["epochs"] - td["config"]["burst_epoch"], \
+    "traffic_dynamics controlled run never reconverged"
+assert td["reconverge"]["on_epochs"] < td["reconverge"]["off_epochs"], \
+    "traffic_dynamics control must reconverge faster than no control"
+assert td["backlog"]["on_end"] < td["backlog"]["off_end"] and \
+    td["backlog"]["off_end"] > 0, \
+    "without control the modeled SP backlog must stay wedged"
 
 Path(out_path).write_text(json.dumps(snapshot, indent=2) + "\n")
 print(f"\nwrote {out_path}")

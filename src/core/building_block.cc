@@ -6,6 +6,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/env.h"
 #include "core/checkpoint.h"
 #include "ser/buffer.h"
 
@@ -28,6 +29,21 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
   if (*injector != nullptr) {
     injector_ = std::move(*injector);
     ft_.enabled = true;
+  }
+  // JARVIS_TRAFFIC layers a scripted traffic plan over every generator;
+  // JARVIS_OVERLOAD=1 arms the overload controller (and with it the FT
+  // path). Both reject malformed values loudly instead of running a benign
+  // shape the operator did not ask for.
+  auto shaper = TrafficShaper::FromEnv();
+  if (!shaper.ok()) {
+    init_status_ = shaper.status();
+    return;
+  }
+  if (*shaper != nullptr) shaper_ = std::move(*shaper);
+  Result<bool> overload_on = env::Flag("JARVIS_OVERLOAD", false);
+  if (!overload_on.ok()) {
+    init_status_ = overload_on.status();
+    return;
   }
   // Environment knobs are read once here; worker tasks consult the cached
   // values through CkptInterval()/CkptRetain() (no getenv off-thread).
@@ -59,6 +75,32 @@ BuildingBlock::BuildingBlock(const query::CompiledQuery& query,
     ps.generate = std::move(spec.generate);
     state_.push_back(std::move(ps));
   }
+  if (*overload_on) EnableOverloadControl(OverloadOptions());
+}
+
+void BuildingBlock::EnableOverloadControl(OverloadOptions opts) {
+  overload_ = std::make_unique<OverloadController>(opts, state_.size());
+  ft_.enabled = true;
+}
+
+const OverloadStats& BuildingBlock::overload_stats() const {
+  static const OverloadStats kEmpty;
+  return overload_ ? overload_->stats() : kEmpty;
+}
+
+OverloadLevel BuildingBlock::overload_level(size_t i) const {
+  return overload_ ? overload_->level(i) : OverloadLevel::kSteady;
+}
+
+stream::RecordBatch BuildingBlock::GenerateShaped(size_t s, Micros from,
+                                                  Micros to) {
+  stream::RecordBatch batch = state_[s].generate(from, to);
+  if (shaper_) {
+    // Epoch index from event time, not the FT epoch counter: crash replay
+    // re-generates by interval and must reshape identically.
+    shaper_->Shape(s, static_cast<int64_t>(from / epoch_length_), &batch);
+  }
+  return batch;
 }
 
 BuildingBlock::~BuildingBlock() {
@@ -78,7 +120,7 @@ Status BuildingBlock::RunEpochSerial(stream::RecordBatch* results) {
   now_ = to;
   for (size_t s = 0; s < sources_.size(); ++s) {
     if (!state_[s].alive) continue;
-    sources_[s]->Ingest(state_[s].generate(from, to));
+    sources_[s]->Ingest(GenerateShaped(s, from, to));
     JARVIS_ASSIGN_OR_RETURN(
         SourceEpochOutput out,
         sources_[s]->RunEpoch(to, state_[s].profile_next));
@@ -102,7 +144,7 @@ void BuildingBlock::RunSourceEpoch(size_t s, Micros from, Micros to) {
   // runtime — except the Put into the sharded hand-off. The runtime decision
   // deliberately runs after the hand-off: the SP can already be consuming
   // this source's drain while its control loop deliberates.
-  sources_[s]->Ingest(state_[s].generate(from, to));
+  sources_[s]->Ingest(GenerateShaped(s, from, to));
   Result<SourceEpochOutput> out =
       sources_[s]->RunEpoch(to, state_[s].profile_next);
   if (!out.ok()) {
@@ -316,6 +358,7 @@ Result<size_t> BuildingBlock::AddSource(SourceSpec spec) {
   JARVIS_RETURN_IF_ERROR(executor->Init());
   const size_t id = sources_.size();
   sp_->AddSource();
+  if (overload_) overload_->AddSource();
   sources_.push_back(std::move(executor));
   runtimes_.push_back(std::make_unique<JarvisRuntime>(
       query_.num_source_ops(), runtime_config_));
@@ -366,6 +409,9 @@ Status BuildingBlock::Finish(stream::RecordBatch* results) {
   for (size_t s = 0; s < sources_.size(); ++s) {
     if (!state_[s].alive) continue;
     if (state_[s].health == SourceHealth::kQuarantined) continue;
+    // Lift any standing ingress caps: the final flush must admit and drain
+    // everything the throttle deferred — deferral is late, never lost.
+    sources_[s]->SetIngressLimits(IngressLimits());
     JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
                             sources_[s]->RunEpoch(far, false));
     JARVIS_RETURN_IF_ERROR(sp_->Consume(s, std::move(out), results));
@@ -379,8 +425,10 @@ Status BuildingBlock::Finish(stream::RecordBatch* results) {
 // ---------------------------------------------------------------------------
 
 void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
-                                     Micros to, bool profile) {
+                                     Micros to, bool profile,
+                                     IngressDirective ing) {
   EpochEnvelope env;
+  env.epoch = epoch;
   if (injector_ && injector_->ShouldCrash(s, epoch)) {
     // The epoch task dies before producing anything: no ingest, no drain,
     // no decision — the generator's records for this interval are gone.
@@ -388,15 +436,35 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
     handoff_->Put(s, std::move(env));
     return;
   }
-  sources_[s]->Ingest(state_[s].generate(from, to));
+  // The overload directive decided at the last barrier governs this epoch:
+  // admission and deferral caps apply inside RunEpoch, the drain cap right
+  // after it, all on this task — no cross-thread controller access.
+  sources_[s]->SetIngressLimits({ing.admit_cap, ing.defer_cap});
+  sources_[s]->Ingest(GenerateShaped(s, from, to));
   Result<SourceEpochOutput> out = sources_[s]->RunEpoch(to, profile);
   if (!out.ok()) {
     env.status = out.status();
     handoff_->Put(s, std::move(env));
     return;
   }
+  if (ing.drain_cap != IngressDirective::kUnlimited) {
+    env.shed_drain = ShedDrainChunks(ing.drain_cap, &*out, &env.chunks_shed);
+  }
   env.watermark = out->watermark;
   env.records = out->DrainedRecords();
+  env.shed = out->ingress_shed;
+  env.sample.offered = out->ingress_offered;
+  env.sample.admitted = out->ingress_admitted;
+  env.sample.deferred = out->ingress_deferred;
+  env.sample.shed = out->ingress_shed + env.shed_drain;
+  env.sample.drained = env.records;
+  // Pending = deferred ingress plus records parked in stage queues when the
+  // epoch's CPU budget ran out — the budget-starvation half of the backlog,
+  // which admission caps alone cannot see.
+  env.sample.pending = sources_[s]->buffered_input();
+  for (const ProxyObservation& po : out->observation.proxies) {
+    env.sample.pending += po.pending;
+  }
   const bool profiled = out->observation.profiles_valid;
   WireByteProfile wire_profile;
   env.wire = SerializeDrain(&*out, &state_[s].next_seq, wire_codec_,
@@ -424,6 +492,14 @@ void BuildingBlock::RunSourceEpochFT(size_t s, int64_t epoch, Micros from,
   // epoch's profiles before the adaptation decision sees them: the LP's
   // bandwidth term prices the frames that actually ship.
   FoldWireRatios(wire_profile, env.ckpt_bytes, &out->observation);
+  // Degrade before dropping: overload pressure inflates the LP's bandwidth
+  // price, so a profiling epoch under pressure re-plans toward the source
+  // before (or while) the shedder fires.
+  if (ing.pressure > 0.0 && out->observation.profiles_valid) {
+    for (OperatorProfile& p : out->observation.profiles) {
+      p.pressure = ing.pressure;
+    }
+  }
   // The retransmit buffer travels in the envelope: the consumer owns the
   // retained copies outright, so a late (straggling) Put never races the
   // consumer's NACK handling.
@@ -480,12 +556,16 @@ Status BuildingBlock::RunEpochFaultTolerant(stream::RecordBatch* results) {
     handoff_->ClearSlot(s);
     ps.outstanding = true;
     const bool profile = ps.profile_next;
+    // The directive is captured here, on the consumer thread, at the same
+    // deterministic point profile_next is — the task never reads shared
+    // controller state.
+    const IngressDirective ing = ps.ingress_next;
     if (parallel) {
-      pool_->Submit(s, [this, s, e, from, to, profile] {
-        RunSourceEpochFT(s, e, from, to, profile);
+      pool_->Submit(s, [this, s, e, from, to, profile, ing] {
+        RunSourceEpochFT(s, e, from, to, profile, ing);
       });
     } else {
-      RunSourceEpochFT(s, e, from, to, profile);
+      RunSourceEpochFT(s, e, from, to, profile, ing);
     }
   }
 
@@ -528,7 +608,49 @@ Status BuildingBlock::RunEpochFaultTolerant(stream::RecordBatch* results) {
   }
   pending_quarantine_.clear();
 
+  // Overload pass last: every live source's fresh pressure sample is in,
+  // the quarantine set is settled, and the directives issued here govern
+  // epoch e+1 — captured at its schedule time above.
+  if (overload_) TickOverload(e);
+
   return sp_->EndEpoch(results);
+}
+
+void BuildingBlock::TickOverload(int64_t e) {
+  // Modeled SP-side congestion: what entered the SP this epoch beyond its
+  // per-epoch consume capacity accumulates as backlog.
+  const uint64_t consumed = sp_->records_consumed();
+  overload_->NoteSpInflow(consumed - sp_consumed_last_);
+  sp_consumed_last_ = consumed;
+  bool escalated = false;
+  for (size_t s = 0; s < state_.size(); ++s) {
+    PerSource& ps = state_[s];
+    if (!ps.alive || ps.outstanding) continue;
+    if (ps.health == SourceHealth::kQuarantined) continue;
+    const IngressDirective dir = overload_->Tick(s, ps.sample);
+    if (overload_->EscalatedLastTick()) escalated = true;
+    ps.ingress_next = dir;
+    if (CkptInterval() > 0) {
+      // The trace entry for e+1 was booked by ProcessEnvelope; bind the
+      // directive so crash replay reproduces the shed boundaries exactly.
+      if (auto it = ps.trace.find(e + 1); it != ps.trace.end()) {
+        it->second.directive = dir;
+      }
+    }
+  }
+  if (!escalated) return;
+  // A rung was climbed somewhere: re-profile and re-plan every serving
+  // source so placement adapts (degrade) before the next rung (drop) is
+  // needed. Same survivor rule as the quarantine replan.
+  bool any = false;
+  for (size_t x = 0; x < state_.size(); ++x) {
+    if (!state_[x].alive || state_[x].outstanding) continue;
+    if (state_[x].health == SourceHealth::kQuarantined) continue;
+    runtimes_[x]->TriggerReplan();
+    state_[x].profile_next = true;
+    any = true;
+  }
+  if (any) ++stats_.replans_triggered;
 }
 
 Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
@@ -548,6 +670,23 @@ Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
   ps.profile_next = env.profile_next;
   stats_.frames_sent += env.wire.frame_count;
   stats_.records_sent += env.records;
+  // Shed records are first-class: they count as sent and as shed, widening
+  // conservation to sent == delivered + lost + shed + in_flight. Crash
+  // replay re-runs already-counted epochs, so the fence records how far the
+  // books already go.
+  const uint64_t shed = env.shed + env.shed_drain;
+  stats_.records_sent += shed;
+  stats_.records_shed += shed;
+  if (overload_) {
+    OverloadStats& os = overload_->mutable_stats();
+    os.records_shed_ingress += env.shed;
+    os.records_shed_drain += env.shed_drain;
+    os.chunks_shed += env.chunks_shed;
+  }
+  if (env.epoch >= 0) {
+    ps.shed_counted_until = std::max(ps.shed_counted_until, env.epoch + 1);
+  }
+  ps.sample = env.sample;
   if (CkptInterval() > 0) {
     stats_.wire_bytes_sent += env.wire.wire_bytes;
     if (env.ckpt_bytes > 0) {
@@ -581,8 +720,13 @@ Status BuildingBlock::ProcessEnvelope(size_t s, int64_t e,
     NoteMiss(s);
   } else {
     ps.misses = 0;
-    if (ps.health == SourceHealth::kSuspect) {
+    // Flap damping: a suspect earns back its healthy badge only after
+    // demote_after_ontime consecutive on-time epochs (1 = the undamped
+    // seed behavior), so one good epoch amid flapping proves nothing.
+    if (ps.health == SourceHealth::kSuspect &&
+        ++ps.ontime_streak >= ft_.demote_after_ontime) {
       ps.health = SourceHealth::kHealthy;
+      ps.ontime_streak = 0;
     }
   }
   // A quarantined source's output stays in its inbox until re-admission
@@ -746,6 +890,7 @@ Status BuildingBlock::DeliverWire(size_t s, Delivery* d,
 void BuildingBlock::NoteMiss(size_t s) {
   PerSource& ps = state_[s];
   ++ps.misses;
+  ps.ontime_streak = 0;  // flap damping: a miss restarts the probation clock
   if (ps.health == SourceHealth::kQuarantined) return;
   if (ps.misses >= ft_.quarantine_after_misses) {
     // Straggler quarantine keeps the in-flight: the source is slow, not
@@ -769,8 +914,16 @@ void BuildingBlock::ApplyQuarantine(size_t s, int64_t e, bool keep_inflight) {
   if (!ckpt_recovery) sp_->RemoveSource(s);  // s < num_sources by construction
   ps.health = SourceHealth::kQuarantined;
   ps.misses = 0;
-  ps.readmit_at =
-      ft_.readmit_after_epochs >= 0 ? e + 1 + ft_.readmit_after_epochs : -1;
+  ps.ontime_streak = 0;
+  // Flap damping: every repeat quarantine doubles the re-admission backoff
+  // (capped at 64x), so a source that crashes right back after each
+  // re-admission stops churning the watermark merge and the replan cadence.
+  ++ps.quarantine_count;
+  int64_t backoff = ft_.readmit_after_epochs;
+  if (ft_.double_readmit_backoff && backoff > 0 && ps.quarantine_count > 1) {
+    backoff <<= std::min<uint32_t>(ps.quarantine_count - 1, 6);
+  }
+  ps.readmit_at = ft_.readmit_after_epochs >= 0 ? e + 1 + backoff : -1;
   if (!keep_inflight) {
     if (ckpt_recovery) {
       // Nothing is lost: undelivered in-flight transfers to the replay
@@ -956,16 +1109,41 @@ Status BuildingBlock::RestoreAndReplay(size_t s, int64_t e,
   // channel: the injector already had its shot at these epochs.
   for (int64_t r = from_epoch; r < e; ++r) {
     bool profile = ps.profile_next;
+    // The overload directive that governed epoch r originally; untraced
+    // epochs (the crash window never decided) reuse the last issued
+    // directive — frozen at a deterministic point, identical in replay.
+    IngressDirective ing = ps.ingress_next;
     if (auto it = ps.trace.find(r); it != ps.trace.end()) {
       sources_[s]->SetLoadFactors(it->second.lfs);
       if (it->second.flush) sources_[s]->RequestFlush();
       profile = it->second.profile;
+      ing = it->second.directive;
     }
+    sources_[s]->SetIngressLimits({ing.admit_cap, ing.defer_cap});
     const Micros from = static_cast<Micros>(r) * epoch_length_;
     const Micros to = from + epoch_length_;
-    sources_[s]->Ingest(ps.generate(from, to));
+    sources_[s]->Ingest(GenerateShaped(s, from, to));
     JARVIS_ASSIGN_OR_RETURN(SourceEpochOutput out,
                             sources_[s]->RunEpoch(to, profile));
+    uint64_t shed_drain = 0;
+    uint64_t chunks_shed = 0;
+    if (ing.drain_cap != IngressDirective::kUnlimited) {
+      shed_drain = ShedDrainChunks(ing.drain_cap, &out, &chunks_shed);
+    }
+    // Epochs the original run already booked re-shed the same records
+    // (replay is bit-identical); only the crash window's shed is new money.
+    if (r >= ps.shed_counted_until) {
+      const uint64_t shed = out.ingress_shed + shed_drain;
+      stats_.records_sent += shed;
+      stats_.records_shed += shed;
+      if (overload_) {
+        OverloadStats& os = overload_->mutable_stats();
+        os.records_shed_ingress += out.ingress_shed;
+        os.records_shed_drain += shed_drain;
+        os.chunks_shed += chunks_shed;
+      }
+      ps.shed_counted_until = r + 1;
+    }
     const Micros wm = out.watermark;
     const bool profiled = out.observation.profiles_valid;
     EpochObservation obs = out.observation;
@@ -984,6 +1162,9 @@ Status BuildingBlock::RestoreAndReplay(size_t s, int64_t e,
     // the preserved runtime the exact observation the fault-free run saw,
     // or the replayed decisions diverge.
     FoldWireRatios(wire_profile, ckpt_bytes, &obs);
+    if (ing.pressure > 0.0 && obs.profiles_valid) {
+      for (OperatorProfile& p : obs.profiles) p.pressure = ing.pressure;
+    }
     for (WireFrame& f : wire.frames) {
       const bool resend = f.seq < ps.crash_next_seq;
       const bool is_ckpt = ck.emitted && f.seq == ck.fence - 1;
@@ -1034,6 +1215,10 @@ Status BuildingBlock::RestoreAndReplay(size_t s, int64_t e,
       t.lfs = std::move(d.load_factors);
       t.flush = d.flush_pending;
       t.profile = d.request_profile;
+      // The controller never ticked during the outage: the frozen directive
+      // governs the whole window, and the trace must say so or a second
+      // crash would replay these epochs under different caps.
+      t.directive = ps.ingress_next;
       ps.trace[r + 1] = std::move(t);
     }
   }

@@ -12,6 +12,7 @@
 #include "core/drain_wire.h"
 #include "core/exec_pool.h"
 #include "core/fault.h"
+#include "core/overload.h"
 #include "core/runtime.h"
 #include "core/source_executor.h"
 #include "core/sp_executor.h"
@@ -66,6 +67,16 @@ struct FaultToleranceOptions {
   /// resets the SP's retained ring, so at most K payloads are ever kept per
   /// source. > 0 explicit; 0 reads JARVIS_CKPT_RETAIN (unset/invalid -> 4).
   int checkpoint_retain = 0;
+  /// Flap damping: consecutive on-time epochs a suspect source must deliver
+  /// before it is demoted back to healthy. 1 keeps the seed behavior (one
+  /// on-time epoch clears suspicion); larger values stop a flapping source
+  /// from oscillating the detector every other epoch.
+  int demote_after_ontime = 1;
+  /// Flap damping for re-admission: each repeated quarantine of the same
+  /// source doubles its readmit backoff (readmit_after_epochs << n, capped),
+  /// so a source that keeps crashing right after re-admission stops churning
+  /// the watermark merge.
+  bool double_readmit_backoff = true;
 };
 
 /// Counters of everything the fault-tolerant runtime detected and did.
@@ -89,6 +100,12 @@ struct FaultStats {
   uint64_t records_sent = 0;
   uint64_t records_delivered = 0;
   uint64_t records_lost = 0;
+  /// Records deliberately dropped by the overload controller (ingress
+  /// admission shed + watermark-safe drain-chunk shed). Widens the
+  /// conservation invariant:
+  ///   records_sent == records_delivered + records_lost + records_shed
+  ///                   + records_in_flight.
+  uint64_t records_shed = 0;
   uint64_t replans_triggered = 0;
   uint64_t backoff_ms_total = 0;
   // --- epoch-aligned checkpointing ---
@@ -201,6 +218,35 @@ class BuildingBlock {
   const FaultStats& fault_stats() const { return stats_; }
   SourceHealth health(size_t i) const { return state_[i].health; }
 
+  /// Switches the overload controller on (and with it the fault-tolerant
+  /// epoch path it rides on). Each epoch the controller samples per-source
+  /// pressure — offered load, deferred backlog, modeled SP inflow backlog —
+  /// and walks the escalation ladder steady -> throttled -> shedding ->
+  /// quarantined; directives apply from the *next* epoch, on the source's
+  /// own task, so threads 1 and 4 stay bit-identical. Call before the first
+  /// epoch. The constructor enables it automatically when JARVIS_OVERLOAD
+  /// is set.
+  void EnableOverloadControl(OverloadOptions opts);
+
+  /// Installs a scripted traffic plan (diurnal ramps, flash bursts, key-skew
+  /// flips, leave churn) that reshapes every source's generated batches
+  /// deterministically. The constructor installs one automatically when
+  /// JARVIS_TRAFFIC is set. Works on every epoch path, FT or not.
+  void SetTrafficPlan(TrafficPlan plan) {
+    shaper_ = std::make_unique<TrafficShaper>(std::move(plan));
+  }
+
+  bool overload_enabled() const { return overload_ != nullptr; }
+  /// Aggregate overload-controller counters (part of the cross-thread
+  /// determinism fingerprint, like FaultStats).
+  const OverloadStats& overload_stats() const;
+  /// Current escalation rung of one source (kSteady when control is off).
+  OverloadLevel overload_level(size_t i) const;
+  /// Most recent pressure sample the controller saw for source `i`.
+  const PressureSample& pressure_sample(size_t i) const {
+    return state_[i].sample;
+  }
+
   /// Records queued for delivery but not yet consumed by the SP (straggling
   /// or stalled epochs, quarantine-held inboxes). Conservation invariant the
   /// chaos tests assert after the recovery fence:
@@ -253,6 +299,9 @@ class BuildingBlock {
     std::vector<double> lfs;
     bool flush = false;
     bool profile = false;
+    /// Ingress directive that governed this epoch (overload control);
+    /// replay re-applies it so shed/admit boundaries reproduce bit-exactly.
+    IngressDirective directive;
   };
 
   struct PerSource {
@@ -295,6 +344,19 @@ class BuildingBlock {
     bool ckpt_recover = false;
     /// Per-epoch decision trace, pruned below the store's restorable base.
     std::map<int64_t, TraceEntry> trace;
+    // --- overload control (consumer thread only) ---
+    /// Directive the controller issued for this source's *next* epoch; the
+    /// epoch task captures it at schedule time.
+    IngressDirective ingress_next;
+    /// Latest pressure sample collected from this source's envelope.
+    PressureSample sample;
+    /// Flap damping: consecutive on-time epochs while suspect, and how many
+    /// times this source has been quarantined (drives the doubling backoff).
+    int ontime_streak = 0;
+    uint32_t quarantine_count = 0;
+    /// Replay re-runs epochs whose shed was already counted; envelopes from
+    /// epochs below this fence do not re-book shed/sent records.
+    int64_t shed_counted_until = 0;
   };
 
   struct EpochEnvelope {
@@ -315,6 +377,12 @@ class BuildingBlock {
     /// trace so crash replay reproduces the original execution bit-exactly.
     std::vector<double> decided_lfs;
     bool decided_flush = false;
+    // --- overload control ---
+    int64_t epoch = -1;        ///< which epoch this envelope carries
+    uint64_t shed = 0;         ///< ingress records shed this epoch
+    uint64_t shed_drain = 0;   ///< records shed from drain chunks
+    uint64_t chunks_shed = 0;  ///< whole drain chunks dropped
+    PressureSample sample;     ///< pressure signals for the controller
   };
 
   /// One source's epoch: generate, ingest, run the stage pipeline, hand the
@@ -352,7 +420,7 @@ class BuildingBlock {
   /// envelope means the task has nothing left to touch and the detector may
   /// skip the global barrier while a peer straggles.
   void RunSourceEpochFT(size_t s, int64_t epoch, Micros from, Micros to,
-                        bool profile);
+                        bool profile, IngressDirective ing);
   /// Books a collected envelope: retains pristine frames, queues the
   /// delivery, updates the failure detector, and delivers what is releasable.
   Status ProcessEnvelope(size_t s, int64_t epoch, EpochEnvelope&& env,
@@ -439,6 +507,24 @@ class BuildingBlock {
   /// Quarantines detected during the consume pass, applied at the epoch's
   /// deterministic end point (after the barrier): (source, keep_inflight).
   std::vector<std::pair<size_t, bool>> pending_quarantine_;
+
+  // --- overload control & scripted traffic dynamics ---
+  /// Shapes every generate call (JARVIS_TRAFFIC or SetTrafficPlan); null
+  /// when no plan is installed. Shaping is a pure function of
+  /// (plan seed, source, epoch index), so live and replay agree.
+  std::unique_ptr<TrafficShaper> shaper_;
+  /// The controller itself (EnableOverloadControl / JARVIS_OVERLOAD); all
+  /// Tick calls happen on the consumer thread at the epoch's deterministic
+  /// end point, in ascending source order.
+  std::unique_ptr<OverloadController> overload_;
+  /// SP records_consumed() at the last controller pass (inflow delta).
+  uint64_t sp_consumed_last_ = 0;
+  /// Runs `generate` for source `s` through the traffic shaper.
+  stream::RecordBatch GenerateShaped(size_t s, Micros from, Micros to);
+  /// End-of-epoch controller pass: folds fresh pressure samples, ticks every
+  /// live source in ascending order, stores next-epoch directives, and
+  /// triggers a re-plan when any source escalated.
+  void TickOverload(int64_t epoch);
 };
 
 }  // namespace jarvis::core

@@ -1,6 +1,6 @@
 #include "core/checkpoint.h"
 
-#include <cstdlib>
+#include "common/env.h"
 
 namespace jarvis::core {
 
@@ -9,12 +9,9 @@ namespace {
 constexpr uint8_t kFlagFull = 0x01;
 
 int EnvInt(const char* name) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return 0;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < 0 || parsed > 1'000'000) return 0;
-  return static_cast<int>(parsed);
+  // Malformed or out-of-range JARVIS_CKPT_* values abort at startup instead
+  // of silently disabling checkpointing.
+  return static_cast<int>(env::IntOrDie(name, 0, 0, 1'000'000));
 }
 
 }  // namespace

@@ -5,6 +5,7 @@
 #include <limits>
 #include <utility>
 
+#include "common/env.h"
 #include "ser/buffer.h"
 #include "stream/columnar.h"
 
@@ -267,12 +268,9 @@ Status DecodeDrain(const WireDrain& wire, std::vector<DrainChunk>* to_sp) {
 
 WireCodecOptions WireCodecFromEnv() {
   WireCodecOptions codec;
-  const char* v = std::getenv("JARVIS_WIRE_COMPRESS");
-  if (v != nullptr &&
-      (std::strcmp(v, "1") == 0 || std::strcmp(v, "on") == 0 ||
-       std::strcmp(v, "true") == 0 || std::strcmp(v, "yes") == 0)) {
-    codec.compress = true;
-  }
+  // An unrecognized token (e.g. JARVIS_WIRE_COMPRESS=lz4) aborts at startup
+  // instead of silently shipping the uncompressed wire.
+  codec.compress = env::FlagOrDie("JARVIS_WIRE_COMPRESS", false);
   return codec;
 }
 

@@ -1,7 +1,6 @@
 #include "core/exec_pool.h"
 
-#include <cerrno>
-#include <cstdlib>
+#include "common/env.h"
 
 namespace jarvis::core {
 
@@ -13,12 +12,9 @@ int HardwareThreads() {
 int ResolveThreads(int requested) {
   if (requested > 0) return requested;
   if (requested == 0) return HardwareThreads();
-  const char* s = std::getenv("JARVIS_THREADS");
-  if (s == nullptr || *s == '\0') return 1;
-  errno = 0;
-  char* end = nullptr;
-  const long v = std::strtol(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE || v < 0) return 1;
+  // JARVIS_THREADS=0 means "use every hardware thread"; a malformed value
+  // aborts at startup instead of silently running single-threaded.
+  const long v = env::IntOrDie("JARVIS_THREADS", 1, 0, 4096);
   return v == 0 ? HardwareThreads() : static_cast<int>(v);
 }
 

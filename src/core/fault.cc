@@ -7,6 +7,7 @@
 #include <set>
 #include <utility>
 
+#include "common/env.h"
 #include "common/rng.h"
 
 namespace jarvis::core {
@@ -124,11 +125,9 @@ std::string FaultPlan::ToString() const {
 }
 
 Result<std::unique_ptr<FaultInjector>> FaultInjector::FromEnv() {
-  const char* spec = std::getenv("JARVIS_FAULTS");
-  if (spec == nullptr || spec[0] == '\0') {
-    return std::unique_ptr<FaultInjector>();
-  }
-  JARVIS_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Parse(spec));
+  std::optional<std::string> spec = env::Raw("JARVIS_FAULTS");
+  if (!spec) return std::unique_ptr<FaultInjector>();
+  JARVIS_ASSIGN_OR_RETURN(FaultPlan plan, FaultPlan::Parse(*spec));
   return std::make_unique<FaultInjector>(std::move(plan));
 }
 

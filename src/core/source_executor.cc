@@ -1,6 +1,7 @@
 #include "core/source_executor.h"
 
 #include <algorithm>
+#include <iterator>
 #include <utility>
 
 #include "ser/buffer.h"
@@ -122,6 +123,23 @@ void SourceExecutor::IngestColumnar(stream::ColumnarBatch&& batch) {
   }
   // Row plane (stateful prefix): the boundary conversion runs once, here.
   batch.MoveToRows(&input_buffer_);
+}
+
+Micros SourceExecutor::OldestBufferedEventTime() const {
+  Micros oldest = -1;
+  if (columnar_mode_) {
+    for (Micros t : col_input_.event_times()) {
+      if (oldest < 0 || t < oldest) oldest = t;
+    }
+    for (const stream::Record& r : col_input_.fallback()) {
+      if (oldest < 0 || r.event_time < oldest) oldest = r.event_time;
+    }
+  } else {
+    for (const stream::Record& r : input_buffer_) {
+      if (oldest < 0 || r.event_time < oldest) oldest = r.event_time;
+    }
+  }
+  return oldest;
 }
 
 void SourceExecutor::SetLoadFactors(const std::vector<double>& lfs) {
@@ -396,32 +414,81 @@ Result<SourceEpochOutput> SourceExecutor::RunEpoch(Micros watermark,
     flush_pending_ = false;
   }
 
-  const uint64_t input_records =
+  // Ingress admission (overload control): admit the oldest `admit` buffered
+  // records this epoch, shed the next-oldest overflow beyond the defer cap,
+  // defer the newest remainder in the epoch buffer. With the default limits
+  // everything is admitted and this is the pre-overload path unchanged.
+  const uint64_t buffered =
       columnar_mode_ ? col_input_.num_rows() : input_buffer_.size();
+  const uint64_t admit = std::min(buffered, ingress_.admit_cap);
+  const uint64_t overflow = buffered - admit;
+  const uint64_t shed =
+      overflow > ingress_.defer_cap ? overflow - ingress_.defer_cap : 0;
+  out.ingress_offered = buffered;
+  out.ingress_admitted = admit;
+  out.ingress_shed = shed;
+  out.ingress_deferred = overflow - shed;
 
   // Route the epoch's input through the first proxy as one batch.
   if (columnar_mode_) {
-    if (!col_input_.empty()) {
+    stream::ColumnarBatch* epoch_input = &col_input_;
+    if (admit < buffered) {
+      col_input_.SplitFront(static_cast<size_t>(admit), &col_admit_);
+      if (shed > 0) {
+        col_input_.SplitFront(static_cast<size_t>(shed), &col_shed_);
+        col_shed_.Clear();
+      }
+      epoch_input = &col_admit_;
+    }
+    if (!epoch_input->empty()) {
       // Ingest boundary of the columnar plane: the epoch buffer partitions
       // column-to-column into stage 0's queue, and drained rows stay
       // columnar to the wire. Same decision sequence as the row plane.
       route_decisions_.clear();
-      proxies_[0].RouteDecisions(col_input_.num_rows(), &route_decisions_);
-      col_drained_.Reset(col_input_.schema());
-      col_input_.Partition(route_decisions_.data(), &col_queues_[0],
-                           &col_drained_);
+      proxies_[0].RouteDecisions(epoch_input->num_rows(), &route_decisions_);
+      col_drained_.Reset(epoch_input->schema());
+      epoch_input->Partition(route_decisions_.data(), &col_queues_[0],
+                             &col_drained_);
       DrainColumnarSplit(&col_drained_, 0, 0, &out);
     }
-  } else if (!input_buffer_.empty()) {
-    if (proxies_.empty()) {
-      DrainBatch(0, std::move(input_buffer_), &out);
-    } else {
-      drained_scratch_.clear();
-      proxies_[0].RouteBatch(std::move(input_buffer_), &drained_scratch_);
-      DrainBatch(0, std::move(drained_scratch_), &out);
-      drained_scratch_.clear();
+  } else {
+    stream::RecordBatch* epoch_input = &input_buffer_;
+    if (admit < buffered) {
+      row_admit_.clear();
+      row_admit_.insert(
+          row_admit_.end(), std::make_move_iterator(input_buffer_.begin()),
+          std::make_move_iterator(input_buffer_.begin() +
+                                  static_cast<ptrdiff_t>(admit)));
+      input_buffer_.erase(
+          input_buffer_.begin(),
+          input_buffer_.begin() + static_cast<ptrdiff_t>(admit + shed));
+      epoch_input = &row_admit_;
     }
-    input_buffer_.clear();
+    if (!epoch_input->empty()) {
+      if (proxies_.empty()) {
+        DrainBatch(0, std::move(*epoch_input), &out);
+      } else {
+        drained_scratch_.clear();
+        proxies_[0].RouteBatch(std::move(*epoch_input), &drained_scratch_);
+        DrainBatch(0, std::move(drained_scratch_), &out);
+        drained_scratch_.clear();
+      }
+      epoch_input->clear();
+    }
+  }
+  const uint64_t input_records = admit;
+
+  // Deferred records are still to come: the reported watermark must not
+  // pass the oldest deferred event time, or deferral would turn into a
+  // late-data lie downstream. Clamping to exactly `oldest` is safe (a
+  // record at ts == wm still lands in an open window: windows close on
+  // end <= wm) and keeps the reported watermark monotone — the oldest
+  // buffered record's timestamp never moves backwards across epochs, and
+  // it is always at or past the previous epoch's reported value.
+  if (out.ingress_deferred > 0) {
+    const Micros oldest = OldestBufferedEventTime();
+    if (oldest >= 0 && oldest < watermark) watermark = oldest;
+    out.watermark = watermark;
   }
 
   const double budget =
@@ -528,6 +595,20 @@ Status SourceExecutor::ExportCheckpointBody(ser::BufferWriter* w,
     rows.clear();
     JARVIS_RETURN_IF_ERROR(pipeline_->op(i).ExportStateDelta(w, mode));
   }
+  // Trailing section: the deferred epoch-input backlog (records held back by
+  // ingress throttling). Empty on unthrottled runs; snapshotting it keeps
+  // crash replay exact when a checkpointed source is recovering mid-burst.
+  rows.clear();
+  if (columnar_mode_) {
+    stream::ColumnarBatch copy = col_input_;
+    copy.MoveToRows(&rows);
+  } else {
+    rows.assign(input_buffer_.begin(), input_buffer_.end());
+  }
+  scratch.Clear();
+  stream::SerializeBatch(rows, stream::Schema(), &scratch);
+  w->PutVarU64(scratch.size());
+  w->PutBytes(scratch.data().data(), scratch.size());
   return Status::OK();
 }
 
@@ -595,6 +676,27 @@ Status SourceExecutor::RestoreCheckpointBody(ser::BufferReader* r) {
     }
     rows.clear();
     JARVIS_RETURN_IF_ERROR(pipeline_->op(i).RestoreState(r));
+  }
+  // Deferred epoch-input backlog replaces wholesale (last write wins, like
+  // the stage queues).
+  uint64_t len = 0;
+  JARVIS_RETURN_IF_ERROR(r->GetVarU64(&len));
+  if (len > r->remaining()) {
+    return Status::SerializationError(
+        "deferred input overruns checkpoint body");
+  }
+  ser::BufferReader ir(r->cursor(), len);
+  r->Advance(len);
+  rows.clear();
+  JARVIS_RETURN_IF_ERROR(stream::DeserializeBatch(&ir, &rows));
+  if (!ir.AtEnd()) {
+    return Status::SerializationError("trailing bytes in deferred input");
+  }
+  if (columnar_mode_) {
+    col_input_.Clear();
+    col_input_.AppendRows(std::move(rows));
+  } else {
+    input_buffer_ = std::move(rows);
   }
   return Status::OK();
 }

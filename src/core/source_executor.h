@@ -44,6 +44,12 @@ struct SourceEpochOutput {
   uint64_t drained_bytes = 0;
   Micros watermark = -1;
   EpochObservation observation;
+  /// Ingress admission accounting (overload control; see IngressLimits).
+  /// offered = admitted + deferred + ingress_shed, always.
+  uint64_t ingress_offered = 0;
+  uint64_t ingress_admitted = 0;
+  uint64_t ingress_deferred = 0;
+  uint64_t ingress_shed = 0;
 
   /// Total records across all drain chunks.
   size_t DrainedRecords() const;
@@ -64,6 +70,18 @@ struct SourceEpochOutput {
   /// in drain order and leaves the chunks empty. Tests, diagnostics, and
   /// row-format relays use this; the data plane itself never does.
   std::vector<DrainRecord> FlattenDrain();
+};
+
+/// Per-epoch ingress admission limits (overload control). RunEpoch admits
+/// the oldest `admit_cap` buffered records, sheds the next-oldest overflow
+/// beyond `defer_cap` (so the watermark can keep advancing under a bounded
+/// backlog), and defers the newest remainder to later epochs — clamping the
+/// reported watermark below the oldest deferred event time so deferral is
+/// never a late-data lie. Sticky until changed; the defaults admit
+/// everything, which is the pre-overload behavior bit for bit.
+struct IngressLimits {
+  uint64_t admit_cap = UINT64_MAX;
+  uint64_t defer_cap = UINT64_MAX;
 };
 
 /// The data-source side of the deployed query (Figure 5): the
@@ -134,6 +152,16 @@ class SourceExecutor {
     options_.cpu_budget_fraction = fraction;
   }
 
+  /// Installs the overload controller's admission limits for subsequent
+  /// epochs (sticky). See IngressLimits.
+  void SetIngressLimits(IngressLimits limits) { ingress_ = limits; }
+  const IngressLimits& ingress_limits() const { return ingress_; }
+
+  /// Records currently deferred in the epoch input buffer.
+  uint64_t buffered_input() const {
+    return columnar_mode_ ? col_input_.num_rows() : input_buffer_.size();
+  }
+
   size_t num_ops() const { return proxies_.size(); }
   const ControlProxy& proxy(size_t i) const { return proxies_[i]; }
   double cpu_budget_fraction() const { return options_.cpu_budget_fraction; }
@@ -183,6 +211,9 @@ class SourceExecutor {
   /// Ships every record still queued at stage `i` (columnar and row queues)
   /// to the stream processor, tagged to resume at operator `i`.
   void DrainPendingStage(size_t i, SourceEpochOutput* out);
+  /// Oldest event time across the deferred epoch input, -1 when empty
+  /// (the watermark clamp under ingress deferral).
+  Micros OldestBufferedEventTime() const;
 
   std::unique_ptr<stream::Pipeline> pipeline_;
   std::vector<ControlProxy> proxies_;
@@ -193,6 +224,7 @@ class SourceExecutor {
   // col_input_ instead and this stays empty.
   stream::RecordBatch input_buffer_;
   bool flush_pending_ = false;
+  IngressLimits ingress_;
   Status init_status_;
   // Columnar data plane (enabled when the whole pipeline is columnar):
   // the columnar epoch input buffer, per-stage queues of pending rows in
@@ -201,6 +233,11 @@ class SourceExecutor {
   stream::ColumnarBatch col_input_;
   std::vector<stream::ColumnarBatch> col_queues_;
   stream::ColumnarBatch col_run_;
+  // Ingress-admission scratch (throttled epochs only): the admitted prefix
+  // peeled off the epoch buffer, and the shed overflow on its way out.
+  stream::ColumnarBatch col_admit_;
+  stream::ColumnarBatch col_shed_;
+  stream::RecordBatch row_admit_;
   // Drain-side columnar scratch: the proxy-drained split and the run
   // peeled off by DrainColumnarSplit (their buffers migrate into the epoch
   // output's chunks, which need fresh storage anyway).

@@ -43,6 +43,7 @@ Status SpExecutor::Consume(size_t source_id, SourceEpochOutput&& out,
     if (entry > pipeline_->size()) {
       return Status::OutOfRange("drain entry operator out of range");
     }
+    records_consumed_ += chunk.size();
     if (!chunk.columns.empty()) {
       if (columnar_from_[entry]) {
         JARVIS_RETURN_IF_ERROR(
@@ -117,6 +118,7 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
         pipeline_->PushColumnarFrom(hdr->entry_op, &frame_columns_));
     frame_columns_.MoveToRows(results);
     expect_seq_[source_id] = expect + 1;
+    records_consumed_ += frame.records;
     return FrameDisposition::kDelivered;
   }
   entry_batch_.clear();
@@ -127,6 +129,7 @@ Result<FrameDisposition> SpExecutor::ConsumeFrame(
       hdr->entry_op, std::move(entry_batch_), results));
   entry_batch_.clear();
   expect_seq_[source_id] = expect + 1;
+  records_consumed_ += frame.records;
   return FrameDisposition::kDelivered;
 }
 

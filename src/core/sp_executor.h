@@ -110,6 +110,11 @@ class SpExecutor {
 
   Micros merged_watermark() const { return merger_.Merged(); }
 
+  /// Data records this SP has consumed across all sources (in-memory chunks
+  /// and delivered data frames; checkpoint frames excluded). The per-epoch
+  /// delta is the overload controller's SP-inflow pressure signal.
+  uint64_t records_consumed() const { return records_consumed_; }
+
   /// Sets the checkpoint ring size (K) on every per-source store.
   void SetCheckpointRetain(size_t k) {
     ckpt_retain_ = k == 0 ? 1 : k;
@@ -147,6 +152,7 @@ class SpExecutor {
   stream::ColumnarBatch frame_columns_;
   // Per-source next expected wire sequence number (exactly-once delivery).
   std::vector<uint32_t> expect_seq_;
+  uint64_t records_consumed_ = 0;
   // Per-source retained checkpoint rings (WireLane::kCheckpoint frames).
   std::vector<CheckpointStore> ckpt_stores_;
   size_t ckpt_retain_ = 4;

@@ -71,6 +71,9 @@ Result<std::vector<double>> StepwiseAdapt::ComputeLpInit(
     // Unlike the relay ratios it can legitimately exceed 1; only the noise
     // extremes are clamped.
     m.wire_ratio = std::clamp(p.wire_ratio, 0.0, 64.0);
+    // Overload pressure (degrade-before-drop): bounded so a runaway signal
+    // cannot make the LP numerically hostile.
+    m.pressure = std::clamp(p.pressure, 0.0, 16.0);
     problem.ops.push_back(m);
   }
   problem.input_records_per_epoch = static_cast<double>(input_records);
@@ -107,8 +110,9 @@ void StepwiseAdapt::Begin(const std::vector<double>& init,
   std::iota(priority_order_.begin(), priority_order_.end(), size_t{0});
   const auto wire_relay = [&](size_t i) {
     if (i >= profiles.size()) return 1.0;
-    return profiles[i].relay_bytes * std::clamp(profiles[i].wire_ratio, 0.0,
-                                                64.0);
+    return profiles[i].relay_bytes *
+           std::clamp(profiles[i].wire_ratio, 0.0, 64.0) *
+           (1.0 + std::clamp(profiles[i].pressure, 0.0, 16.0));
   };
   std::stable_sort(priority_order_.begin(), priority_order_.end(),
                    [&](size_t a, size_t b) {

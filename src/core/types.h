@@ -38,6 +38,12 @@ struct OperatorProfile {
   /// WireByteProfile ratios in); the LP's bandwidth term scales by it so
   /// placement prices the wire that actually ships.
   double wire_ratio = 1.0;
+  /// Overload pressure at the source this profile came from (0 = calm; the
+  /// OverloadController raises it one unit per escalation rung). The LP's
+  /// bandwidth term scales by (1 + pressure), so a pressured source's wire
+  /// gets expensive and the planner pulls operators toward the source —
+  /// degrade-before-drop — before the shedder fires.
+  double pressure = 0.0;
   uint64_t sampled = 0;
 };
 

@@ -23,7 +23,12 @@ std::vector<double> CumulativeRelay(const std::vector<OperatorModel>& ops,
 std::vector<double> WirePrices(const std::vector<OperatorModel>& ops) {
   std::vector<double> b = CumulativeRelay(ops, /*bytes=*/true);
   b.resize(ops.size());
-  for (size_t i = 0; i < ops.size(); ++i) b[i] *= ops[i].wire_ratio;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    // Overload pressure inflates the bandwidth price: a byte drained into a
+    // congested wire is about to be shed, so the planner values keeping it
+    // local above its measured transport cost.
+    b[i] *= ops[i].wire_ratio * (1.0 + ops[i].pressure);
+  }
   return b;
 }
 
@@ -70,7 +75,7 @@ Result<PartitionSolution> SolvePartitionLp(const PartitionProblem& problem) {
   }
   for (const OperatorModel& op : problem.ops) {
     if (op.cost_per_record < 0 || op.relay_records < 0 ||
-        op.relay_bytes < 0 || op.wire_ratio < 0) {
+        op.relay_bytes < 0 || op.wire_ratio < 0 || op.pressure < 0) {
       return Status::InvalidArgument("negative operator model parameter");
     }
   }

@@ -21,6 +21,11 @@ struct OperatorModel {
   /// checkpoint frames included). Scales the objective's bandwidth price
   /// B_j = RB_j * wire_ratio_j without touching the compute constraint.
   double wire_ratio = 1.0;
+  /// Overload pressure at the drain (0 = calm). Multiplies the bandwidth
+  /// price by (1 + pressure): under pressure the wire is about to shed, so
+  /// every drained byte is worth more than its measured cost and the LP
+  /// pushes operators toward the source before the shedder fires.
+  double pressure = 0.0;
 };
 
 struct PartitionProblem {

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/env.h"
 #include "ser/codec.h"
 
 namespace jarvis::stream::kernels {
@@ -150,18 +151,21 @@ struct Dispatch {
 };
 
 Dispatch InitDispatch() {
-  Isa want = BestIsa();
-  if (const char* env = std::getenv("JARVIS_SIMD")) {
-    const std::string_view s(env);
-    if (s == "scalar") {
-      want = Isa::kScalar;
-    } else if (s == "avx2") {
-      want = Isa::kAvx2;
-    } else if (s == "neon") {
-      want = Isa::kNeon;
-    }
-    // Unknown values keep the auto-detected pick.
+  // Index 0 ("auto", also the unset default) keeps the auto-detected pick;
+  // an unknown value aborts at startup instead of silently ignoring the
+  // override.
+  switch (jarvis::env::EnumOrDie("JARVIS_SIMD", 0,
+                                 {"auto", "scalar", "avx2", "neon"})) {
+    case 1: return {&kScalarTable, Isa::kScalar};
+    case 2:
+      if (const KernelTable* t = TableFor(Isa::kAvx2)) return {t, Isa::kAvx2};
+      break;
+    case 3:
+      if (const KernelTable* t = TableFor(Isa::kNeon)) return {t, Isa::kNeon};
+      break;
+    default: break;
   }
+  const Isa want = BestIsa();
   if (const KernelTable* t = TableFor(want)) return {t, want};
   return {&kScalarTable, Isa::kScalar};
 }

@@ -18,7 +18,9 @@
 #include "common/rng.h"
 #include "core/building_block.h"
 #include "core/fault.h"
+#include "core/overload.h"
 #include "stream/record.h"
+#include "stream/watermark.h"
 #include "testing/test_util.h"
 #include "workloads/pingmesh.h"
 #include "workloads/queries.h"
@@ -73,17 +75,40 @@ FaultPlan RandomPlan(uint64_t seed) {
   return plan;
 }
 
+/// Random scripted traffic layered over the fault plan: bursts, ramps,
+/// skew flips, and leave churn in the same epoch window the faults hit.
+TrafficPlan RandomTrafficPlan(uint64_t seed) {
+  Rng rng(seed * 104729 + 5);
+  TrafficPlan plan;
+  plan.seed = seed;
+  const size_t events = 2 + rng.NextBounded(4);
+  for (size_t i = 0; i < events; ++i) {
+    TrafficEvent ev;
+    ev.kind = static_cast<TrafficKind>(rng.NextBounded(4));
+    ev.source = rng.NextBounded(kSources);
+    ev.epoch = static_cast<int64_t>(rng.NextBounded(kEpochs - 6));
+    ev.count = 1 + static_cast<int>(rng.NextBounded(4));
+    ev.factor = ev.kind == TrafficKind::kSkew ? 20 + rng.NextBounded(70)
+                                              : 2 + rng.NextBounded(5);
+    plan.events.push_back(ev);
+  }
+  return plan;
+}
+
 struct StressRun {
   stream::RecordBatch results;
   std::vector<Micros> watermarks;
   FaultStats stats;
+  OverloadStats overload;
   uint64_t wire_fnv = 1469598103934665603ull;
   uint64_t in_flight = 0;
   bool duplicate_delivery = false;
 };
 
 StressRun RunPlan(const query::CompiledQuery& q, const FaultPlan& plan,
-                  int threads, int ckpt_interval = 0, int ckpt_retain = 0) {
+                  int threads, int ckpt_interval = 0, int ckpt_retain = 0,
+                  const TrafficPlan* traffic = nullptr,
+                  bool overload = false) {
   std::vector<BuildingBlock::SourceSpec> specs;
   for (uint64_t s = 1; s <= kSources; ++s) specs.push_back(MakeSpec(s, 30));
   BuildingBlock block(q, std::move(specs), RuntimeConfig(), threads);
@@ -95,6 +120,12 @@ StressRun RunPlan(const query::CompiledQuery& q, const FaultPlan& plan,
   opts.checkpoint_retain = ckpt_retain;
   block.EnableFaultTolerance(opts);
   block.SetFaultPlan(plan);
+  if (traffic != nullptr) block.SetTrafficPlan(*traffic);
+  if (overload) {
+    OverloadOptions oopts;
+    oopts.sp_capacity_records = 4000;
+    block.EnableOverloadControl(oopts);
+  }
 
   StressRun run;
   std::map<std::pair<size_t, uint32_t>, int> seen;
@@ -114,8 +145,17 @@ StressRun RunPlan(const query::CompiledQuery& q, const FaultPlan& plan,
   }
   EXPECT_TRUE(block.Finish(&run.results).ok()) << "seed=" << plan.seed;
   run.stats = block.fault_stats();
+  run.overload = block.overload_stats();
   run.in_flight = block.records_in_flight();
   return run;
+}
+
+/// The widened invariant: shed records are first-class, never leaked.
+void ExpectConservation(const StressRun& run) {
+  EXPECT_EQ(run.stats.records_sent,
+            run.stats.records_delivered + run.stats.records_lost +
+                run.stats.records_shed + run.in_flight);
+  EXPECT_FALSE(run.duplicate_delivery);
 }
 
 TEST(RecoveryStressTest, RandomPlansConserveRecordsAndStayDeterministic) {
@@ -125,13 +165,10 @@ TEST(RecoveryStressTest, RandomPlansConserveRecordsAndStayDeterministic) {
     SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" + plan.ToString());
     const StressRun serial = RunPlan(q, plan, 1);
     // Conservation past the fence: every record the sources shipped is
-    // accounted for — delivered, declared lost at a quarantine, or still
-    // held by a quarantined source's inbox. Never silently vanished, never
-    // consumed twice.
-    EXPECT_EQ(serial.stats.records_sent,
-              serial.stats.records_delivered + serial.stats.records_lost +
-                  serial.in_flight);
-    EXPECT_FALSE(serial.duplicate_delivery);
+    // accounted for — delivered, declared lost at a quarantine, shed by the
+    // overload controller (none here), or still held by a quarantined
+    // source's inbox. Never silently vanished, never consumed twice.
+    ExpectConservation(serial);
 
     const StressRun mt = RunPlan(q, plan, 4);
     EXPECT_EQ(mt.results, serial.results);
@@ -157,16 +194,81 @@ TEST(RecoveryStressTest, RandomPlansWithCheckpointsLoseNothing) {
     const StressRun serial = RunPlan(q, plan, 1, interval, retain);
     // The checkpointed contract is strictly stronger than conservation:
     // every recoverable fault replays from the newest complete checkpoint,
-    // so no random plan may lose a single record.
+    // so no random plan may lose a single record. Shed stays in the books
+    // (CI layers burst traffic with overload control over this suite, where
+    // shedding is deliberate and accounted — never loss).
     EXPECT_EQ(serial.stats.records_lost, 0u);
     EXPECT_EQ(serial.stats.records_sent,
-              serial.stats.records_delivered + serial.in_flight);
+              serial.stats.records_delivered + serial.stats.records_shed +
+                  serial.in_flight);
     EXPECT_FALSE(serial.duplicate_delivery);
 
     const StressRun mt = RunPlan(q, plan, 4, interval, retain);
     EXPECT_EQ(mt.results, serial.results);
     EXPECT_EQ(mt.watermarks, serial.watermarks);
     EXPECT_EQ(mt.stats, serial.stats);
+    EXPECT_EQ(mt.wire_fnv, serial.wire_fnv);
+    EXPECT_EQ(mt.in_flight, serial.in_flight);
+    EXPECT_FALSE(mt.duplicate_delivery);
+  }
+}
+
+TEST(RecoveryStressTest, TrafficAndFaultsConserveAndStayDeterministic) {
+  const query::CompiledQuery q = CompileS2S();
+  for (const uint64_t seed : testing::FuzzSeeds()) {
+    const FaultPlan plan = RandomPlan(seed);
+    const TrafficPlan traffic = RandomTrafficPlan(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" + plan.ToString() +
+                 " traffic=" + traffic.ToString());
+    const StressRun serial =
+        RunPlan(q, plan, 1, 0, 0, &traffic, /*overload=*/true);
+    // Bursts on top of faults: the widened invariant must hold exactly —
+    // anything the controller shed is booked, nothing leaks.
+    ExpectConservation(serial);
+    // The merged watermark never moves backwards and makes real progress
+    // across the run: overload control degrades throughput, never liveness.
+    Micros prev = stream::WatermarkMerger::kUninitialized;
+    for (const Micros wm : serial.watermarks) {
+      if (wm == stream::WatermarkMerger::kUninitialized) continue;
+      if (prev != stream::WatermarkMerger::kUninitialized) {
+        EXPECT_GE(wm, prev);
+      }
+      prev = wm;
+    }
+    EXPECT_GT(serial.watermarks.back(), Micros(0));
+
+    const StressRun mt = RunPlan(q, plan, 4, 0, 0, &traffic, true);
+    EXPECT_EQ(mt.results, serial.results);
+    EXPECT_EQ(mt.watermarks, serial.watermarks);
+    EXPECT_EQ(mt.stats, serial.stats);
+    EXPECT_EQ(mt.overload, serial.overload);
+    EXPECT_EQ(mt.wire_fnv, serial.wire_fnv);
+    EXPECT_EQ(mt.in_flight, serial.in_flight);
+    EXPECT_FALSE(mt.duplicate_delivery);
+  }
+}
+
+TEST(RecoveryStressTest, TrafficWithCheckpointsLosesNothing) {
+  const query::CompiledQuery q = CompileS2S();
+  for (const uint64_t seed : testing::FuzzSeeds()) {
+    const FaultPlan plan = RandomPlan(seed);
+    const TrafficPlan traffic = RandomTrafficPlan(seed);
+    SCOPED_TRACE("seed=" + std::to_string(seed) + " plan=" + plan.ToString() +
+                 " traffic=" + traffic.ToString());
+    // The hardest composition: scripted traffic + overload shedding + crash
+    // replay from checkpoints. Shedding is deliberate and re-sheds
+    // identically in replay; genuine loss must still be zero.
+    const StressRun serial =
+        RunPlan(q, plan, 1, /*ckpt_interval=*/1, /*ckpt_retain=*/3, &traffic,
+                /*overload=*/true);
+    EXPECT_EQ(serial.stats.records_lost, 0u);
+    ExpectConservation(serial);
+
+    const StressRun mt = RunPlan(q, plan, 4, 1, 3, &traffic, true);
+    EXPECT_EQ(mt.results, serial.results);
+    EXPECT_EQ(mt.watermarks, serial.watermarks);
+    EXPECT_EQ(mt.stats, serial.stats);
+    EXPECT_EQ(mt.overload, serial.overload);
     EXPECT_EQ(mt.wire_fnv, serial.wire_fnv);
     EXPECT_EQ(mt.in_flight, serial.in_flight);
     EXPECT_FALSE(mt.duplicate_delivery);

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <functional>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -18,6 +19,42 @@
 #include "stream/record.h"
 
 namespace jarvis::testing {
+
+// ---------------------------------------------------------------------------
+// Environment pinning
+// ---------------------------------------------------------------------------
+
+/// Sets (or, with nullptr, clears) an environment variable for one scope,
+/// restoring the previous value on destruction. Tests run serially within a
+/// binary, so there are no env races. Use to pin a JARVIS_* knob a test's
+/// semantics depend on — CI layers chaos env (JARVIS_TRAFFIC, JARVIS_FAULTS,
+/// JARVIS_OVERLOAD, ...) over whole suites, and any test asserting behavior
+/// specific to one configuration must not inherit it from the environment.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      ::setenv(name_.c_str(), saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  std::string name_;
+  std::optional<std::string> saved_;
+};
 
 // ---------------------------------------------------------------------------
 // Record / batch builders
